@@ -1,0 +1,116 @@
+// Command uavexp regenerates the paper's evaluation figures (Section VII):
+// Fig. 3 (Algorithm 1 vs benchmark over the energy capacity, no-overlap
+// problem), Fig. 4 (Algorithms 2/3 vs benchmark over the grid resolution
+// δ), and Fig. 5 (Algorithms 2/3 vs benchmark over the energy capacity).
+// Each run prints both panels — (a) collected volume, (b) running time —
+// and can additionally emit long-form CSV.
+//
+// Usage:
+//
+//	uavexp [flags]
+//
+//	-fig       fig3 | fig4 | fig5 | all | ext-altitude | ext-fleet | ext (default all)
+//	-preset    tiny | reduced | paper | papertight (default reduced)
+//	-instances override the number of network instances per point
+//	-seed      override the experiment seed
+//	-csv       write long-form CSV to this file (appends all figures)
+//	-md        render markdown tables instead of aligned text
+//
+// The paper preset matches Section VII-A exactly (500 sensors, 1 km²,
+// 15 instances, E = 3–9×10⁵ J, δ = 5–30 m) and takes CPU-hours; reduced
+// preserves every qualitative shape in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uavdc/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "fig3 | fig4 | fig5 | all")
+		preset    = flag.String("preset", "reduced", "tiny | reduced | paper | papertight")
+		instances = flag.Int("instances", 0, "override instances per point (0 = preset default)")
+		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = preset default)")
+		csvPath   = flag.String("csv", "", "write long-form CSV to this file")
+		markdown  = flag.Bool("md", false, "render markdown tables instead of aligned text")
+		workers   = flag.Int("workers", 0, "parallel candidate-scan goroutines (identical plans; distorts runtime panels)")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *preset {
+	case "tiny":
+		cfg = experiments.Tiny()
+	case "reduced":
+		cfg = experiments.Reduced()
+	case "paper":
+		cfg = experiments.Paper()
+	case "papertight":
+		cfg = experiments.PaperTight()
+	default:
+		fmt.Fprintf(os.Stderr, "uavexp: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	if *instances > 0 {
+		cfg.Instances = *instances
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	var figures []string
+	switch *fig {
+	case "all":
+		figures = []string{"fig3", "fig4", "fig5"}
+	case "ext":
+		figures = []string{"ext-altitude", "ext-fleet", "ext-robustness", "ext-decomposition"}
+	case "fig3", "fig4", "fig5", "ext-altitude", "ext-fleet", "ext-robustness", "ext-decomposition":
+		figures = []string{*fig}
+	default:
+		fmt.Fprintf(os.Stderr, "uavexp: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uavexp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for i, name := range figures {
+		tab, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uavexp:", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		render := tab.Render
+		if *markdown {
+			render = tab.WriteMarkdown
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "uavexp:", err)
+			os.Exit(1)
+		}
+		if csvFile != nil {
+			if err := tab.WriteCSV(csvFile); err != nil {
+				fmt.Fprintln(os.Stderr, "uavexp:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

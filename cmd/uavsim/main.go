@@ -1,0 +1,162 @@
+// Command uavsim generates a random IoT sensor field, plans a UAV data
+// collection mission with the chosen algorithm, verifies every plan in the
+// flight simulator, and prints the mission summary. It can plan a single
+// tour, a multi-UAV fleet mission, or a multi-sortie campaign, and can
+// render the mission as SVG.
+//
+// Usage:
+//
+//	uavsim [flags]
+//
+//	-sensors   number of aggregate sensor nodes (default 60)
+//	-side      region edge length in metres (default 350)
+//	-seed      scenario seed (default 1)
+//	-algorithm no-overlap | greedy | partial | baseline (default partial)
+//	-delta     grid resolution δ in metres (default R0/5)
+//	-k         sojourn partition K for the partial algorithm (default 4)
+//	-capacity  battery capacity in joules (default 2e4)
+//	-altitude  hovering altitude H in metres (default 0: paper abstraction)
+//	-shannon   distance-dependent Shannon uplink instead of constant B
+//	-fleet     plan for this many UAVs (default 1)
+//	-sorties   fly repeated sorties until drained (0 = single flight)
+//	-stops     print the individual hovering stops
+//	-svg       write the mission rendering to this file
+//	-map       print a terminal map of the mission
+//	-save      write the generated scenario as JSON and exit
+//	-load      load a scenario JSON instead of generating one
+//
+// Examples:
+//
+//	uavsim -sensors 500 -side 1000 -capacity 3e5 -algorithm greedy -delta 10
+//	uavsim -fleet 3 -svg fleet.svg
+//	uavsim -sorties 20 -algorithm baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uavdc"
+)
+
+func main() {
+	var (
+		sensors   = flag.Int("sensors", 60, "number of aggregate sensor nodes")
+		side      = flag.Float64("side", 350, "region edge length (m)")
+		seed      = flag.Uint64("seed", 1, "scenario seed")
+		algorithm = flag.String("algorithm", "partial", "no-overlap | greedy | partial | baseline")
+		delta     = flag.Float64("delta", 0, "grid resolution δ (m); 0 = R0/5")
+		k         = flag.Int("k", 4, "sojourn partition K (partial algorithm)")
+		capacity  = flag.Float64("capacity", 2e4, "battery capacity (J)")
+		altitude  = flag.Float64("altitude", 0, "hovering altitude H (m)")
+		shannon   = flag.Bool("shannon", false, "distance-dependent Shannon uplink")
+		fleet     = flag.Int("fleet", 1, "number of UAVs")
+		sorties   = flag.Int("sorties", 0, "max sorties; 0 = single flight")
+		stops     = flag.Bool("stops", false, "print individual stops")
+		svgPath   = flag.String("svg", "", "write mission SVG to this file")
+		asciiMap  = flag.Bool("map", false, "print a terminal map of the mission")
+		savePath  = flag.String("save", "", "write the generated scenario as JSON and exit")
+		loadPath  = flag.String("load", "", "load a scenario JSON instead of generating one")
+	)
+	flag.Parse()
+
+	var sc uavdc.Scenario
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		exitOn(err)
+		sc, err = uavdc.ReadScenario(f)
+		exitOn(err)
+		exitOn(f.Close())
+	} else {
+		sc = uavdc.RandomScenario(*sensors, *side, *seed)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		exitOn(err)
+		exitOn(sc.WriteJSON(f))
+		exitOn(f.Close())
+		fmt.Printf("saved scenario to %s (%d sensors)\n", *savePath, len(sc.Sensors))
+		return
+	}
+	uav := uavdc.DefaultUAV()
+	uav.CapacityJ = *capacity
+	opts := uavdc.Options{
+		Algorithm:    uavdc.Algorithm(*algorithm),
+		DeltaM:       *delta,
+		K:            *k,
+		AltitudeM:    *altitude,
+		ShannonRadio: *shannon,
+	}
+
+	total := sc.TotalDataMB()
+	fmt.Printf("scenario   %d sensors in %.0f×%.0f m, %.1f GB stored, depot (%.0f, %.0f)\n",
+		len(sc.Sensors), sc.RegionSideM, sc.RegionSideM, total/1024, sc.DepotX, sc.DepotY)
+	fmt.Printf("uav        %.0f W hover, %.0f W travel, %.0f m/s, %.3g J battery\n",
+		uav.HoverPowerW, uav.TravelPowerW, uav.SpeedMS, uav.CapacityJ)
+
+	switch {
+	case *sorties > 0:
+		camp, err := uavdc.PlanCampaign(sc, uav, opts, *sorties)
+		exitOn(err)
+		fmt.Printf("campaign   %d sorties, %.1f MB collected (%.1f%%)",
+			len(camp.SortieMB), camp.CollectedMB, 100*camp.CollectedMB/total)
+		if camp.Drained {
+			fmt.Println(", field drained")
+		} else {
+			fmt.Printf(", %.1f MB remaining\n", camp.RemainingMB)
+		}
+		for i, v := range camp.SortieMB {
+			fmt.Printf("  sortie %2d  %10.1f MB\n", i+1, v)
+		}
+
+	case *fleet > 1:
+		fr, err := uavdc.PlanFleet(sc, uav, opts, *fleet)
+		exitOn(err)
+		fmt.Printf("fleet      %d UAVs, %.1f MB collected (%.1f%%)\n",
+			len(fr.PerUAV), fr.CollectedMB, 100*fr.CollectedMB/total)
+		for u, r := range fr.PerUAV {
+			fmt.Printf("  uav %d    %8.1f MB, %2d stops, %6.0f J, %5.0f s\n",
+				u+1, r.CollectedMB, len(r.Stops), r.EnergyJ, r.MissionTimeS)
+		}
+		writeSVG(*svgPath, func(f *os.File) error { return fr.WriteSVG(f, sc.CoverRadiusM) })
+
+	default:
+		res, err := uavdc.Plan(sc, uav, opts)
+		exitOn(err)
+		fmt.Printf("plan       %s: %d stops\n", res.Algorithm, len(res.Stops))
+		fmt.Printf("collected  %.1f MB (%.1f%% of stored)\n", res.CollectedMB, 100*res.CollectedMB/total)
+		fmt.Printf("energy     %.0f J of %.0f J (%.1f%%)\n", res.EnergyJ, uav.CapacityJ, 100*res.EnergyJ/uav.CapacityJ)
+		fmt.Printf("flight     %.0f m in %.0f s; hover %.0f s; mission %.0f s\n",
+			res.FlightDistanceM, res.FlightDistanceM/uav.SpeedMS, res.HoverTimeS, res.MissionTimeS)
+		if *stops {
+			fmt.Println("\n  #    x (m)    y (m)  sojourn (s)  collected (MB)")
+			for i, st := range res.Stops {
+				fmt.Printf("%3d %8.1f %8.1f %12.2f %15.1f\n", i+1, st.X, st.Y, st.SojournS, st.CollectedMB)
+			}
+		}
+		writeSVG(*svgPath, func(f *os.File) error { return res.WriteSVG(f, sc.CoverRadiusM) })
+		if *asciiMap {
+			fmt.Println()
+			exitOn(res.WriteASCII(os.Stdout, 70))
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uavsim:", err)
+		os.Exit(1)
+	}
+}
+
+func writeSVG(path string, render func(*os.File) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	exitOn(err)
+	exitOn(render(f))
+	exitOn(f.Close())
+	fmt.Printf("rendered   %s\n", path)
+}

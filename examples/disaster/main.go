@@ -1,0 +1,85 @@
+// Disaster response: repeated sorties over a damaged area. Sensors near
+// the incident hotspots have accumulated far more observation data than the
+// periphery, and the UAV must return to the depot to recharge between
+// flights. The example runs a full campaign with internal/mission — plan,
+// simulate, decrement, repeat until the field drains — and compares how
+// many flights the partial-collection planner (Algorithm 3) needs against
+// Algorithm 2 and the baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"uavdc/internal/core"
+	"uavdc/internal/energy"
+	"uavdc/internal/geom"
+	"uavdc/internal/mission"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+// buildField places 70 sensors in a 400 m field; data volumes decay with
+// distance from two incident hotspots, so the workload is heavily skewed
+// (unlike the paper's uniform draw — this exercises the planners on the
+// kind of field the rescue application of the intro implies).
+func buildField() *sensornet.Network {
+	r := rng.New(99).Rand()
+	hotspots := []geom.Point{geom.Pt(90, 310), geom.Pt(330, 120)}
+	net := &sensornet.Network{
+		Region:    geom.Square(400),
+		Depot:     geom.Pt(200, 200),
+		Bandwidth: 150,
+		CommRange: 50,
+	}
+	for i := 0; i < 70; i++ {
+		pos := geom.Pt(r.Float64()*400, r.Float64()*400)
+		near := math.Inf(1)
+		for _, h := range hotspots {
+			if d := pos.Dist(h); d < near {
+				near = d
+			}
+		}
+		// 2 GB at a hotspot decaying to ~100 MB at 300 m.
+		data := 100 + 1900*math.Exp(-near/120)
+		net.Sensors = append(net.Sensors, sensornet.Sensor{Pos: pos, Data: data})
+	}
+	return net
+}
+
+func main() {
+	field := buildField()
+	fmt.Printf("incident field: 70 sensors, %.1f GB backlog, hotspot-skewed volumes\n\n", field.TotalData()/1024)
+
+	for _, tc := range []struct {
+		name    string
+		planner core.Planner
+		k       int
+	}{
+		{"algorithm3 (K=4)", &core.Algorithm3{}, 4},
+		{"algorithm2", &core.Algorithm2{}, 1},
+		{"baseline", &core.BenchmarkPlanner{}, 1},
+	} {
+		in := &core.Instance{
+			Net:   buildField(),
+			Model: energy.Default().WithCapacity(2.5e4),
+			Delta: 10,
+			K:     tc.k,
+		}
+		camp, err := mission.Run(in, tc.planner, mission.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", tc.name, err)
+		}
+		fmt.Printf("%-18s %2d sorties to collect %.1f GB", tc.name, len(camp.Sorties), camp.Collected/1024)
+		if len(camp.SortieVolumes) > 0 {
+			fmt.Printf(" (first flight %.1f GB)", camp.SortieVolumes[0]/1024)
+		}
+		if !camp.Drained {
+			fmt.Printf(" — %.1f GB unreachable", camp.Remaining/1024)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nfewer sorties means earlier situational awareness: the")
+	fmt.Println("framework planners drain the hotspots in a fraction of the flights.")
+}

@@ -1,0 +1,59 @@
+// Partial-collection study: how the sojourn partition K trades solution
+// quality against planning time (the knob behind Fig. 4/5's Algorithm 3
+// series and the paper's observation that larger K collects more because
+// energy is planned at a finer grain — at sharply growing runtime).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"uavdc/internal/core"
+	"uavdc/internal/energy"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+	"uavdc/internal/simulate"
+	"uavdc/internal/stats"
+)
+
+func main() {
+	gen := sensornet.DefaultGenParams()
+	gen.NumSensors = 60
+	gen.Side = 350
+	em := energy.Default().WithCapacity(1.2e4) // tight: ~40% of the field fits
+
+	const instances = 5
+	fmt.Printf("%4s %14s %14s %12s\n", "K", "collected (MB)", "vs K=1", "plan time")
+	var base float64
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		var vols []float64
+		var elapsed time.Duration
+		for i := 0; i < instances; i++ {
+			net, err := sensornet.Generate(gen, rng.New(11).SplitN("net", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			in := &core.Instance{Net: net, Model: em, Delta: 15, K: k}
+			start := time.Now()
+			plan, err := (&core.Algorithm3{}).Plan(in)
+			elapsed += time.Since(start)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := simulate.Run(net, em, plan, simulate.Options{})
+			if !res.Completed {
+				log.Fatalf("K=%d instance %d aborted: %s", k, i, res.AbortReason)
+			}
+			vols = append(vols, res.Collected)
+		}
+		mean := stats.Mean(vols)
+		if k == 1 {
+			base = mean
+		}
+		fmt.Printf("%4d %14.1f %+13.2f%% %12s\n",
+			k, mean, 100*(mean-base)/base, (elapsed / instances).Round(time.Microsecond))
+	}
+	fmt.Println("\nK=1 is exactly Algorithm 2; the gain saturates within a few")
+	fmt.Println("levels while planning cost keeps growing — the paper's Fig. 4 trade-off.")
+}

@@ -1,0 +1,73 @@
+// Smart-city metering: the scenario the paper's introduction motivates.
+// Thousands of low-power meters forward their readings to a sparse layer of
+// aggregate nodes (Section III-A); the aggregate layer is too sparse to
+// relay anything to a base station, so a UAV must fly collection tours.
+//
+// This example uses the internal packages directly to show the full
+// pipeline: device-level workload generation (meters forwarding to
+// aggregates), connectivity analysis demonstrating why multi-hop relay
+// fails, and a comparison of all four planners on the resulting field.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uavdc/internal/core"
+	"uavdc/internal/energy"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+	"uavdc/internal/simulate"
+)
+
+func main() {
+	// 80 aggregate nodes in a 400 m × 400 m district; 15 meters per
+	// aggregate on average, each contributing its reading backlog on top
+	// of a 50 MB own-sensing baseline.
+	gen := sensornet.DefaultGenParams()
+	gen.NumSensors = 80
+	gen.Side = 400
+	net, devices, err := sensornet.GenerateWithDevices(gen, 15, 50, rng.New(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	orphans := 0
+	for _, a := range devices.AssignedTo {
+		if a < 0 {
+			orphans++
+		}
+	}
+	fmt.Printf("district: %d meters → %d aggregate nodes (%d meters out of range)\n",
+		len(devices.Positions), len(net.Sensors), orphans)
+	fmt.Printf("stored:   %.1f GB awaiting collection\n", net.TotalData()/1024)
+	fmt.Printf("network:  %d connected components at %g m radio range — multi-hop relay to a base station is impossible\n",
+		net.ConnectedComponents(), net.CommRange)
+
+	em := energy.Default().WithCapacity(3e4)
+	planners := []core.Planner{
+		&core.Algorithm1{},
+		&core.Algorithm2{},
+		&core.Algorithm3{},
+		&core.BenchmarkPlanner{},
+	}
+	fmt.Printf("\n%-12s %10s %8s %10s %9s\n", "planner", "collected", "stops", "energy", "mission")
+	for _, pl := range planners {
+		in := &core.Instance{Net: net, Model: em, Delta: 10, K: 4}
+		plan, err := pl.Plan(in)
+		if err != nil {
+			log.Fatalf("%s: %v", pl.Name(), err)
+		}
+		if err := core.ValidatePlan(net, em, in.EffectiveCoverRadius(), plan); err != nil {
+			log.Fatalf("%s: invalid plan: %v", pl.Name(), err)
+		}
+		res := simulate.Run(net, em, plan, simulate.Options{})
+		if !res.Completed {
+			log.Fatalf("%s: mission aborted: %s", pl.Name(), res.AbortReason)
+		}
+		fmt.Printf("%-12s %8.1f GB %8d %8.0f J %7.0f s\n",
+			pl.Name(), res.Collected/1024, len(plan.Stops), res.EnergyUsed, res.MissionTime)
+	}
+	fmt.Println("\nthe coverage-based planners collect several times what the")
+	fmt.Println("one-sensor-per-stop baseline manages on the same battery.")
+}

@@ -1,0 +1,3 @@
+module uavdc
+
+go 1.22

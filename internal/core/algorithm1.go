@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"uavdc/internal/hover"
+	"uavdc/internal/orienteering"
+)
+
+// Algorithm1 solves the data-collection maximisation problem without
+// hovering coverage overlapping (Section IV) by reduction to rooted
+// orienteering on the auxiliary graph G_s: node awards are P(s_j), edge
+// weights are w2 of Eq. 9 (half the endpoint hover energies plus travel
+// energy), and the budget is the UAV capacity E. Because every node's
+// hover energy is split across its two incident tour edges, the cost of a
+// closed tour in G_s equals the tour's true total energy exactly
+// (Theorem 2), so a feasible orienteering tour is a feasible plan.
+//
+// The paper's formulation duplicates the depot (d') and asks for a best
+// d–d′ path; an orienteering cycle rooted at the depot is the same object,
+// which is what the solver computes directly.
+type Algorithm1 struct {
+	// Method selects the orienteering solver; the zero value (auto) runs
+	// the portfolio.
+	Method orienteering.Method
+	// AllowOverlap skips the disjoint-coverage filtering. The problem
+	// variant this algorithm targets assumes no two selected hovering
+	// locations share covered sensors; by default the candidate set is
+	// pre-filtered to make that literally true (greedy by award). With
+	// AllowOverlap set the raw candidate set is used and the realised
+	// (deduplicated) volume may be below the orienteering objective.
+	AllowOverlap bool
+}
+
+// Name implements Planner.
+func (a *Algorithm1) Name() string { return "algorithm1" }
+
+// Plan implements Planner.
+func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	set, err := in.buildCandidates(hover.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	// ids[k] is the hover-set index of orienteering node k; ids[0] is the
+	// depot.
+	ids := []int{hover.DepotID}
+	if a.AllowOverlap {
+		for i := 1; i < set.Len(); i++ {
+			ids = append(ids, i)
+		}
+	} else {
+		ids = append(ids, disjointCandidates(set)...)
+	}
+
+	prob := &orienteering.Problem{
+		N:      len(ids),
+		Cost:   func(i, j int) float64 { return set.AuxiliaryWeight(ids[i], ids[j]) },
+		Reward: func(i int) float64 { return set.Locs[ids[i]].Award },
+		Budget: in.Budget(),
+		Depot:  0,
+	}
+	sol, err := orienteering.Solve(prob, a.Method)
+	if err != nil {
+		return nil, fmt.Errorf("core: algorithm1 orienteering: %w", err)
+	}
+	sol.Tour.RotateTo(0)
+
+	plan := &Plan{Algorithm: a.Name(), Depot: in.Net.Depot}
+	claimed := make([]bool, len(in.Net.Sensors))
+	for _, k := range sol.Tour.Order {
+		if k == 0 {
+			continue
+		}
+		loc := set.Locs[ids[k]]
+		stop := Stop{Pos: loc.Pos, LocID: ids[k], Sojourn: loc.Sojourn}
+		for _, v := range loc.Covered {
+			if !claimed[v] {
+				claimed[v] = true
+				stop.Collected = append(stop.Collected, Collection{Sensor: v, Amount: in.Net.Sensors[v].Data})
+			}
+		}
+		plan.Stops = append(plan.Stops, stop)
+	}
+	return plan, nil
+}
+
+// disjointCandidates greedily selects candidate locations with pairwise-
+// disjoint coverage sets, preferring higher award, and returns their
+// hover-set indices (depot excluded). This realises the "no hovering
+// coverage overlapping" assumption of Section IV on instances whose raw
+// grid candidates do overlap.
+func disjointCandidates(set *hover.Set) []int {
+	order := make([]int, 0, set.Len()-1)
+	for i := 1; i < set.Len(); i++ {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := set.Locs[order[a]], set.Locs[order[b]]
+		if la.Award != lb.Award {
+			return la.Award > lb.Award
+		}
+		return order[a] < order[b] // deterministic tie-break
+	})
+	taken := make([]bool, len(set.Net.Sensors))
+	var out []int
+	for _, i := range order {
+		ok := true
+		for _, v := range set.Locs[i].Covered {
+			if taken[v] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, v := range set.Locs[i].Covered {
+			taken[v] = true
+		}
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"uavdc/internal/hover"
+	"uavdc/internal/tsp"
+)
+
+// Algorithm2 is the ratio-greedy heuristic for the data-collection
+// maximisation problem with hovering coverage overlapping (Section V). The
+// tour starts at the depot and grows one hovering location per iteration:
+// the candidate maximising ρ = P′/(t′·η_h + ΔTSP·η_t) (Eq. 13), where P′
+// and t′ count only sensors not already drained at earlier stops (Eq. 11,
+// 12), subject to the energy capacity.
+//
+// Implementation note (DESIGN.md §4.4): the paper prices ΔTSP by re-running
+// Christofides for every candidate in every iteration. This planner prices
+// candidates with the cheapest-insertion delta (an upper bound on the true
+// increase) and re-optimises the selected tour with 2-opt/Or-opt after
+// every acceptance; the energy constraint is always enforced against the
+// actual current tour, so feasibility is never at risk. Set ExactRatioTSP
+// to restore the literal per-candidate Christofides pricing (small
+// instances only — it is O(M·|S|³) per iteration).
+type Algorithm2 struct {
+	// ExactRatioTSP prices every candidate with a full Christofides
+	// recomputation, as the paper's Eq. 13 literally specifies.
+	ExactRatioTSP bool
+	// Workers sets the number of goroutines scanning candidates per
+	// iteration; 0 or 1 means serial. Results are identical at any
+	// worker count: candidates are compared with a total order
+	// (ratio, then award, then lowest id).
+	Workers int
+}
+
+// Name implements Planner.
+func (a *Algorithm2) Name() string { return "algorithm2" }
+
+// Plan implements Planner.
+func (a *Algorithm2) Plan(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	set, err := in.buildCandidates(hover.Options{})
+	if err != nil {
+		return nil, err
+	}
+	st := newGreedyState(in, set)
+	for {
+		best, ok := a.pickNext(st)
+		if !ok {
+			break
+		}
+		st.acceptFull(best)
+	}
+	return st.plan(a.Name()), nil
+}
+
+type fullCandidate struct {
+	loc     int     // hover-set id
+	pos     int     // insertion position in the tour
+	sojourn float64 // t′
+	award   float64 // P′
+	travelD float64 // tour-length increase in metres
+}
+
+// evalFull prices candidate c against the current state, returning ok =
+// false when it is covered, drained, or over budget.
+func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy float64) (fullCandidate, float64, bool) {
+	loc := &st.set.Locs[c]
+	sojourn, award := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, st.in.Net.Bandwidth)
+	if award <= 0 {
+		return fullCandidate{}, 0, false
+	}
+	var pos int
+	var travelD float64
+	if a.ExactRatioTSP {
+		pos, travelD = st.christofidesDelta(c)
+	} else {
+		pos, travelD = tsp.BestInsertion(st.tour, c, st.dist)
+	}
+	hoverE := st.in.Model.HoverEnergy(sojourn)
+	travelE := st.in.Model.TravelEnergy(travelD)
+	if curEnergy+hoverE+travelE > st.in.Budget()+1e-9 {
+		return fullCandidate{}, 0, false
+	}
+	denom := hoverE + travelE
+	ratio := math.Inf(1)
+	if denom > 1e-12 {
+		ratio = award / denom
+	}
+	return fullCandidate{loc: c, pos: pos, sojourn: sojourn, award: award, travelD: travelD}, ratio, true
+}
+
+// betterFull is the strict total order on candidates: higher ratio, then
+// higher award, then lower id — the id tie-break makes the parallel scan
+// bit-identical to the serial one.
+func betterFull(c1 fullCandidate, r1 float64, c2 fullCandidate, r2 float64) bool {
+	if c2.loc < 0 {
+		return true
+	}
+	if r1 != r2 {
+		return r1 > r2
+	}
+	if c1.award != c2.award {
+		return c1.award > c2.award
+	}
+	return c1.loc < c2.loc
+}
+
+// pickNext scans all unselected candidates and returns the best-ratio
+// feasible one, fanning the scan across Workers goroutines when asked.
+func (a *Algorithm2) pickNext(st *greedyState) (fullCandidate, bool) {
+	cur := st.energy()
+	n := st.set.Len()
+	workers := a.Workers
+	if workers <= 1 || a.ExactRatioTSP || n < 256 {
+		best := fullCandidate{loc: -1}
+		bestRatio := -1.0
+		for c := 1; c < n; c++ {
+			if st.inTour[c] {
+				continue
+			}
+			if cand, ratio, ok := a.evalFull(st, c, cur); ok && betterFull(cand, ratio, best, bestRatio) {
+				best, bestRatio = cand, ratio
+			}
+		}
+		return best, best.loc >= 0
+	}
+	type localBest struct {
+		cand  fullCandidate
+		ratio float64
+	}
+	results := make([]localBest, workers)
+	var wg sync.WaitGroup
+	chunk := (n - 1 + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := 1 + w*chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			results[w] = localBest{cand: fullCandidate{loc: -1}, ratio: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			best := localBest{cand: fullCandidate{loc: -1}, ratio: -1}
+			for c := lo; c < hi; c++ {
+				if st.inTour[c] {
+					continue
+				}
+				if cand, ratio, ok := a.evalFull(st, c, cur); ok && betterFull(cand, ratio, best.cand, best.ratio) {
+					best = localBest{cand: cand, ratio: ratio}
+				}
+			}
+			results[w] = best
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := localBest{cand: fullCandidate{loc: -1}, ratio: -1}
+	for _, r := range results {
+		if r.cand.loc >= 0 && betterFull(r.cand, r.ratio, best.cand, best.ratio) {
+			best = r
+		}
+	}
+	return best.cand, best.cand.loc >= 0
+}
+
+// greedyState is the shared incremental machinery of Algorithms 2 and 3.
+type greedyState struct {
+	in       *Instance
+	set      *hover.Set
+	tour     tsp.Tour // over hover-set ids, depot always present
+	dist     tsp.Metric
+	inTour   []bool
+	residual []float64 // remaining volume per sensor, MB
+	// stops accumulates accepted stops keyed by hover-set id.
+	sojourns  map[int]float64
+	collected map[int]map[int]float64 // loc → sensor → MB
+	hoverTime float64
+}
+
+func newGreedyState(in *Instance, set *hover.Set) *greedyState {
+	st := &greedyState{
+		in:        in,
+		set:       set,
+		tour:      tsp.Tour{Order: []int{hover.DepotID}},
+		inTour:    make([]bool, set.Len()),
+		residual:  make([]float64, len(in.Net.Sensors)),
+		sojourns:  map[int]float64{},
+		collected: map[int]map[int]float64{},
+	}
+	st.dist = func(i, j int) float64 { return set.Dist(i, j) }
+	st.inTour[hover.DepotID] = true
+	for v := range st.residual {
+		st.residual[v] = in.Net.Sensors[v].Data
+	}
+	return st
+}
+
+// energy returns the actual energy of the current tour plus hover time.
+func (st *greedyState) energy() float64 {
+	return st.in.Model.TourEnergy(st.tour.Cost(st.dist), st.hoverTime)
+}
+
+// acceptFull inserts the candidate, drains every still-loaded covered
+// sensor completely, and re-optimises the tour order.
+func (st *greedyState) acceptFull(c fullCandidate) {
+	st.tour = tsp.Insert(st.tour, c.loc, c.pos)
+	st.inTour[c.loc] = true
+	st.sojourns[c.loc] = c.sojourn
+	st.hoverTime += c.sojourn
+	m := map[int]float64{}
+	for _, v := range st.set.Locs[c.loc].Covered {
+		if st.residual[v] > 0 {
+			m[v] = st.residual[v]
+			st.residual[v] = 0
+		}
+	}
+	st.collected[c.loc] = m
+	tsp.Improve(&st.tour, st.dist)
+}
+
+// christofidesDelta prices candidate c by re-running Christofides over the
+// selected set plus c (the literal Eq. 13). The returned position places c
+// adjacent to its Christofides neighbours in the current tour as closely
+// as cheapest insertion allows; the delta is the Christofides tour-length
+// difference (clamped at ≥ 0).
+func (st *greedyState) christofidesDelta(c int) (int, float64) {
+	items := append(append([]int(nil), st.tour.Order...), c)
+	full, err := tsp.Christofides(items, st.dist)
+	if err != nil {
+		return tsp.BestInsertion(st.tour, c, st.dist)
+	}
+	tsp.Improve(&full, st.dist)
+	delta := full.Cost(st.dist) - st.tour.Cost(st.dist)
+	if delta < 0 {
+		delta = 0
+	}
+	pos, _ := tsp.BestInsertion(st.tour, c, st.dist)
+	return pos, delta
+}
+
+// plan freezes the state into a Plan in tour order.
+func (st *greedyState) plan(name string) *Plan {
+	st.tour.RotateTo(hover.DepotID)
+	p := &Plan{Algorithm: name, Depot: st.in.Net.Depot}
+	for _, id := range st.tour.Order {
+		if id == hover.DepotID {
+			continue
+		}
+		stop := Stop{
+			Pos:     st.set.Locs[id].Pos,
+			LocID:   id,
+			Sojourn: st.sojourns[id],
+		}
+		for v, amt := range st.collected[id] {
+			stop.Collected = append(stop.Collected, Collection{Sensor: v, Amount: amt})
+		}
+		sortCollections(stop.Collected)
+		p.Stops = append(p.Stops, stop)
+	}
+	return p
+}
+
+func sortCollections(cs []Collection) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Sensor < cs[j-1].Sensor; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"uavdc/internal/hover"
+	"uavdc/internal/tsp"
+)
+
+// Algorithm3 is the heuristic for the partial data-collection maximisation
+// problem (Section VI). Each real hovering location s_j spawns K virtual
+// locations s_{j,k} with sojourn k·t(s_j)/K and award per Eq. 4; the greedy
+// ρ-ratio loop of Algorithm 2 then runs over the virtual candidates with
+// two extra rules: (i) at most one virtual location per real location may
+// be in the tour — choosing a second one upgrades the stop in place
+// (Lemma 2), paying only the extra hover energy; (ii) residual volumes and
+// candidate awards/sojourns are recomputed after every acceptance, because
+// a sensor in overlapping coverage may have been partially drained at
+// another stop.
+//
+// Implementation note: the sojourn ladder is rebuilt from the *residual*
+// drain time of each location at evaluation time rather than frozen at the
+// initial t(s_j). The paper's Algorithm 3 (line 12) already recomputes
+// t′ and P′ against residuals for overlapping candidates; deriving the K
+// levels from the current t′ applies that recomputation uniformly and
+// makes K = 1 coincide exactly with Algorithm 2.
+type Algorithm3 struct {
+	// Workers sets the number of goroutines scanning candidate locations
+	// per iteration; 0 or 1 means serial. Results are identical at any
+	// worker count (total-order tie-breaking).
+	Workers int
+}
+
+// Name implements Planner.
+func (a *Algorithm3) Name() string { return "algorithm3" }
+
+type partialCandidate struct {
+	loc     int     // hover-set id
+	pos     int     // insertion position (new bases only)
+	upgrade bool    // true when loc is already in the tour
+	sojourn float64 // new total sojourn at the stop
+	gain    float64 // extra MB collected
+	hoverE  float64 // extra hover energy, J
+	travelE float64 // extra travel energy, J
+	take    map[int]float64
+}
+
+// Plan implements Planner.
+func (a *Algorithm3) Plan(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	k := in.K
+	if k < 1 {
+		k = 1
+	}
+	set, err := in.buildCandidates(hover.Options{})
+	if err != nil {
+		return nil, err
+	}
+	st := newGreedyState(in, set)
+	for {
+		best, ok := a.pickNext(st, k)
+		if !ok {
+			break
+		}
+		st.acceptPartial(best)
+	}
+	return st.plan(a.Name()), nil
+}
+
+// betterPartial is the strict total order used to merge candidate scans:
+// higher ratio, then higher gain, then lower location id, then lower
+// sojourn (level) — identical to the serial first-seen preference.
+func betterPartial(c1 partialCandidate, r1 float64, c2 partialCandidate, r2 float64) bool {
+	if c2.loc < 0 {
+		return true
+	}
+	if r1 != r2 {
+		return r1 > r2
+	}
+	if c1.gain != c2.gain {
+		return c1.gain > c2.gain
+	}
+	if c1.loc != c2.loc {
+		return c1.loc < c2.loc
+	}
+	return c1.sojourn < c2.sojourn
+}
+
+// pickNext scans every (location, level) pair, fanning across Workers
+// goroutines when asked.
+func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
+	n := st.set.Len()
+	workers := a.Workers
+	if workers <= 1 || n < 256 {
+		best := partialCandidate{loc: -1}
+		bestRatio := -1.0
+		cur := st.energy()
+		for c := 1; c < n; c++ {
+			if cand, ratio, ok := a.evalLoc(st, k, c, cur); ok && betterPartial(cand, ratio, best, bestRatio) {
+				best, bestRatio = cand, ratio
+			}
+		}
+		return best, best.loc >= 0
+	}
+	type localBest struct {
+		cand  partialCandidate
+		ratio float64
+	}
+	cur := st.energy()
+	results := make([]localBest, workers)
+	var wg sync.WaitGroup
+	chunk := (n - 1 + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := 1 + w*chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		results[w] = localBest{cand: partialCandidate{loc: -1}, ratio: -1}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			best := localBest{cand: partialCandidate{loc: -1}, ratio: -1}
+			for c := lo; c < hi; c++ {
+				if cand, ratio, ok := a.evalLoc(st, k, c, cur); ok && betterPartial(cand, ratio, best.cand, best.ratio) {
+					best = localBest{cand: cand, ratio: ratio}
+				}
+			}
+			results[w] = best
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := localBest{cand: partialCandidate{loc: -1}, ratio: -1}
+	for _, r := range results {
+		if r.cand.loc >= 0 && betterPartial(r.cand, r.ratio, best.cand, best.ratio) {
+			best = r
+		}
+	}
+	return best.cand, best.cand.loc >= 0
+}
+
+// evalLoc prices every level of one location and returns its best
+// candidate under the total order.
+func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64) (partialCandidate, float64, bool) {
+	in := st.in
+	best := partialCandidate{loc: -1}
+	bestRatio := -1.0
+	budget := in.Budget()
+	loc := &st.set.Locs[c]
+	// Residual full-drain time defines this location's level ladder.
+	fullSojourn, fullAward := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, in.Net.Bandwidth)
+	prevSojourn := st.sojourns[c] // 0 when not in tour
+	already := st.collected[c]
+	if fullAward <= 0 && !st.inTour[c] {
+		return best, -1, false
+	}
+	var pos int
+	var travelD float64
+	if !st.inTour[c] {
+		pos, travelD = tsp.BestInsertion(st.tour, c, st.dist)
+	}
+	for level := 1; level <= k; level++ {
+		sojourn := float64(level) * fullSojourn / float64(k)
+		if sojourn <= prevSojourn+1e-12 {
+			continue // not an upgrade; paper discards dominated levels
+		}
+		gain, take := partialTake(loc.Covered, st.residual, already, loc.Rates, in.Net.Bandwidth, sojourn)
+		if gain <= 1e-12 {
+			continue
+		}
+		hoverE := in.Model.HoverEnergy(sojourn - prevSojourn)
+		travelE := 0.0
+		if !st.inTour[c] {
+			travelE = in.Model.TravelEnergy(travelD)
+		}
+		if cur+hoverE+travelE > budget+1e-9 {
+			continue
+		}
+		denom := hoverE + travelE
+		ratio := math.Inf(1)
+		if denom > 1e-12 {
+			ratio = gain / denom
+		}
+		cand := partialCandidate{
+			loc:     c,
+			pos:     pos,
+			upgrade: st.inTour[c],
+			sojourn: sojourn,
+			gain:    gain,
+			hoverE:  hoverE,
+			travelE: travelE,
+			take:    take,
+		}
+		if betterPartial(cand, ratio, best, bestRatio) {
+			best, bestRatio = cand, ratio
+		}
+	}
+	return best, bestRatio, best.loc >= 0
+}
+
+// partialTake computes, for a stop at the given location with total sojourn
+// time, how much more each covered sensor can upload: the per-sensor cap is
+// rate_v·sojourn for the whole stay, minus what this stop already took,
+// bounded by the sensor's residual volume. rates is parallel to covered;
+// nil means the constant bandwidth.
+func partialTake(covered []int, residual []float64, already map[int]float64, rates []float64, bandwidth, sojourn float64) (float64, map[int]float64) {
+	var gain float64
+	take := make(map[int]float64, len(covered))
+	for i, v := range covered {
+		if residual[v] <= 0 {
+			continue
+		}
+		r := bandwidth
+		if rates != nil {
+			r = rates[i]
+		}
+		room := r*sojourn - already[v]
+		if room <= 0 {
+			continue
+		}
+		amt := math.Min(residual[v], room)
+		if amt > 0 {
+			take[v] = amt
+			gain += amt
+		}
+	}
+	return gain, take
+}
+
+// acceptPartial applies a partial candidate: inserts or upgrades the stop,
+// moves the taken volumes from residuals into the stop's ledger, and
+// re-optimises the tour.
+func (st *greedyState) acceptPartial(c partialCandidate) {
+	if !c.upgrade {
+		st.tour = tsp.Insert(st.tour, c.loc, c.pos)
+		st.inTour[c.loc] = true
+		st.collected[c.loc] = map[int]float64{}
+	}
+	st.hoverTime += c.sojourn - st.sojourns[c.loc]
+	st.sojourns[c.loc] = c.sojourn
+	ledger := st.collected[c.loc]
+	for v, amt := range c.take {
+		ledger[v] += amt
+		st.residual[v] -= amt
+		if st.residual[v] < 0 {
+			st.residual[v] = 0
+		}
+	}
+	tsp.Improve(&st.tour, st.dist)
+}

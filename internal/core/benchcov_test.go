@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+func TestBenchmarkCoverageValid(t *testing.T) {
+	for _, capacity := range []float64{5e3, 1.5e4, 1e9} {
+		in := mediumInstance(t, 3, capacity)
+		plan, err := (&BenchmarkCoverage{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePlan(in.Net, in.Model, in.EffectiveCoverRadius(), plan); err != nil {
+			t.Errorf("E=%g: %v", capacity, err)
+		}
+	}
+}
+
+// TestAblationDecomposition orders the three baselines: adding the
+// framework to the benchmark must help, and freeing the hovering
+// positions (Algorithm 2) must help again.
+func TestAblationDecomposition(t *testing.T) {
+	var plain, cov, alg2 float64
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		in := mediumInstance(t, seed, 1.2e4)
+		p1, err := (&BenchmarkPlanner{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := (&BenchmarkCoverage{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p3, err := (&Algorithm2{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += p1.Collected()
+		cov += p2.Collected()
+		alg2 += p3.Collected()
+	}
+	if cov <= plain {
+		t.Errorf("framework added nothing: coverage %v vs plain %v", cov, plain)
+	}
+	if alg2 <= cov {
+		t.Errorf("placement optimisation added nothing: algorithm2 %v vs coverage %v", alg2, cov)
+	}
+}
+
+func TestBenchmarkCoverageNoDoubleCollection(t *testing.T) {
+	in := mediumInstance(t, 5, 2e4)
+	plan, err := (&BenchmarkCoverage{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, s := range plan.Stops {
+		for _, c := range s.Collected {
+			if seen[c.Sensor] {
+				t.Fatalf("sensor %d collected twice", c.Sensor)
+			}
+			seen[c.Sensor] = true
+		}
+	}
+}
+
+func TestBenchmarkCoverageZeroCapacity(t *testing.T) {
+	in := mediumInstance(t, 6, 0)
+	plan, err := (&BenchmarkCoverage{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stops) != 0 {
+		t.Errorf("zero budget produced %d stops", len(plan.Stops))
+	}
+}

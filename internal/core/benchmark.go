@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"uavdc/internal/geom"
+	"uavdc/internal/tsp"
+)
+
+// BenchmarkPlanner is the evaluation baseline of Section VII-A: build a
+// Christofides tour over the depot and *all* aggregate sensor nodes
+// (hovering directly above each node, collecting only that node's data —
+// it does not use the paper's simultaneous multi-device collection
+// framework), then, while the tour exceeds the energy capacity, remove the
+// node whose removal loses the least data volume per unit of energy saved.
+type BenchmarkPlanner struct {
+	// ImproveEvery controls how often (in removals) the pruned tour is
+	// re-optimised with 2-opt; 0 means every removal, matching the
+	// paper's description of re-computing the tour as nodes are pruned.
+	ImproveEvery int
+}
+
+// Name implements Planner.
+func (b *BenchmarkPlanner) Name() string { return "benchmark" }
+
+// Plan implements Planner.
+func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	net := in.Net
+	n := len(net.Sensors)
+	// Item ids: 0 is the depot, 1..n are sensors (sensor v is item v+1).
+	dist := func(i, j int) float64 { return pos(in, i).Dist(pos(in, j)) }
+	items := make([]int, n+1)
+	for i := range items {
+		items[i] = i
+	}
+	tour, err := tsp.Christofides(items, dist)
+	if err != nil {
+		return nil, fmt.Errorf("core: benchmark tsp: %w", err)
+	}
+	tsp.Improve(&tour, dist)
+
+	hoverTime := 0.0
+	for v := 0; v < n; v++ {
+		hoverTime += net.UploadTime(v)
+	}
+
+	improveEvery := b.ImproveEvery
+	if improveEvery <= 0 {
+		improveEvery = 1
+	}
+	removals := 0
+	for in.Model.TourEnergy(tour.Cost(dist), hoverTime) > in.Budget()+1e-9 {
+		// Find the cheapest-loss removal.
+		bestItem := -1
+		bestScore := 0.0
+		for _, it := range tour.Order {
+			if it == 0 {
+				continue // never remove the depot
+			}
+			v := it - 1
+			_, travelD := tsp.Remove(tour, it, dist)
+			saved := in.Model.TravelEnergy(travelD) + in.Model.HoverEnergy(net.UploadTime(v))
+			if saved <= 1e-12 {
+				// Removing frees no energy (duplicate position); always take it.
+				bestItem = it
+				break
+			}
+			score := net.Sensors[v].Data / saved
+			if bestItem < 0 || score < bestScore {
+				bestItem, bestScore = it, score
+			}
+		}
+		if bestItem < 0 {
+			break // only the depot remains
+		}
+		tour, _ = tsp.Remove(tour, bestItem, dist)
+		hoverTime -= net.UploadTime(bestItem - 1)
+		removals++
+		if removals%improveEvery == 0 {
+			tsp.Improve(&tour, dist)
+		}
+	}
+	tsp.Improve(&tour, dist)
+
+	tour.RotateTo(0)
+	plan := &Plan{Algorithm: b.Name(), Depot: net.Depot}
+	for _, it := range tour.Order {
+		if it == 0 {
+			continue
+		}
+		v := it - 1
+		plan.Stops = append(plan.Stops, Stop{
+			Pos:       net.Sensors[v].Pos,
+			LocID:     -1,
+			Sojourn:   net.UploadTime(v),
+			Collected: []Collection{{Sensor: v, Amount: net.Sensors[v].Data}},
+		})
+	}
+	return plan, nil
+}
+
+// pos maps benchmark item ids to positions: 0 is the depot, i ≥ 1 is
+// sensor i-1.
+func pos(in *Instance, i int) geom.Point {
+	if i == 0 {
+		return in.Net.Depot
+	}
+	return in.Net.Sensors[i-1].Pos
+}

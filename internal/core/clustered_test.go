@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"uavdc/internal/energy"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+// TestPlannersOnClusteredFields runs every planner on a Matérn-style
+// clustered deployment — the robustness check the paper's uniform-only
+// evaluation omits. Dense clusters stress the coverage model (one stop
+// drains many sensors) and the long empty gaps stress the tour planner.
+func TestPlannersOnClusteredFields(t *testing.T) {
+	p := sensornet.ClusterParams{GenParams: sensornet.DefaultGenParams(), NumClusters: 5, ClusterRadius: 35}
+	p.NumSensors = 70
+	p.Side = 400
+	for _, seed := range []uint64{1, 2} {
+		net, err := sensornet.GenerateClustered(p, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := &Instance{Net: net, Model: energy.Default().WithCapacity(2e4), Delta: 20, K: 2}
+		bench, err := (&BenchmarkPlanner{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pl := range []Planner{&Algorithm1{}, &Algorithm2{}, &Algorithm3{}} {
+			plan, err := pl.Plan(in)
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", pl.Name(), seed, err)
+			}
+			if err := ValidatePlan(net, in.Model, in.EffectiveCoverRadius(), plan); err != nil {
+				t.Fatalf("%s seed=%d: %v", pl.Name(), seed, err)
+			}
+			// Clustered fields are where simultaneous collection shines:
+			// the coverage planners should crush the one-per-stop
+			// baseline even harder than on uniform fields.
+			if plan.Collected() < 1.5*bench.Collected() {
+				t.Errorf("%s seed=%d: %v vs benchmark %v — expected a wide gap on clusters",
+					pl.Name(), seed, plan.Collected(), bench.Collected())
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"uavdc/internal/energy"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+// oracleInstance is small enough for ExactPlanner: few sensors, coarse
+// grid, so the candidate count stays under ExactMaxCandidates.
+func oracleInstance(t testing.TB, seed uint64, capacity float64) *Instance {
+	t.Helper()
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 10
+	p.Side = 200
+	net, err := sensornet.Generate(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{Net: net, Model: energy.Default().WithCapacity(capacity), Delta: 60, K: 2}
+}
+
+func TestExactPlannerValid(t *testing.T) {
+	for _, capacity := range []float64{2e3, 5e3, 2e4} {
+		in := oracleInstance(t, 1, capacity)
+		plan, err := (&ExactPlanner{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePlan(in.Net, in.Model, in.EffectiveCoverRadius(), plan); err != nil {
+			t.Errorf("E=%g: %v", capacity, err)
+		}
+	}
+}
+
+func TestExactPlannerRejectsLargeInstances(t *testing.T) {
+	in := mediumInstance(t, 1, 1e4) // hundreds of candidates
+	if _, err := (&ExactPlanner{}).Plan(in); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+// TestHeuristicsNearOptimal bounds the optimality gap of Algorithms 1–3 on
+// oracle-sized instances: the heuristics must reach a large fraction of
+// the exact optimum, and never exceed it.
+func TestHeuristicsNearOptimal(t *testing.T) {
+	var optSum, a1Sum, a2Sum, a3Sum float64
+	for seed := uint64(1); seed <= 6; seed++ {
+		for _, capacity := range []float64{4e3, 8e3} {
+			in := oracleInstance(t, seed, capacity)
+			opt, err := (&ExactPlanner{}).Plan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optSum += opt.Collected()
+			for _, tc := range []struct {
+				pl  Planner
+				sum *float64
+			}{
+				{&Algorithm1{}, &a1Sum},
+				{&Algorithm2{}, &a2Sum},
+				{&Algorithm3{}, &a3Sum},
+			} {
+				plan, err := tc.pl.Plan(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := plan.Collected()
+				// Algorithm 1 restricts itself to disjoint coverage, so it
+				// may legitimately trail the overlapping optimum; 2 and 3
+				// must never beat the oracle.
+				if tc.pl.Name() != "algorithm1" && got > opt.Collected()+1e-6 {
+					t.Errorf("%s seed=%d E=%g: %v beat the exact optimum %v", tc.pl.Name(), seed, capacity, got, opt.Collected())
+				}
+				*tc.sum += got
+			}
+		}
+	}
+	if a2Sum < 0.9*optSum {
+		t.Errorf("algorithm2 total %v below 90%% of optimum %v", a2Sum, optSum)
+	}
+	if a3Sum < 0.9*optSum {
+		t.Errorf("algorithm3 total %v below 90%% of optimum %v", a3Sum, optSum)
+	}
+	if a1Sum < 0.6*optSum {
+		t.Errorf("algorithm1 total %v below 60%% of optimum %v", a1Sum, optSum)
+	}
+}
+
+func TestExactPlannerZeroBudget(t *testing.T) {
+	in := oracleInstance(t, 2, 0)
+	plan, err := (&ExactPlanner{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stops) != 0 || plan.Collected() != 0 {
+		t.Errorf("zero budget plan: %d stops, %v MB", len(plan.Stops), plan.Collected())
+	}
+}
+
+func TestExactPlannerHugeBudgetTakesUnion(t *testing.T) {
+	in := oracleInstance(t, 3, 1e9)
+	plan, err := (&ExactPlanner{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := plan.Collected() - in.Net.TotalData(); diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("huge budget collected %v of %v", plan.Collected(), in.Net.TotalData())
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+
+	"uavdc/internal/hover"
+	"uavdc/internal/tsp"
+)
+
+// LNSPlanner wraps a base planner (Algorithm 3 by default) in a
+// destroy-and-repair large-neighbourhood search: starting from the base
+// plan, each round evicts a random fraction of the stops (returning their
+// collections to the residual pool) and lets the greedy partial-collection
+// machinery repack the freed energy; the best plan found is kept. Greedy
+// ρ-ratio construction is myopic — early cheap stops can crowd out better
+// combinations — and the paper leaves improvement heuristics to future
+// work; this planner is that extension, deterministic under Seed.
+type LNSPlanner struct {
+	// Base produces the starting plan; nil means Algorithm 3.
+	Base Planner
+	// Rounds is the number of destroy/repair iterations (default 20).
+	Rounds int
+	// DestroyFraction is the share of stops evicted per round, in (0, 1]
+	// (default 0.3).
+	DestroyFraction float64
+	// Seed drives the eviction choices.
+	Seed int64
+}
+
+// Name implements Planner.
+func (l *LNSPlanner) Name() string { return "lns" }
+
+// Plan implements Planner.
+func (l *LNSPlanner) Plan(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	base := l.Base
+	if base == nil {
+		base = &Algorithm3{}
+	}
+	rounds := l.Rounds
+	if rounds <= 0 {
+		rounds = 20
+	}
+	frac := l.DestroyFraction
+	if frac <= 0 || frac > 1 {
+		frac = 0.3
+	}
+	k := in.K
+	if k < 1 {
+		k = 1
+	}
+
+	best, err := base.Plan(in)
+	if err != nil {
+		return nil, err
+	}
+	set, err := in.buildCandidates(hover.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Map stop positions back to hover-set ids; plans from foreign base
+	// planners (e.g. the benchmark, whose stops are not grid candidates)
+	// cannot be destroyed-and-repaired, so fall back to the base plan.
+	if !stopsAreCandidates(best, set) {
+		return best, nil
+	}
+
+	rng := rand.New(rand.NewSource(l.Seed))
+	alg := &Algorithm3{}
+	for round := 0; round < rounds; round++ {
+		cur := rebuildState(in, set, best, frac, rng)
+		for {
+			cand, ok := alg.pickNext(cur, k)
+			if !ok {
+				break
+			}
+			cur.acceptPartial(cand)
+		}
+		trial := cur.plan(l.Name())
+		if trial.Collected() > best.Collected()+1e-9 {
+			best = trial
+		}
+	}
+	out := *best
+	out.Algorithm = l.Name()
+	return &out, nil
+}
+
+// stopsAreCandidates reports whether every stop carries a valid hover-set
+// id matching its position.
+func stopsAreCandidates(p *Plan, set *hover.Set) bool {
+	for i := range p.Stops {
+		id := p.Stops[i].LocID
+		if id <= 0 || id >= set.Len() || set.Locs[id].Pos != p.Stops[i].Pos {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildState reconstructs greedy state from a plan with a random
+// fraction of its stops evicted.
+func rebuildState(in *Instance, set *hover.Set, p *Plan, frac float64, rng *rand.Rand) *greedyState {
+	st := newGreedyState(in, set)
+	n := len(p.Stops)
+	evict := int(frac * float64(n))
+	if evict < 1 && n > 0 {
+		evict = 1
+	}
+	evicted := map[int]bool{}
+	for _, i := range rng.Perm(n)[:evict] {
+		evicted[i] = true
+	}
+	for i := range p.Stops {
+		if evicted[i] {
+			continue
+		}
+		stop := &p.Stops[i]
+		id := stop.LocID
+		pos, _ := tsp.BestInsertion(st.tour, id, st.dist)
+		st.tour = tsp.Insert(st.tour, id, pos)
+		st.inTour[id] = true
+		st.sojourns[id] = stop.Sojourn
+		st.hoverTime += stop.Sojourn
+		ledger := map[int]float64{}
+		for _, c := range stop.Collected {
+			ledger[c.Sensor] += c.Amount
+			st.residual[c.Sensor] -= c.Amount
+			if st.residual[c.Sensor] < 0 {
+				st.residual[c.Sensor] = 0
+			}
+		}
+		st.collected[id] = ledger
+	}
+	tsp.Improve(&st.tour, st.dist)
+	return st
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestParallelScanIdenticalToSerial: the worker-parallel candidate scan
+// must produce byte-identical plans to the serial one, at every worker
+// count, because candidates are merged under a strict total order.
+func TestParallelScanIdenticalToSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 4, 9} {
+		in := mediumInstance(t, seed, 1.5e4)
+		in.Delta = 12 // enough candidates to clear the parallel threshold
+
+		serial2, err := (&Algorithm2{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := (&Algorithm2{Workers: workers}).Plan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPlansIdentical(t, "algorithm2", workers, serial2, par)
+		}
+
+		in.K = 3
+		serial3, err := (&Algorithm3{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 5} {
+			par, err := (&Algorithm3{Workers: workers}).Plan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPlansIdentical(t, "algorithm3", workers, serial3, par)
+		}
+	}
+}
+
+func assertPlansIdentical(t *testing.T, name string, workers int, a, b *Plan) {
+	t.Helper()
+	if a.Collected() != b.Collected() {
+		t.Fatalf("%s workers=%d: volume %v != %v", name, workers, a.Collected(), b.Collected())
+	}
+	if len(a.Stops) != len(b.Stops) {
+		t.Fatalf("%s workers=%d: stops %d != %d", name, workers, len(a.Stops), len(b.Stops))
+	}
+	for i := range a.Stops {
+		if a.Stops[i].Pos != b.Stops[i].Pos || a.Stops[i].Sojourn != b.Stops[i].Sojourn {
+			t.Fatalf("%s workers=%d: stop %d differs: %+v vs %+v", name, workers, i, a.Stops[i], b.Stops[i])
+		}
+		if len(a.Stops[i].Collected) != len(b.Stops[i].Collected) {
+			t.Fatalf("%s workers=%d: stop %d collections differ", name, workers, i)
+		}
+		for j := range a.Stops[i].Collected {
+			if a.Stops[i].Collected[j] != b.Stops[i].Collected[j] {
+				t.Fatalf("%s workers=%d: stop %d collection %d differs", name, workers, i, j)
+			}
+		}
+	}
+}
+
+// TestParallelScanValid: race-condition smoke (run with -race in CI): many
+// workers on a bigger instance still yield a valid plan.
+func TestParallelScanValid(t *testing.T) {
+	in := mediumInstance(t, 7, 2e4)
+	in.Delta = 10
+	for _, pl := range []Planner{&Algorithm2{Workers: 8}, &Algorithm3{Workers: 8}} {
+		plan, err := pl.Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePlan(in.Net, in.Model, in.EffectiveCoverRadius(), plan); err != nil {
+			t.Errorf("%s: %v", pl.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"uavdc/internal/energy"
+	"uavdc/internal/geom"
+	"uavdc/internal/sensornet"
+)
+
+func tinyNet() *sensornet.Network {
+	return &sensornet.Network{
+		Region:    geom.Square(200),
+		Depot:     geom.Pt(0, 0),
+		Bandwidth: 10,
+		CommRange: 20,
+		Sensors: []sensornet.Sensor{
+			{Pos: geom.Pt(50, 0), Data: 100},  // 10 s upload
+			{Pos: geom.Pt(55, 0), Data: 200},  // 20 s
+			{Pos: geom.Pt(150, 0), Data: 50},  // 5 s
+			{Pos: geom.Pt(50, 150), Data: 80}, // 8 s
+		},
+	}
+}
+
+func validPlan() *Plan {
+	return &Plan{
+		Algorithm: "test",
+		Depot:     geom.Pt(0, 0),
+		Stops: []Stop{
+			{
+				Pos:     geom.Pt(52, 0),
+				LocID:   1,
+				Sojourn: 20,
+				Collected: []Collection{
+					{Sensor: 0, Amount: 100},
+					{Sensor: 1, Amount: 200},
+				},
+			},
+			{
+				Pos:       geom.Pt(150, 0),
+				LocID:     2,
+				Sojourn:   5,
+				Collected: []Collection{{Sensor: 2, Amount: 50}},
+			},
+		},
+	}
+}
+
+func TestPlanAccounting(t *testing.T) {
+	p := validPlan()
+	// Flight: 0→(52,0)→(150,0)→0 = 52 + 98 + 150 = 300 m.
+	if d := p.FlightDistance(); math.Abs(d-300) > 1e-9 {
+		t.Errorf("FlightDistance = %v", d)
+	}
+	if h := p.HoverTime(); h != 25 {
+		t.Errorf("HoverTime = %v", h)
+	}
+	em := energy.Default()
+	// 300 m × 10 J/m + 25 s × 150 J/s = 3000 + 3750.
+	if e := p.Energy(em); math.Abs(e-6750) > 1e-9 {
+		t.Errorf("Energy = %v", e)
+	}
+	// 300/10 s travel + 25 s hover.
+	if d := p.Duration(em); math.Abs(d-55) > 1e-9 {
+		t.Errorf("Duration = %v", d)
+	}
+	if c := p.Collected(); c != 350 {
+		t.Errorf("Collected = %v", c)
+	}
+	per := p.CollectedBySensor(4)
+	want := []float64{100, 200, 50, 0}
+	for i := range want {
+		if per[i] != want[i] {
+			t.Errorf("CollectedBySensor[%d] = %v, want %v", i, per[i], want[i])
+		}
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	p := &Plan{Depot: geom.Pt(5, 5)}
+	if p.FlightDistance() != 0 || p.HoverTime() != 0 || p.Collected() != 0 {
+		t.Error("empty plan should be free")
+	}
+	if err := ValidatePlan(tinyNet(), energy.Default(), 20, p); err != nil {
+		t.Errorf("empty plan invalid: %v", err)
+	}
+}
+
+func TestValidatePlanAccepts(t *testing.T) {
+	if err := ValidatePlan(tinyNet(), energy.Default(), 20, validPlan()); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestValidatePlanRejections(t *testing.T) {
+	net := tinyNet()
+	em := energy.Default()
+	cases := map[string]func(*Plan){
+		"energy over capacity": func(p *Plan) {
+			p.Stops[0].Sojourn = 1e9
+			p.Stops[0].Collected = nil
+		},
+		"collection out of range": func(p *Plan) {
+			p.Stops[1].Collected = []Collection{{Sensor: 3, Amount: 10}}
+		},
+		"over sensor volume": func(p *Plan) {
+			p.Stops[1].Collected[0].Amount = 51
+		},
+		"over bandwidth×sojourn": func(p *Plan) {
+			p.Stops[1].Sojourn = 1
+		},
+		"negative sojourn": func(p *Plan) {
+			p.Stops[0].Sojourn = -1
+		},
+		"NaN sojourn": func(p *Plan) {
+			p.Stops[0].Sojourn = math.NaN()
+		},
+		"unknown sensor": func(p *Plan) {
+			p.Stops[0].Collected[0].Sensor = 99
+		},
+		"negative amount": func(p *Plan) {
+			p.Stops[0].Collected[0].Amount = -1
+		},
+		"duplicate sensor in stop": func(p *Plan) {
+			p.Stops[0].Collected = append(p.Stops[0].Collected, Collection{Sensor: 0, Amount: 0})
+		},
+		"stop outside region": func(p *Plan) {
+			p.Stops[0].Pos = geom.Pt(-10, 0)
+			p.Stops[0].Collected = nil
+		},
+	}
+	for name, mutate := range cases {
+		p := validPlan()
+		mutate(p)
+		if err := ValidatePlan(net, em, 20, p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidatePlanDoubleCollectionAcrossStops(t *testing.T) {
+	// Two stops each taking the full volume of sensor 0 must fail the
+	// per-sensor conservation check even though each stop is locally fine.
+	p := validPlan()
+	p.Stops = append(p.Stops, Stop{
+		Pos:       geom.Pt(52, 0),
+		Sojourn:   20,
+		Collected: []Collection{{Sensor: 0, Amount: 100}},
+	})
+	if err := ValidatePlan(tinyNet(), energy.Default(), 20, p); err == nil {
+		t.Error("double collection accepted")
+	}
+}
+
+func TestValidatePlanParameterChecks(t *testing.T) {
+	p := validPlan()
+	if err := ValidatePlan(tinyNet(), energy.Default(), 0, p); err == nil {
+		t.Error("zero cover radius accepted")
+	}
+	bad := tinyNet()
+	bad.Bandwidth = 0
+	if err := ValidatePlan(bad, energy.Default(), 20, p); err == nil {
+		t.Error("invalid network accepted")
+	}
+	if err := ValidatePlan(tinyNet(), energy.Model{}, 20, p); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestValidatePlanPartialCollection(t *testing.T) {
+	// Partial amounts within bandwidth×sojourn are fine.
+	p := &Plan{Depot: geom.Pt(0, 0), Stops: []Stop{{
+		Pos:     geom.Pt(52, 0),
+		Sojourn: 3, // cap = 30 MB per sensor
+		Collected: []Collection{
+			{Sensor: 0, Amount: 30},
+			{Sensor: 1, Amount: 30},
+		},
+	}}}
+	if err := ValidatePlan(tinyNet(), energy.Default(), 20, p); err != nil {
+		t.Errorf("partial plan rejected: %v", err)
+	}
+	p.Stops[0].Collected[0].Amount = 31
+	if err := ValidatePlan(tinyNet(), energy.Default(), 20, p); err == nil {
+		t.Error("over-cap partial accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRefinePlanNeverWorsens(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		in := mediumInstance(t, seed, 1.5e4)
+		for _, pl := range []Planner{&Algorithm1{}, &Algorithm2{}, &Algorithm3{}} {
+			plan, err := pl.Plan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refined := RefinePlan(in, plan)
+			if err := ValidatePlan(in.Net, in.Model, in.EffectiveCoverRadius(), refined); err != nil {
+				t.Fatalf("%s seed=%d: refined plan invalid: %v", pl.Name(), seed, err)
+			}
+			if math.Abs(refined.Collected()-plan.Collected()) > 1e-9 {
+				t.Errorf("%s seed=%d: refinement changed volume %v → %v", pl.Name(), seed, plan.Collected(), refined.Collected())
+			}
+			if refined.FlightDistance() > plan.FlightDistance()+1e-9 {
+				t.Errorf("%s seed=%d: refinement lengthened flight %v → %v", pl.Name(), seed, plan.FlightDistance(), refined.FlightDistance())
+			}
+			if refined.Energy(in.Model) > plan.Energy(in.Model)+1e-9 {
+				t.Errorf("%s seed=%d: refinement raised energy", pl.Name(), seed)
+			}
+		}
+	}
+}
+
+func TestRefinePlanActuallyImproves(t *testing.T) {
+	// With a coarse grid the centres are far from the sensors they serve,
+	// so refinement must buy a measurable flight reduction on at least
+	// one instance.
+	improvedSomewhere := false
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		in := mediumInstance(t, seed, 1.5e4)
+		in.Delta = 45
+		plan, err := (&Algorithm2{}).Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined := RefinePlan(in, plan)
+		if refined.FlightDistance() < plan.FlightDistance()-1 {
+			improvedSomewhere = true
+		}
+	}
+	if !improvedSomewhere {
+		t.Error("refinement never shortened any coarse-grid tour")
+	}
+}
+
+func TestRefinePlanDoesNotMutateInput(t *testing.T) {
+	in := mediumInstance(t, 6, 1.5e4)
+	plan, err := (&Algorithm2{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeDist := plan.FlightDistance()
+	beforePos := plan.Stops[0].Pos
+	_ = RefinePlan(in, plan)
+	if plan.FlightDistance() != beforeDist || plan.Stops[0].Pos != beforePos {
+		t.Error("RefinePlan mutated its input")
+	}
+}
+
+func TestRefinePlanEmptyAndDegenerate(t *testing.T) {
+	in := mediumInstance(t, 7, 1e4)
+	empty := &Plan{Algorithm: "x", Depot: in.Net.Depot}
+	out := RefinePlan(in, empty)
+	if len(out.Stops) != 0 {
+		t.Error("empty plan should stay empty")
+	}
+	// A stop with no collections keeps its position.
+	odd := &Plan{Depot: in.Net.Depot, Stops: []Stop{{Pos: in.Net.Depot, Sojourn: 0}}}
+	out = RefinePlan(in, odd)
+	if out.Stops[0].Pos != in.Net.Depot {
+		t.Error("anchorless stop moved")
+	}
+}

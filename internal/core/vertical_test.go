@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"uavdc/internal/energy"
+)
+
+// verticalModel is the paper's UAV with a 200 W / 3 m/s vertical component.
+func verticalModel(capacity float64) energy.Model {
+	m := energy.Default().WithCapacity(capacity)
+	m.ClimbPower = 200
+	m.ClimbRate = 3
+	return m
+}
+
+func TestBudgetSubtractsVerticalOverhead(t *testing.T) {
+	in := mediumInstance(t, 1, 2e4)
+	in.Model = verticalModel(2e4)
+	in.Altitude = 30
+	// 2 × 30 m × 200 W / 3 m/s = 4000 J.
+	if got := in.Budget(); got != 2e4-4000 {
+		t.Errorf("Budget = %v, want 16000", got)
+	}
+	in.Altitude = 0
+	if got := in.Budget(); got != 2e4 {
+		t.Errorf("zero altitude Budget = %v", got)
+	}
+	flat := mediumInstance(t, 1, 2e4)
+	if flat.Budget() != 2e4 {
+		t.Error("paper model must have zero overhead")
+	}
+}
+
+func TestVerticalOverheadValidation(t *testing.T) {
+	in := mediumInstance(t, 1, 1e3)
+	in.Model = verticalModel(1e3)
+	in.Altitude = 10 // overhead 1333 J > 1000 J capacity
+	if in.Validate() == nil {
+		t.Error("overhead above capacity accepted")
+	}
+	bad := energy.Default()
+	bad.ClimbPower = 100 // rate missing
+	if bad.Validate() == nil {
+		t.Error("climb power without rate accepted")
+	}
+}
+
+// TestPlannersRespectVerticalOverhead: plans under the vertical model must
+// pass the physics validator (which charges the overhead) and complete in
+// the simulator at the mission altitude.
+func TestPlannersRespectVerticalOverhead(t *testing.T) {
+	in := mediumInstance(t, 2, 2e4)
+	in.Model = verticalModel(2e4)
+	in.Altitude = 30
+	for _, pl := range []Planner{&Algorithm1{}, &Algorithm2{}, &Algorithm3{}, &BenchmarkPlanner{}, &BenchmarkCoverage{}} {
+		plan, err := pl.Plan(in)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		if err := ValidatePlanPhysics(in.Net, in.Model, in.Physics(), plan); err != nil {
+			t.Errorf("%s: %v", pl.Name(), err)
+		}
+	}
+}
+
+func TestVerticalOverheadReducesCollection(t *testing.T) {
+	free := mediumInstance(t, 3, 1e4)
+	free.Altitude = 30
+	paid := mediumInstance(t, 3, 1e4)
+	paid.Model = verticalModel(1e4)
+	paid.Altitude = 30
+	p1, err := (&Algorithm2{}).Plan(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := (&Algorithm2{}).Plan(paid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Collected() >= p1.Collected() {
+		t.Errorf("paying 4 kJ for altitude should cost volume: %v vs %v", p2.Collected(), p1.Collected())
+	}
+}

@@ -1,0 +1,109 @@
+// Package energy models the UAV's energy consumption: a constant hover
+// power η_h, a constant travel power η_t at fixed cruising speed, and a
+// battery capacity E (Section III-A of the paper). The default constants
+// follow the paper's experimental settings, which cite the DJI Phantom 4
+// Pro specifications.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is the UAV energy model.
+type Model struct {
+	// HoverPower η_h is the power drawn while hovering, in J/s.
+	HoverPower float64
+	// TravelPower η_t is the power drawn while flying, in J/s.
+	TravelPower float64
+	// Speed is the constant cruising speed, in m/s.
+	Speed float64
+	// Capacity E is the battery capacity, in J.
+	Capacity float64
+	// ClimbPower is the power drawn while climbing or descending, in
+	// J/s. Zero (with ClimbRate zero) reproduces the paper's model, in
+	// which altitude transitions are free.
+	ClimbPower float64
+	// ClimbRate is the vertical speed, in m/s.
+	ClimbRate float64
+}
+
+// Default returns the paper's experimental model: η_t = 100 J/s,
+// η_h = 150 J/s, 10 m/s cruising speed, and a 3×10⁵ J battery.
+func Default() Model {
+	return Model{HoverPower: 150, TravelPower: 100, Speed: 10, Capacity: 3e5}
+}
+
+// Validate reports whether the model's parameters are physically sensible.
+func (m Model) Validate() error {
+	switch {
+	case !(m.HoverPower > 0) || math.IsInf(m.HoverPower, 1):
+		return fmt.Errorf("energy: hover power must be positive and finite, got %v", m.HoverPower)
+	case !(m.TravelPower > 0) || math.IsInf(m.TravelPower, 1):
+		return fmt.Errorf("energy: travel power must be positive and finite, got %v", m.TravelPower)
+	case !(m.Speed > 0) || math.IsInf(m.Speed, 1):
+		return fmt.Errorf("energy: speed must be positive and finite, got %v", m.Speed)
+	case !(m.Capacity >= 0) || math.IsInf(m.Capacity, 1):
+		return fmt.Errorf("energy: capacity must be non-negative and finite, got %v", m.Capacity)
+	case m.ClimbPower < 0 || math.IsInf(m.ClimbPower, 1) || math.IsNaN(m.ClimbPower):
+		return fmt.Errorf("energy: invalid climb power %v", m.ClimbPower)
+	case m.ClimbRate < 0 || math.IsInf(m.ClimbRate, 1) || math.IsNaN(m.ClimbRate):
+		return fmt.Errorf("energy: invalid climb rate %v", m.ClimbRate)
+	case (m.ClimbPower > 0) != (m.ClimbRate > 0):
+		return fmt.Errorf("energy: climb power and climb rate must be set together (got %v, %v)", m.ClimbPower, m.ClimbRate)
+	}
+	return nil
+}
+
+// ClimbEnergy returns the energy to ascend (or descend — modelled
+// symmetrically, a conservative choice) h metres: ClimbPower · h /
+// ClimbRate. Zero when the vertical model is disabled.
+func (m Model) ClimbEnergy(h float64) float64 {
+	if m.ClimbRate <= 0 || h <= 0 {
+		return 0
+	}
+	return m.ClimbPower * h / m.ClimbRate
+}
+
+// VerticalOverhead returns the fixed per-sortie cost of one ascent to and
+// one descent from altitude h.
+func (m Model) VerticalOverhead(h float64) float64 {
+	return 2 * m.ClimbEnergy(h)
+}
+
+// WithCapacity returns a copy of the model with the battery capacity set to
+// e — the knob the Fig. 3/5 sweeps turn.
+func (m Model) WithCapacity(e float64) Model {
+	m.Capacity = e
+	return m
+}
+
+// TravelTime returns the time (s) to fly dist metres.
+func (m Model) TravelTime(dist float64) float64 { return dist / m.Speed }
+
+// TravelEnergy returns the energy (J) to fly dist metres: η_t · dist / v.
+func (m Model) TravelEnergy(dist float64) float64 {
+	return m.TravelPower * dist / m.Speed
+}
+
+// TravelEnergyPerMeter returns η_t / v, the cost of one metre of flight.
+func (m Model) TravelEnergyPerMeter() float64 { return m.TravelPower / m.Speed }
+
+// HoverEnergy returns the energy (J) to hover for d seconds: η_h · d.
+func (m Model) HoverEnergy(d float64) float64 { return m.HoverPower * d }
+
+// MaxTravelDistance returns how far the UAV can fly on a full battery with
+// no hovering, in metres.
+func (m Model) MaxTravelDistance() float64 {
+	return m.Capacity * m.Speed / m.TravelPower
+}
+
+// MaxHoverTime returns how long the UAV can hover on a full battery with no
+// flying, in seconds.
+func (m Model) MaxHoverTime() float64 { return m.Capacity / m.HoverPower }
+
+// TourEnergy returns the energy of a closed tour with total flight distance
+// dist and total hover time hover.
+func (m Model) TourEnergy(dist, hover float64) float64 {
+	return m.TravelEnergy(dist) + m.HoverEnergy(hover)
+}

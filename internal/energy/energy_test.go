@@ -1,0 +1,119 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	m := Default()
+	if m.HoverPower != 150 || m.TravelPower != 100 || m.Speed != 10 || m.Capacity != 3e5 {
+		t.Errorf("Default = %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	good := Default()
+	cases := []func(Model) Model{
+		func(m Model) Model { m.HoverPower = 0; return m },
+		func(m Model) Model { m.HoverPower = -1; return m },
+		func(m Model) Model { m.HoverPower = math.Inf(1); return m },
+		func(m Model) Model { m.TravelPower = 0; return m },
+		func(m Model) Model { m.Speed = 0; return m },
+		func(m Model) Model { m.Speed = math.NaN(); return m },
+		func(m Model) Model { m.Capacity = -5; return m },
+		func(m Model) Model { m.Capacity = math.Inf(1); return m },
+	}
+	for i, mut := range cases {
+		if err := mut(good).Validate(); err == nil {
+			t.Errorf("case %d: bad model accepted", i)
+		}
+	}
+	zero := good
+	zero.Capacity = 0 // an empty battery is a valid (if sad) state
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero capacity rejected: %v", err)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	m := Default()
+	// 100 m at 10 m/s = 10 s × 100 J/s = 1000 J.
+	if got := m.TravelEnergy(100); got != 1000 {
+		t.Errorf("TravelEnergy(100) = %v", got)
+	}
+	if got := m.TravelTime(100); got != 10 {
+		t.Errorf("TravelTime(100) = %v", got)
+	}
+	if got := m.TravelEnergyPerMeter(); got != 10 {
+		t.Errorf("TravelEnergyPerMeter = %v", got)
+	}
+	if got := m.HoverEnergy(60); got != 9000 {
+		t.Errorf("HoverEnergy(60) = %v", got)
+	}
+	if got := m.TourEnergy(100, 60); got != 10000 {
+		t.Errorf("TourEnergy = %v", got)
+	}
+}
+
+func TestCapacityDerived(t *testing.T) {
+	m := Default()
+	// 3e5 J / (100 J/s) × 10 m/s = 30 km.
+	if got := m.MaxTravelDistance(); got != 3e4 {
+		t.Errorf("MaxTravelDistance = %v", got)
+	}
+	// 3e5 / 150 = 2000 s.
+	if got := m.MaxHoverTime(); got != 2000 {
+		t.Errorf("MaxHoverTime = %v", got)
+	}
+}
+
+func TestWithCapacity(t *testing.T) {
+	m := Default().WithCapacity(9e5)
+	if m.Capacity != 9e5 {
+		t.Errorf("Capacity = %v", m.Capacity)
+	}
+	if Default().Capacity != 3e5 {
+		t.Error("WithCapacity mutated the receiver")
+	}
+}
+
+func TestClimbEnergy(t *testing.T) {
+	m := Default()
+	if m.ClimbEnergy(100) != 0 || m.VerticalOverhead(50) != 0 {
+		t.Error("paper model must have free altitude")
+	}
+	m.ClimbPower = 200
+	m.ClimbRate = 4
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ClimbEnergy(20); got != 1000 {
+		t.Errorf("ClimbEnergy(20) = %v, want 1000", got)
+	}
+	if got := m.VerticalOverhead(20); got != 2000 {
+		t.Errorf("VerticalOverhead(20) = %v, want 2000", got)
+	}
+	if got := m.ClimbEnergy(-5); got != 0 {
+		t.Errorf("negative height should be free: %v", got)
+	}
+}
+
+func TestClimbValidation(t *testing.T) {
+	cases := []func(Model) Model{
+		func(m Model) Model { m.ClimbPower = -1; return m },
+		func(m Model) Model { m.ClimbRate = -1; return m },
+		func(m Model) Model { m.ClimbPower = 100; return m },        // rate missing
+		func(m Model) Model { m.ClimbRate = 3; return m },           // power missing
+		func(m Model) Model { m.ClimbPower = math.NaN(); return m }, // NaN
+		func(m Model) Model { m.ClimbRate = math.Inf(1); return m }, // Inf
+	}
+	for i, mut := range cases {
+		if err := mut(Default()).Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

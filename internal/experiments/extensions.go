@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"uavdc/internal/core"
+	"uavdc/internal/multi"
+	"uavdc/internal/radio"
+	"uavdc/internal/sensornet"
+	"uavdc/internal/simulate"
+	"uavdc/internal/stats"
+)
+
+// ExtAltitude is an extension experiment the paper motivates but does not
+// run: collected volume as the hovering altitude H grows, with the paper's
+// constant-rate abstraction against the Shannon distance-dependent uplink.
+// Altitude hurts twice — the effective coverage radius shrinks to
+// sqrt(R²−H²) for both series, and under the Shannon model far sensors
+// also upload slower — so the gap between the two series quantifies the
+// paper's "negligible if H is low" claim.
+func ExtAltitude(cfg Config) (*Table, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	altitudes := []float64{0, 10, 20, 30, 40}
+	specs := []runSpec{
+		{
+			name:    "constant-B",
+			planner: &core.Algorithm2{},
+			instance: func(net *sensornet.Network, x float64) *core.Instance {
+				return &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 1, Altitude: x}
+			},
+		},
+		{
+			name:    "shannon",
+			planner: &core.Algorithm2{},
+			instance: func(net *sensornet.Network, x float64) *core.Instance {
+				return &core.Instance{
+					Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 1, Altitude: x,
+					Radio: radio.Shannon{RefRate: net.Bandwidth, RefDist: 10, RefSNR: 100, PathLossExp: 2.7},
+				}
+			},
+		},
+	}
+	series, err := runSweep(cfg, altitudes, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		Figure: "ext-altitude",
+		Title:  "extension: collected volume vs hovering altitude, constant vs Shannon uplink",
+		XLabel: "altitude",
+		XUnit:  "m",
+		Series: series,
+	}, nil
+}
+
+// ExtDecomposition separates the framework's advantage over the paper's
+// benchmark into its two ingredients, as a function of the energy budget:
+// "plain" is the paper's benchmark (one sensor per stop), "coverage" adds
+// only the simultaneous-collection framework (stops still glued to
+// sensors), and "placed" (Algorithm 2) additionally frees the hovering
+// positions onto the δ-grid. The gap plain→coverage is the framework's
+// contribution; coverage→placed is the placement optimisation's.
+func ExtDecomposition(cfg Config) (*Table, error) {
+	specs := []runSpec{
+		{name: "plain", planner: &core.BenchmarkPlanner{}, instance: capacityInstance(cfg, cfg.Delta, 1)},
+		{name: "coverage", planner: &core.BenchmarkCoverage{}, instance: capacityInstance(cfg, cfg.Delta, 1)},
+		{name: "placed", planner: &core.Algorithm2{}, instance: capacityInstance(cfg, cfg.Delta, 1)},
+	}
+	series, err := runSweep(cfg, cfg.Capacities, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		Figure: "ext-decomposition",
+		Title:  "extension: framework vs placement contribution to the win over the benchmark",
+		XLabel: "energy capacity",
+		XUnit:  "J",
+		Series: series,
+	}, nil
+}
+
+// ExtFleet is an extension experiment: collected volume as the fleet size
+// grows from 1 to 4 UAVs (one battery each), comparing the k-means and
+// sweep partitioning strategies with Algorithm 3 routing each cluster.
+func ExtFleet(cfg Config) (*Table, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	nets, err := cfg.networks()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []float64{1, 2, 3, 4}
+	strategies := []multi.Strategy{multi.StrategyKMeans, multi.StrategySweep}
+	tab := &Table{
+		Figure: "ext-fleet",
+		Title:  "extension: collected volume vs fleet size, partitioning strategies",
+		XLabel: "fleet size",
+		XUnit:  "UAVs",
+	}
+	for _, strat := range strategies {
+		s := Series{Name: "fleet-" + strat.String()}
+		for _, size := range sizes {
+			vols := make([]float64, 0, len(nets))
+			times := make([]float64, 0, len(nets))
+			for _, net := range nets {
+				in := &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 2}
+				start := time.Now()
+				fp, err := multi.PlanFleet(in, multi.Options{
+					Fleet:    int(size),
+					Strategy: strat,
+					Seed:     cfg.Seed,
+				})
+				elapsed := time.Since(start).Seconds()
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fleet %v size %d: %w", strat, int(size), err)
+				}
+				if cfg.Validate {
+					if err := fp.Validate(in); err != nil {
+						return nil, fmt.Errorf("experiments: fleet %v size %d invalid: %w", strat, int(size), err)
+					}
+					for u, plan := range fp.PerUAV {
+						res := simulate.Run(net, in.Model, plan, simulate.Options{})
+						if !res.Completed {
+							return nil, fmt.Errorf("experiments: fleet %v uav %d aborted: %s", strat, u, res.AbortReason)
+						}
+					}
+				}
+				vols = append(vols, fp.Collected())
+				times = append(times, elapsed)
+			}
+			vs, ts := stats.Summarize(vols), stats.Summarize(times)
+			s.Points = append(s.Points, Point{
+				X: size, Volume: vs.Mean, VolumeCI: vs.CI95(),
+				Runtime: ts.Mean, RuntimeCI: ts.CI95(), N: vs.N,
+			})
+		}
+		tab.Series = append(tab.Series, s)
+	}
+	return tab, nil
+}

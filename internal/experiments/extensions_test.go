@@ -1,0 +1,132 @@
+package experiments
+
+import "testing"
+
+func TestExtAltitudeTiny(t *testing.T) {
+	tab, err := ExtAltitude(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Figure != "ext-altitude" || len(tab.Series) != 2 {
+		t.Fatalf("shape: %s, %d series", tab.Figure, len(tab.Series))
+	}
+	cb := tab.SeriesByName("constant-B")
+	sh := tab.SeriesByName("shannon")
+	if cb == nil || sh == nil {
+		t.Fatal("missing series")
+	}
+	// At every altitude the Shannon series cannot beat the constant-rate
+	// abstraction: per-sensor rates are at most the calibration bandwidth.
+	for i := range cb.Points {
+		if sh.Points[i].Volume > cb.Points[i].Volume+1e-6 {
+			t.Errorf("alt=%g: shannon %v beat constant %v", cb.Points[i].X, sh.Points[i].Volume, cb.Points[i].Volume)
+		}
+	}
+	// Altitude degrades the Shannon series end to end.
+	if sh.Points[len(sh.Points)-1].Volume >= sh.Points[0].Volume {
+		t.Errorf("shannon volume did not fall with altitude: %v → %v",
+			sh.Points[0].Volume, sh.Points[len(sh.Points)-1].Volume)
+	}
+}
+
+func TestExtFleetTiny(t *testing.T) {
+	tab, err := ExtFleet(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Figure != "ext-fleet" || len(tab.Series) != 2 {
+		t.Fatalf("shape: %s, %d series", tab.Figure, len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("%s: %d points", s.Name, len(s.Points))
+		}
+		// More UAVs: volume must not decrease materially (heuristic
+		// partitioning gets 5% slack).
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Volume < 0.95*s.Points[i-1].Volume {
+				t.Errorf("%s: volume fell from %v to %v at fleet %g",
+					s.Name, s.Points[i-1].Volume, s.Points[i].Volume, s.Points[i].X)
+			}
+		}
+		// A second UAV with a tight per-UAV budget must add volume.
+		if s.Points[1].Volume <= s.Points[0].Volume {
+			t.Errorf("%s: second UAV added nothing: %v vs %v", s.Name, s.Points[1].Volume, s.Points[0].Volume)
+		}
+	}
+}
+
+func TestRunDispatchExtensions(t *testing.T) {
+	for _, name := range []string{"ext-altitude", "ext-fleet"} {
+		tab, err := Run(name, Tiny())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tab.Figure != name {
+			t.Errorf("%s: got %s", name, tab.Figure)
+		}
+	}
+}
+
+func TestExtensionsRejectBadConfig(t *testing.T) {
+	cfg := Tiny()
+	cfg.Instances = 0
+	if _, err := ExtAltitude(cfg); err == nil {
+		t.Error("ExtAltitude accepted bad config")
+	}
+	if _, err := ExtFleet(cfg); err == nil {
+		t.Error("ExtFleet accepted bad config")
+	}
+}
+
+func TestExtRobustnessTiny(t *testing.T) {
+	tab, err := ExtRobustness(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := tab.SeriesByName("completion-pct")
+	real := tab.SeriesByName("realised-volume-pct")
+	if comp == nil || real == nil {
+		t.Fatal("missing series")
+	}
+	// Completion rate must be non-decreasing in the margin, end at 100%,
+	// and start below 100% (a zero-margin plan dies under ±20% noise for
+	// at least one repetition).
+	last := comp.Points[len(comp.Points)-1]
+	if last.Volume < 99.9 {
+		t.Errorf("30%% margin completion = %v%%", last.Volume)
+	}
+	for i := 1; i < len(comp.Points); i++ {
+		if comp.Points[i].Volume < comp.Points[i-1].Volume-5 { // small noise slack
+			t.Errorf("completion fell with margin: %v → %v", comp.Points[i-1].Volume, comp.Points[i].Volume)
+		}
+	}
+	if comp.Points[0].Volume >= 100 {
+		t.Errorf("zero-margin plan never failed under noise (%v%%)", comp.Points[0].Volume)
+	}
+	for _, p := range real.Points {
+		if p.Volume <= 0 || p.Volume > 130 {
+			t.Errorf("realised ratio out of range: %v", p.Volume)
+		}
+	}
+}
+
+func TestExtDecompositionTiny(t *testing.T) {
+	tab, err := ExtDecomposition(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := tab.SeriesByName("plain")
+	cov := tab.SeriesByName("coverage")
+	placed := tab.SeriesByName("placed")
+	if plain == nil || cov == nil || placed == nil {
+		t.Fatal("missing series")
+	}
+	// At the tight budget the ordering plain ≤ coverage ≤ placed must hold.
+	if cov.Points[0].Volume <= plain.Points[0].Volume {
+		t.Errorf("framework added nothing: %v vs %v", cov.Points[0].Volume, plain.Points[0].Volume)
+	}
+	if placed.Points[0].Volume < cov.Points[0].Volume*0.95 {
+		t.Errorf("placement regressed: %v vs %v", placed.Points[0].Volume, cov.Points[0].Volume)
+	}
+}

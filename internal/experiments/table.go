@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Point is one (x, mean volume, mean runtime) measurement of one series.
+type Point struct {
+	// X is the swept parameter value (capacity in J or δ in m).
+	X float64
+	// Volume is the mean collected data volume over the instances, MB.
+	Volume float64
+	// VolumeCI is the 95% confidence half-width of Volume, MB.
+	VolumeCI float64
+	// Runtime is the mean planner wall time, seconds.
+	Runtime float64
+	// RuntimeCI is the 95% confidence half-width of Runtime, seconds.
+	RuntimeCI float64
+	// N is the number of instances averaged.
+	N int
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is a regenerated figure: both the (a) volume panel and the (b)
+// runtime panel of the paper's paired plots, in one structure.
+type Table struct {
+	// Figure identifies the experiment, e.g. "fig3".
+	Figure string
+	// Title describes it.
+	Title string
+	// XLabel names the swept parameter.
+	XLabel string
+	// XUnit is the display unit of X.
+	XUnit  string
+	Series []Series
+}
+
+// Render writes both panels as aligned text tables.
+func (t *Table) Render(w io.Writer) error {
+	if err := t.renderPanel(w, fmt.Sprintf("%s(a): collected data volume (MB)", t.Figure), func(p Point) string {
+		return fmt.Sprintf("%.1f ±%.1f", p.Volume, p.VolumeCI)
+	}); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return t.renderPanel(w, fmt.Sprintf("%s(b): running time (s)", t.Figure), func(p Point) string {
+		return fmt.Sprintf("%.4f ±%.4f", p.Runtime, p.RuntimeCI)
+	})
+}
+
+func (t *Table) renderPanel(w io.Writer, title string, cell func(Point) string) error {
+	fmt.Fprintf(w, "%s — %s\n", title, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s (%s)", t.XLabel, t.XUnit)
+	for _, s := range t.Series {
+		fmt.Fprintf(tw, "\t%s", s.Name)
+	}
+	fmt.Fprintln(tw)
+	for i, x := range t.xValues() {
+		fmt.Fprintf(tw, "%g", x)
+		for _, s := range t.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(tw, "\t%s", cell(s.Points[i]))
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func (t *Table) xValues() []float64 {
+	for _, s := range t.Series {
+		if len(s.Points) > 0 {
+			xs := make([]float64, len(s.Points))
+			for i, p := range s.Points {
+				xs[i] = p.X
+			}
+			return xs
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the long-form data: figure,series,x,volume,volume_ci,
+// runtime,runtime_ci,n.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "series", "x", "volume_mb", "volume_ci", "runtime_s", "runtime_ci", "n"}); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				t.Figure,
+				s.Name,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Volume, 'f', 3, 64),
+				strconv.FormatFloat(p.VolumeCI, 'f', 3, 64),
+				strconv.FormatFloat(p.Runtime, 'f', 6, 64),
+				strconv.FormatFloat(p.RuntimeCI, 'f', 6, 64),
+				strconv.Itoa(p.N),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown emits both panels as GitHub-flavoured markdown tables, the
+// format EXPERIMENTS.md uses.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if err := t.mdPanel(w, fmt.Sprintf("%s(a): collected data volume (MB)", t.Figure), func(p Point) string {
+		return fmt.Sprintf("%.1f ± %.1f", p.Volume, p.VolumeCI)
+	}); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return t.mdPanel(w, fmt.Sprintf("%s(b): running time (s)", t.Figure), func(p Point) string {
+		return fmt.Sprintf("%.4f ± %.4f", p.Runtime, p.RuntimeCI)
+	})
+}
+
+func (t *Table) mdPanel(w io.Writer, title string, cell func(Point) string) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", title, t.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| %s (%s) |", t.XLabel, t.XUnit)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, " %s |", s.Name)
+	}
+	fmt.Fprint(w, "\n|---|")
+	for range t.Series {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for i, x := range t.xValues() {
+		fmt.Fprintf(w, "| %g |", x)
+		for _, s := range t.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, " %s |", cell(s.Points[i]))
+			} else {
+				fmt.Fprint(w, " - |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// SeriesByName returns the named series, or nil.
+func (t *Table) SeriesByName(name string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Name == name {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// String renders the table for debugging.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package geom
+
+import "math/rand"
+
+// MinEnclosingCircle returns the smallest circle containing all pts, using
+// Welzl's randomized incremental algorithm (expected linear time). The
+// planner uses it to refine hovering positions: the centre of the minimum
+// enclosing circle of a stop's assigned sensors is the hover point that
+// minimises the worst link distance, and the stop stays feasible whenever
+// the radius is at most R0.
+//
+// The rng parameter makes the shuffle deterministic for reproducible
+// planning; pass nil to skip shuffling (worst-case quadratic but still
+// correct — fine for the small per-stop point sets the planner feeds in).
+func MinEnclosingCircle(pts []Point, rng *rand.Rand) Circle {
+	switch len(pts) {
+	case 0:
+		return Circle{}
+	case 1:
+		return Circle{C: pts[0], R: 0}
+	}
+	work := append([]Point(nil), pts...)
+	if rng != nil {
+		rng.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
+	}
+	c := Circle{C: work[0], R: 0}
+	for i := 1; i < len(work); i++ {
+		if c.Contains(work[i]) {
+			continue
+		}
+		// work[i] is on the boundary of the MEC of work[:i+1].
+		c = Circle{C: work[i], R: 0}
+		for j := 0; j < i; j++ {
+			if c.Contains(work[j]) {
+				continue
+			}
+			// work[i] and work[j] both on the boundary.
+			c = circleFrom2(work[i], work[j])
+			for k := 0; k < j; k++ {
+				if !c.Contains(work[k]) {
+					c = circleFrom3(work[i], work[j], work[k])
+				}
+			}
+		}
+	}
+	return c
+}
+
+// circleFrom2 returns the circle with the two points as a diameter.
+func circleFrom2(a, b Point) Circle {
+	center := a.Lerp(b, 0.5)
+	return Circle{C: center, R: center.Dist(a)}
+}
+
+// circleFrom3 returns the circumcircle of three points, falling back to the
+// best two-point circle when they are (near-)collinear.
+func circleFrom3(a, b, c Point) Circle {
+	// Circumcenter via perpendicular bisector intersection.
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	if d > -1e-12 && d < 1e-12 {
+		// Collinear: the diametral circle of the farthest pair covers all.
+		best := circleFrom2(a, b)
+		if cand := circleFrom2(a, c); cand.R > best.R {
+			best = cand
+		}
+		if cand := circleFrom2(b, c); cand.R > best.R {
+			best = cand
+		}
+		return best
+	}
+	a2 := a.X*a.X + a.Y*a.Y
+	b2 := b.X*b.X + b.Y*b.Y
+	c2 := c.X*c.X + c.Y*c.Y
+	ux := (a2*(b.Y-c.Y) + b2*(c.Y-a.Y) + c2*(a.Y-b.Y)) / d
+	uy := (a2*(c.X-b.X) + b2*(a.X-c.X) + c2*(b.X-a.X)) / d
+	center := Pt(ux, uy)
+	return Circle{C: center, R: center.Dist(a)}
+}

@@ -1,0 +1,120 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMECDegenerate(t *testing.T) {
+	if c := MinEnclosingCircle(nil, nil); c.R != 0 || c.C != (Point{}) {
+		t.Errorf("empty = %+v", c)
+	}
+	c := MinEnclosingCircle([]Point{Pt(3, 4)}, nil)
+	if c.C != Pt(3, 4) || c.R != 0 {
+		t.Errorf("single = %+v", c)
+	}
+	c = MinEnclosingCircle([]Point{Pt(0, 0), Pt(10, 0)}, nil)
+	if c.C != Pt(5, 0) || math.Abs(c.R-5) > 1e-12 {
+		t.Errorf("pair = %+v", c)
+	}
+}
+
+func TestMECDuplicates(t *testing.T) {
+	pts := []Point{Pt(2, 2), Pt(2, 2), Pt(2, 2)}
+	c := MinEnclosingCircle(pts, nil)
+	if c.C != Pt(2, 2) || c.R > 1e-12 {
+		t.Errorf("duplicates = %+v", c)
+	}
+}
+
+func TestMECCollinear(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(5, 0), Pt(10, 0), Pt(3, 0)}
+	c := MinEnclosingCircle(pts, nil)
+	if math.Abs(c.R-5) > 1e-9 || c.C.Dist(Pt(5, 0)) > 1e-9 {
+		t.Errorf("collinear = %+v", c)
+	}
+}
+
+func TestMECKnownTriangle(t *testing.T) {
+	// Right triangle: the MEC is the diametral circle of the hypotenuse.
+	pts := []Point{Pt(0, 0), Pt(6, 0), Pt(0, 8)}
+	c := MinEnclosingCircle(pts, nil)
+	if c.C.Dist(Pt(3, 4)) > 1e-9 || math.Abs(c.R-5) > 1e-9 {
+		t.Errorf("right triangle = %+v", c)
+	}
+	// Equilateral-ish: circumcircle.
+	eq := []Point{Pt(0, 0), Pt(2, 0), Pt(1, math.Sqrt(3))}
+	c = MinEnclosingCircle(eq, nil)
+	want := 2 / math.Sqrt(3)
+	if math.Abs(c.R-want) > 1e-9 {
+		t.Errorf("equilateral R = %v, want %v", c.R, want)
+	}
+}
+
+// TestMECRandomValidAndMinimal: on random inputs the circle must contain
+// every point, and no strictly smaller circle centred at any input point
+// pair midpoint / circumcenter candidate may cover everything. We verify
+// minimality against a fine grid search of candidate centres.
+func TestMECRandomValidAndMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(25)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		c := MinEnclosingCircle(pts, rng)
+		for _, p := range pts {
+			if !c.Contains(p) {
+				t.Fatalf("trial %d: point %v outside %+v", trial, p, c)
+			}
+		}
+		// Lower bound: half the diameter of the point set.
+		var maxD float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d := pts[i].Dist(pts[j]); d > maxD {
+					maxD = d
+				}
+			}
+		}
+		if c.R < maxD/2-1e-9 {
+			t.Fatalf("trial %d: R %v below diameter/2 %v", trial, c.R, maxD/2)
+		}
+		// Crude minimality: perturbing the centre in 8 directions by 1%
+		// of R must not allow shrinking the radius below c.R by more
+		// than numerical noise (local optimality of the 1-center).
+		for k := 0; k < 8; k++ {
+			ang := float64(k) * math.Pi / 4
+			alt := Pt(c.C.X+0.01*c.R*math.Cos(ang), c.C.Y+0.01*c.R*math.Sin(ang))
+			var need float64
+			for _, p := range pts {
+				if d := alt.Dist(p); d > need {
+					need = d
+				}
+			}
+			if need < c.R-1e-7*(1+c.R) {
+				t.Fatalf("trial %d: centre %v strictly better than %+v", trial, alt, c)
+			}
+		}
+	}
+}
+
+// TestMECShuffleInvariant: the circle must not depend on input order.
+func TestMECShuffleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 20)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*50, rng.Float64()*50)
+	}
+	want := MinEnclosingCircle(pts, nil)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Point(nil), pts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := MinEnclosingCircle(shuffled, rng)
+		if math.Abs(got.R-want.R) > 1e-9 || got.C.Dist(want.C) > 1e-7 {
+			t.Fatalf("order dependence: %+v vs %+v", got, want)
+		}
+	}
+}

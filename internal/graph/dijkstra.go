@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Dijkstra returns the shortest-path distances from src to every vertex of
+// g, and the predecessor array for path reconstruction (-1 for src and for
+// unreachable vertices). Weights must be non-negative, which SetWeight
+// already enforces.
+func Dijkstra(g *Dense, src int) (dist []float64, prev []int) {
+	n := g.N()
+	dist = make([]float64, n)
+	prev = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue // stale entry
+		}
+		for j := 0; j < n; j++ {
+			if !g.HasEdge(item.v, j) {
+				continue
+			}
+			if nd := item.d + g.Weight(item.v, j); nd < dist[j] {
+				dist[j] = nd
+				prev[j] = item.v
+				heap.Push(pq, distItem{v: j, d: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// PathTo reconstructs the shortest path from the source used to produce
+// prev to dst, inclusive of both endpoints. It returns nil when dst is
+// unreachable (other than the trivial path to the source itself).
+func PathTo(prev []int, src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	if prev[dst] < 0 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseBasics(t *testing.T) {
+	g := NewDense(3)
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Weight(0, 0) != 0 {
+		t.Error("diagonal should be 0")
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("edges should start absent")
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self edge must never exist")
+	}
+	g.SetWeight(0, 1, 2.5)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge should be symmetric")
+	}
+	if g.Weight(1, 0) != 2.5 {
+		t.Errorf("Weight(1,0) = %v", g.Weight(1, 0))
+	}
+}
+
+func TestDensePanics(t *testing.T) {
+	g := NewDense(2)
+	assertPanics(t, "self-loop", func() { g.SetWeight(1, 1, 1) })
+	assertPanics(t, "negative weight", func() { g.SetWeight(0, 1, -1) })
+	assertPanics(t, "negative n", func() { NewDense(-1) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestNewComplete(t *testing.T) {
+	g := NewComplete(4, func(i, j int) float64 { return float64(i + j) })
+	if g.Weight(1, 3) != 4 {
+		t.Errorf("Weight(1,3) = %v", g.Weight(1, 3))
+	}
+	if len(g.Edges()) != 6 {
+		t.Errorf("Edges = %d, want 6", len(g.Edges()))
+	}
+}
+
+func TestIsMetric(t *testing.T) {
+	// Points on a line: 0, 1, 3 → distances satisfy triangle inequality.
+	coords := []float64{0, 1, 3}
+	g := NewComplete(3, func(i, j int) float64 { return math.Abs(coords[i] - coords[j]) })
+	if !g.IsMetric(1e-12) {
+		t.Error("line metric should be metric")
+	}
+	g.SetWeight(0, 2, 10) // break it: 10 > 1 + 2
+	if g.IsMetric(1e-12) {
+		t.Error("violated triangle inequality not detected")
+	}
+	// Incomplete graph is not metric.
+	h := NewDense(3)
+	h.SetWeight(0, 1, 1)
+	if h.IsMetric(1e-12) {
+		t.Error("incomplete graph should not be metric")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	if TotalWeight(nil) != 0 {
+		t.Error("TotalWeight(nil) != 0")
+	}
+	if got := TotalWeight([]Edge{{0, 1, 2}, {1, 2, 3.5}}); got != 5.5 {
+		t.Errorf("TotalWeight = %v", got)
+	}
+}
+
+func randomMetricGraph(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][2]float64, n)
+	for i := range xs {
+		xs[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	return NewComplete(n, func(i, j int) float64 {
+		dx, dy := xs[i][0]-xs[j][0], xs[i][1]-xs[j][1]
+		return math.Sqrt(dx*dx + dy*dy)
+	})
+}
+
+func TestMSTPrimEqualsKruskal(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomMetricGraph(20, seed)
+		pe, ok := MSTPrim(g, nil)
+		if !ok {
+			t.Fatal("prim: complete graph must be connected")
+		}
+		ke, ok := MSTKruskal(g)
+		if !ok {
+			t.Fatal("kruskal: complete graph must be connected")
+		}
+		if len(pe) != 19 || len(ke) != 19 {
+			t.Fatalf("MST edge counts: prim %d kruskal %d", len(pe), len(ke))
+		}
+		if math.Abs(TotalWeight(pe)-TotalWeight(ke)) > 1e-9 {
+			t.Errorf("seed %d: prim %v kruskal %v", seed, TotalWeight(pe), TotalWeight(ke))
+		}
+	}
+}
+
+func TestMSTKnown(t *testing.T) {
+	// Square with side 1 and diagonals sqrt2: MST weight = 3.
+	g := NewDense(4)
+	g.SetWeight(0, 1, 1)
+	g.SetWeight(1, 2, 1)
+	g.SetWeight(2, 3, 1)
+	g.SetWeight(3, 0, 1)
+	g.SetWeight(0, 2, math.Sqrt2)
+	g.SetWeight(1, 3, math.Sqrt2)
+	e, ok := MSTPrim(g, nil)
+	if !ok || math.Abs(TotalWeight(e)-3) > 1e-12 {
+		t.Errorf("MST = %v ok=%v", TotalWeight(e), ok)
+	}
+}
+
+func TestMSTSubset(t *testing.T) {
+	g := randomMetricGraph(30, 1)
+	sub := []int{2, 5, 7, 11, 13}
+	e, ok := MSTPrim(g, sub)
+	if !ok || len(e) != 4 {
+		t.Fatalf("subset MST: %d edges ok=%v", len(e), ok)
+	}
+	inSub := map[int]bool{}
+	for _, v := range sub {
+		inSub[v] = true
+	}
+	for _, ed := range e {
+		if !inSub[ed.U] || !inSub[ed.V] {
+			t.Errorf("MST edge %v leaves subset", ed)
+		}
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	g := NewDense(4)
+	g.SetWeight(0, 1, 1)
+	g.SetWeight(2, 3, 1)
+	if _, ok := MSTPrim(g, nil); ok {
+		t.Error("prim should report disconnected")
+	}
+	if _, ok := MSTKruskal(g); ok {
+		t.Error("kruskal should report disconnected")
+	}
+}
+
+func TestMSTTrivialSizes(t *testing.T) {
+	g := NewDense(1)
+	if e, ok := MSTPrim(g, nil); !ok || len(e) != 0 {
+		t.Error("single vertex MST should be empty and connected")
+	}
+	if e, ok := MSTPrim(g, []int{}); !ok || len(e) != 0 {
+		t.Error("empty subset MST should be empty")
+	}
+}
+
+func TestDijkstra(t *testing.T) {
+	//     1
+	//  0 --- 1
+	//  |      \ 2
+	//  4       2
+	//  |      /1
+	//  3 --- 2   wait, build explicitly below
+	g := NewDense(4)
+	g.SetWeight(0, 1, 1)
+	g.SetWeight(1, 2, 2)
+	g.SetWeight(0, 3, 4)
+	g.SetWeight(2, 3, 1)
+	dist, prev := Dijkstra(g, 0)
+	want := []float64{0, 1, 3, 4}
+	for i, w := range want {
+		if math.Abs(dist[i]-w) > 1e-12 {
+			t.Errorf("dist[%d] = %v, want %v", i, dist[i], w)
+		}
+	}
+	// Two shortest paths to 3 (0-3 direct and 0-1-2-3) both cost 4; accept either.
+	p := PathTo(prev, 0, 3)
+	if len(p) == 0 || p[0] != 0 || p[len(p)-1] != 3 {
+		t.Errorf("PathTo = %v", p)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := NewDense(3)
+	g.SetWeight(0, 1, 1)
+	dist, prev := Dijkstra(g, 0)
+	if !math.IsInf(dist[2], 1) {
+		t.Errorf("dist[2] = %v, want +Inf", dist[2])
+	}
+	if p := PathTo(prev, 0, 2); p != nil {
+		t.Errorf("PathTo unreachable = %v", p)
+	}
+	if p := PathTo(prev, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Errorf("PathTo self = %v", p)
+	}
+}
+
+func TestDijkstraMatchesMetricClosure(t *testing.T) {
+	g := randomMetricGraph(15, 9)
+	dist, _ := Dijkstra(g, 0)
+	// In a metric complete graph the shortest path is always the direct edge.
+	for j := 1; j < g.N(); j++ {
+		if math.Abs(dist[j]-g.Weight(0, j)) > 1e-9 {
+			t.Errorf("dist[%d] = %v, direct %v", j, dist[j], g.Weight(0, j))
+		}
+	}
+}

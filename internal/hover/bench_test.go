@@ -1,0 +1,61 @@
+package hover
+
+import (
+	"testing"
+
+	"uavdc/internal/energy"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+// BenchmarkBuildPaperScale measures candidate construction at the paper's
+// full setting (500 sensors, 1 km², δ = 10 m → 10 000 squares).
+func BenchmarkBuildPaperScale(b *testing.B) {
+	net, err := sensornet.Generate(sensornet.DefaultGenParams(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Build(net, energy.Default(), 10, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(s.Len()), "candidates")
+			b.ReportMetric(float64(s.PrunedDup), "pruned_dup")
+		}
+	}
+}
+
+// BenchmarkBuildFine measures the δ = 5 m worst case (40 000 squares).
+func BenchmarkBuildFine(b *testing.B) {
+	net, err := sensornet.Generate(sensornet.DefaultGenParams(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(net, energy.Default(), 5, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVirtuals measures the K-ladder materialisation for Algorithm 3.
+func BenchmarkVirtuals(b *testing.B) {
+	net, err := sensornet.Generate(sensornet.DefaultGenParams(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Build(net, energy.Default(), 10, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Virtuals(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package hover
+
+import (
+	"testing"
+
+	"uavdc/internal/energy"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+// TestBuildClampsOverhangingCentres reproduces the bug where a region whose
+// side is not a multiple of δ produced candidate centres outside the region
+// (e.g. 350 m side at δ = 15 → last centre at 352.5 m), which the plan
+// validator then rightly rejected as illegal hovering positions.
+func TestBuildClampsOverhangingCentres(t *testing.T) {
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 60
+	p.Side = 350 // ceil(350/15) = 24 columns → unclamped last centre 352.5
+	net, err := sensornet.Generate(p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{15, 22, 37} {
+		s, err := Build(net, energy.Default(), delta, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, loc := range s.Locs {
+			if !net.Region.Contains(loc.Pos) {
+				t.Fatalf("delta=%v: candidate %d at %v outside region %v", delta, i, loc.Pos, net.Region)
+			}
+		}
+	}
+}

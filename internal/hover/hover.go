@@ -1,0 +1,293 @@
+// Package hover turns a sensor network into the discrete hovering-location
+// model of Section III-B/IV of the paper: the monitoring region is
+// partitioned into δ-squares whose centres are the candidate hovering
+// locations; every candidate carries its coverage set C(s_j), the sojourn
+// time t(s_j) = max_{v∈C(s_j)} D_v/B (Eq. 1/7), the award
+// P(s_j) = Σ_{v∈C(s_j)} D_v (Eq. 2/6), and the hover energy
+// w1(s_j) = t(s_j)·η_h (Eq. 3/8). Location 0 is always the depot, with
+// empty coverage and zero cost.
+//
+// For Algorithm 3 the package also materialises the K virtual hovering
+// locations s_{j,1..K} per real candidate, with sojourn k·t(s_j)/K and
+// award per Eq. 4.
+package hover
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"uavdc/internal/energy"
+	"uavdc/internal/geom"
+	"uavdc/internal/radio"
+	"uavdc/internal/sensornet"
+)
+
+// DepotID is the index of the depot in every Set.
+const DepotID = 0
+
+// Location is one candidate hovering location.
+type Location struct {
+	// Pos is the ground projection of the hovering location (the UAV
+	// hovers at altitude H above it; all geometry is projected).
+	Pos geom.Point
+	// Covered lists the sensor indices within the coverage radius,
+	// ascending. Empty for the depot.
+	Covered []int
+	// Rates holds the per-sensor uplink rate in MB/s, parallel to
+	// Covered. Nil means every covered sensor uploads at the network
+	// bandwidth B (the paper's constant-rate assumption); it is populated
+	// when the candidate set is built with a distance-dependent radio
+	// model.
+	Rates []float64
+	// Sojourn is t(s_j) in seconds: the time to fully drain every
+	// covered sensor at its uplink rate (the slowest sensor dominates
+	// since uploads are simultaneous).
+	Sojourn float64
+	// Award is P(s_j) in MB: total data available at this location.
+	Award float64
+	// HoverEnergy is w1(s_j) = Sojourn · η_h in J.
+	HoverEnergy float64
+	// SquareIdx is the grid square index this location is the centre of,
+	// or -1 for the depot.
+	SquareIdx int
+}
+
+// Set is the candidate model: depot + surviving grid-square centres.
+type Set struct {
+	Net   *sensornet.Network
+	Model energy.Model
+	// CoverRadius is R0, the projected coverage radius used to build the
+	// coverage sets.
+	CoverRadius float64
+	// Altitude is the hovering altitude H the set was built with.
+	Altitude float64
+	// Radio is the rate model the set was built with (nil = constant B).
+	Radio radio.Model
+	Grid  *geom.Grid
+	// Locs[0] is the depot.
+	Locs []Location
+	// PrunedEmpty and PrunedDup count candidates dropped during build,
+	// for diagnostics.
+	PrunedEmpty int
+	PrunedDup   int
+}
+
+// CoverageRadius returns R0 = sqrt(R² − H²), the ground-projected coverage
+// radius of a UAV hovering at altitude H with node transmission range R
+// (Fig. 1(b) of the paper). It returns an error when H > R, where coverage
+// is impossible.
+func CoverageRadius(r, h float64) (float64, error) {
+	if h < 0 || r <= 0 {
+		return 0, fmt.Errorf("hover: invalid range R=%v altitude H=%v", r, h)
+	}
+	if h > r {
+		return 0, fmt.Errorf("hover: altitude %v exceeds transmission range %v", h, r)
+	}
+	return math.Sqrt(r*r - h*h), nil
+}
+
+// Options controls candidate construction.
+type Options struct {
+	// CoverRadius is R0 in metres. If zero, the network's CommRange is
+	// used (altitude 0 abstraction, matching the paper's experiments
+	// which set R0 = 50 m directly).
+	CoverRadius float64
+	// KeepEmpty retains squares with empty coverage sets. The paper
+	// assigns them zero award/sojourn; they can never help a tour under
+	// a metric, so the default drops them.
+	KeepEmpty bool
+	// KeepDuplicates retains candidates whose coverage set is identical
+	// to an already-kept candidate. The default drops them, keeping the
+	// candidate whose centre is closest to the centroid of its covered
+	// sensors (minimising worst-case link length).
+	KeepDuplicates bool
+	// Altitude is the hovering altitude H in metres. It matters in two
+	// ways: when CoverRadius is zero it shrinks the effective ground
+	// coverage to sqrt(R²−H²), and when Radio is set it lengthens the
+	// slant path to every sensor. Zero reproduces the paper's
+	// ground-level abstraction.
+	Altitude float64
+	// Radio is the uplink rate model; nil means the paper's constant
+	// bandwidth B taken from the network.
+	Radio radio.Model
+}
+
+// Build constructs the candidate set for net with grid resolution delta.
+func Build(net *sensornet.Network, em energy.Model, delta float64, opts Options) (*Set, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := em.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := geom.NewGrid(net.Region, delta)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Altitude < 0 {
+		return nil, fmt.Errorf("hover: negative altitude %v", opts.Altitude)
+	}
+	r0 := opts.CoverRadius
+	if r0 == 0 {
+		if opts.Altitude > 0 {
+			var err error
+			r0, err = CoverageRadius(net.CommRange, opts.Altitude)
+			if err != nil {
+				return nil, err
+			}
+			if r0 == 0 {
+				return nil, fmt.Errorf("hover: altitude %v leaves zero coverage at range %v", opts.Altitude, net.CommRange)
+			}
+		} else {
+			r0 = net.CommRange
+		}
+	}
+	if r0 < 0 {
+		return nil, fmt.Errorf("hover: negative coverage radius %v", r0)
+	}
+
+	s := &Set{
+		Net:         net,
+		Model:       em,
+		CoverRadius: r0,
+		Altitude:    opts.Altitude,
+		Radio:       opts.Radio,
+		Grid:        grid,
+		Locs: []Location{{
+			Pos:       net.Depot,
+			SquareIdx: -1,
+		}},
+	}
+
+	seen := make(map[dupKeyString]int) // coverage signature → Locs index
+	idx := net.Index()
+	var buf []int
+	for sq := 0; sq < grid.NumSquares(); sq++ {
+		// The last grid row/column may overhang the region when its
+		// extent is not a multiple of δ; clamp those centres back onto
+		// the boundary so every candidate is a legal hovering position.
+		center := net.Region.Clamp(grid.Center(sq))
+		buf = idx.WithinAppend(buf[:0], center, r0)
+		if len(buf) == 0 {
+			if !opts.KeepEmpty {
+				s.PrunedEmpty++
+				continue
+			}
+			s.Locs = append(s.Locs, Location{Pos: center, SquareIdx: sq})
+			continue
+		}
+		covered := append([]int(nil), buf...)
+		loc := Location{Pos: center, Covered: covered, SquareIdx: sq}
+		if opts.Radio != nil {
+			loc.Rates = make([]float64, len(covered))
+			for i, v := range covered {
+				slant := radio.SlantDist(net.Sensors[v].Pos.Dist(center), opts.Altitude)
+				loc.Rates[i] = opts.Radio.Rate(slant)
+				if !(loc.Rates[i] > 0) {
+					return nil, fmt.Errorf("hover: radio model yields non-positive rate %v at slant %v", loc.Rates[i], slant)
+				}
+			}
+		}
+		loc.Sojourn, loc.Award = DrainRates(net, covered, loc.Rates)
+		loc.HoverEnergy = em.HoverEnergy(loc.Sojourn)
+
+		if !opts.KeepDuplicates {
+			key := coverageKey(covered)
+			if prev, ok := seen[key]; ok {
+				// Keep whichever centre is closer to the coverage centroid.
+				if centroidDist(net, covered, center) < centroidDist(net, covered, s.Locs[prev].Pos) {
+					s.Locs[prev] = loc
+				}
+				s.PrunedDup++
+				continue
+			}
+			seen[key] = len(s.Locs)
+		}
+		s.Locs = append(s.Locs, loc)
+	}
+	return s, nil
+}
+
+// Drain returns the sojourn time and total award for fully draining the
+// given sensors at the network's constant bandwidth: t = max D_v/B,
+// P = Σ D_v.
+func Drain(net *sensornet.Network, covered []int) (sojourn, award float64) {
+	return DrainRates(net, covered, nil)
+}
+
+// DrainRates is Drain with per-sensor uplink rates (parallel to covered);
+// nil rates means the constant network bandwidth.
+func DrainRates(net *sensornet.Network, covered []int, rates []float64) (sojourn, award float64) {
+	for i, v := range covered {
+		d := net.Sensors[v].Data
+		award += d
+		r := net.Bandwidth
+		if rates != nil {
+			r = rates[i]
+		}
+		if t := d / r; t > sojourn {
+			sojourn = t
+		}
+	}
+	return sojourn, award
+}
+
+func coverageKey(covered []int) dupKeyString {
+	// Compact signature; sets are sorted, so a delimited join is unique.
+	b := make([]byte, 0, len(covered)*3)
+	for _, v := range covered {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return dupKeyString(b)
+}
+
+type dupKeyString string
+
+func centroidDist(net *sensornet.Network, covered []int, p geom.Point) float64 {
+	pts := make([]geom.Point, len(covered))
+	for i, v := range covered {
+		pts[i] = net.Sensors[v].Pos
+	}
+	return geom.Centroid(pts).Dist(p)
+}
+
+// Len returns the number of candidate locations including the depot.
+func (s *Set) Len() int { return len(s.Locs) }
+
+// Dist returns the Euclidean flight distance between locations i and j.
+func (s *Set) Dist(i, j int) float64 { return s.Locs[i].Pos.Dist(s.Locs[j].Pos) }
+
+// TravelEnergy returns the flight energy between locations i and j:
+// l(s_i, s_j) · η_t / v.
+func (s *Set) TravelEnergy(i, j int) float64 {
+	return s.Model.TravelEnergy(s.Dist(i, j))
+}
+
+// AuxiliaryWeight returns w2(s_i, s_j) of Eq. 9: half the hover energies of
+// both endpoints plus the travel energy of the edge. Lemma 1 proves the
+// resulting complete graph is metric; TestAuxiliaryWeightIsMetric verifies
+// it empirically.
+func (s *Set) AuxiliaryWeight(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return (s.Locs[i].HoverEnergy+s.Locs[j].HoverEnergy)/2 + s.TravelEnergy(i, j)
+}
+
+// CoverageUnion returns the sorted union of the coverage sets of the given
+// locations.
+func (s *Set) CoverageUnion(locs []int) []int {
+	set := map[int]bool{}
+	for _, l := range locs {
+		for _, v := range s.Locs[l].Covered {
+			set[v] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,363 @@
+package hover
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uavdc/internal/energy"
+	"uavdc/internal/geom"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+func smallNet() *sensornet.Network {
+	return &sensornet.Network{
+		Region:    geom.Square(100),
+		Depot:     geom.Pt(0, 0),
+		Bandwidth: 10, // MB/s
+		CommRange: 15,
+		Sensors: []sensornet.Sensor{
+			{Pos: geom.Pt(20, 20), Data: 100}, // 10 s upload
+			{Pos: geom.Pt(25, 20), Data: 50},  // 5 s
+			{Pos: geom.Pt(80, 80), Data: 200}, // 20 s
+		},
+	}
+}
+
+func TestCoverageRadius(t *testing.T) {
+	r0, err := CoverageRadius(50, 30)
+	if err != nil || math.Abs(r0-40) > 1e-12 {
+		t.Errorf("CoverageRadius(50,30) = %v, %v", r0, err)
+	}
+	if r0, err := CoverageRadius(50, 0); err != nil || r0 != 50 {
+		t.Errorf("H=0 should give R: %v %v", r0, err)
+	}
+	if r0, err := CoverageRadius(50, 50); err != nil || r0 != 0 {
+		t.Errorf("H=R should give 0: %v %v", r0, err)
+	}
+	if _, err := CoverageRadius(50, 51); err == nil {
+		t.Error("H>R accepted")
+	}
+	if _, err := CoverageRadius(0, 0); err == nil {
+		t.Error("R=0 accepted")
+	}
+	if _, err := CoverageRadius(50, -1); err == nil {
+		t.Error("negative H accepted")
+	}
+}
+
+func TestBuildBasics(t *testing.T) {
+	net := smallNet()
+	s, err := Build(net, energy.Default(), 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Locs[DepotID].Pos != net.Depot {
+		t.Error("location 0 must be the depot")
+	}
+	if s.Locs[DepotID].Award != 0 || s.Locs[DepotID].Sojourn != 0 || s.Locs[DepotID].HoverEnergy != 0 {
+		t.Error("depot must have zero cost and award")
+	}
+	if s.Len() < 2 {
+		t.Fatal("no candidates built")
+	}
+	// Every kept non-depot location must have non-empty coverage
+	// (PruneEmpty default) and consistent derived quantities.
+	for i := 1; i < s.Len(); i++ {
+		loc := s.Locs[i]
+		if len(loc.Covered) == 0 {
+			t.Fatalf("location %d kept with empty coverage", i)
+		}
+		wantSojourn, wantAward := 0.0, 0.0
+		for _, v := range loc.Covered {
+			d := net.Sensors[v].Data
+			wantAward += d
+			if tt := d / net.Bandwidth; tt > wantSojourn {
+				wantSojourn = tt
+			}
+			if net.Sensors[v].Pos.Dist(loc.Pos) > net.CommRange+1e-9 {
+				t.Fatalf("location %d covers out-of-range sensor %d", i, v)
+			}
+		}
+		if math.Abs(loc.Sojourn-wantSojourn) > 1e-9 || math.Abs(loc.Award-wantAward) > 1e-9 {
+			t.Fatalf("location %d: sojourn/award %v/%v, want %v/%v", i, loc.Sojourn, loc.Award, wantSojourn, wantAward)
+		}
+		if math.Abs(loc.HoverEnergy-150*loc.Sojourn) > 1e-9 {
+			t.Fatalf("location %d hover energy inconsistent", i)
+		}
+	}
+	// Completeness: every sensor is covered by at least one candidate
+	// (δ=10 < R0=15 guarantees a covering square centre exists).
+	covered := map[int]bool{}
+	for i := 1; i < s.Len(); i++ {
+		for _, v := range s.Locs[i].Covered {
+			covered[v] = true
+		}
+	}
+	if len(covered) != len(net.Sensors) {
+		t.Errorf("only %d/%d sensors covered by candidates", len(covered), len(net.Sensors))
+	}
+}
+
+func TestBuildPruning(t *testing.T) {
+	net := smallNet()
+	pruned, err := Build(net, energy.Default(), 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := Build(net, energy.Default(), 10, Options{KeepEmpty: true, KeepDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != kept.Grid.NumSquares()+1 {
+		t.Errorf("KeepEmpty+KeepDuplicates should keep all %d squares, got %d", kept.Grid.NumSquares(), kept.Len()-1)
+	}
+	if pruned.Len() >= kept.Len() {
+		t.Error("pruning removed nothing")
+	}
+	if pruned.PrunedEmpty == 0 {
+		t.Error("expected empty squares to be pruned on this sparse field")
+	}
+	// Dedup keeps total coverage identical.
+	if got, want := len(pruned.CoverageUnion(rangeInts(1, pruned.Len()))), len(net.Sensors); got != want {
+		t.Errorf("pruned set covers %d sensors, want %d", got, want)
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestBuildErrors(t *testing.T) {
+	net := smallNet()
+	if _, err := Build(net, energy.Default(), 0, Options{}); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	bad := *net
+	bad.Bandwidth = 0
+	if _, err := Build(&bad, energy.Default(), 10, Options{}); err == nil {
+		t.Error("invalid network accepted")
+	}
+	if _, err := Build(net, energy.Model{}, 10, Options{}); err == nil {
+		t.Error("invalid energy model accepted")
+	}
+	if _, err := Build(net, energy.Default(), 10, Options{CoverRadius: -1}); err == nil {
+		t.Error("negative cover radius accepted")
+	}
+}
+
+func TestDistAndEnergyMetrics(t *testing.T) {
+	net := smallNet()
+	s, err := Build(net, energy.Default(), 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Dist(i, i) != 0 || s.AuxiliaryWeight(i, i) != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+		for j := i + 1; j < s.Len(); j++ {
+			if math.Abs(s.Dist(i, j)-s.Dist(j, i)) > 1e-12 {
+				t.Fatal("Dist asymmetric")
+			}
+			wantTE := 10 * s.Dist(i, j) // η_t/v = 10 J/m
+			if math.Abs(s.TravelEnergy(i, j)-wantTE) > 1e-9 {
+				t.Fatalf("TravelEnergy(%d,%d) = %v, want %v", i, j, s.TravelEnergy(i, j), wantTE)
+			}
+		}
+	}
+}
+
+// TestAuxiliaryWeightIsMetric verifies Lemma 1 on random instances: w2
+// satisfies the triangle inequality.
+func TestAuxiliaryWeightIsMetric(t *testing.T) {
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 40
+	p.Side = 300
+	net, err := sensornet.Generate(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(net, energy.Default(), 25, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Len()
+	if n > 60 {
+		n = 60 // keep the cubic check fast
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if s.AuxiliaryWeight(i, j) > s.AuxiliaryWeight(i, k)+s.AuxiliaryWeight(k, j)+1e-9 {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestVirtuals(t *testing.T) {
+	net := smallNet()
+	s, err := Build(net, energy.Default(), 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Virtuals(0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	const K = 4
+	vs, err := s.Virtuals(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != (s.Len()-1)*K {
+		t.Fatalf("virtual count %d, want %d", len(vs), (s.Len()-1)*K)
+	}
+	// Eq. 4/5 monotonicity: awards and sojourns non-decreasing in k, and
+	// level K equals the full drain.
+	byBase := map[int][]Virtual{}
+	for _, v := range vs {
+		byBase[v.Base] = append(byBase[v.Base], v)
+	}
+	for base, group := range byBase {
+		loc := s.Locs[base]
+		for i, v := range group {
+			if v.Level != i+1 || v.K != K {
+				t.Fatalf("base %d: bad levels %+v", base, group)
+			}
+			wantSojourn := float64(v.Level) * loc.Sojourn / K
+			if math.Abs(v.Sojourn-wantSojourn) > 1e-9 {
+				t.Fatalf("base %d level %d: sojourn %v, want %v", base, v.Level, v.Sojourn, wantSojourn)
+			}
+			if i > 0 {
+				if v.Award < group[i-1].Award-1e-9 || v.Sojourn <= group[i-1].Sojourn {
+					t.Fatalf("base %d: monotonicity violated", base)
+				}
+			}
+		}
+		last := group[K-1]
+		if math.Abs(last.Award-loc.Award) > 1e-9 || math.Abs(last.Sojourn-loc.Sojourn) > 1e-9 {
+			t.Fatalf("base %d: level K (%v, %v) != full drain (%v, %v)", base, last.Award, last.Sojourn, loc.Award, loc.Sojourn)
+		}
+	}
+}
+
+func TestVirtualsK1EqualsFull(t *testing.T) {
+	net := smallNet()
+	s, _ := Build(net, energy.Default(), 10, Options{})
+	vs, err := s.Virtuals(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		loc := s.Locs[v.Base]
+		if math.Abs(v.Award-loc.Award) > 1e-9 || math.Abs(v.Sojourn-loc.Sojourn) > 1e-9 {
+			t.Fatalf("K=1 virtual %d differs from full drain", v.Base)
+		}
+	}
+}
+
+func TestPartialAwardEquation4(t *testing.T) {
+	// Property: PartialAward = Σ min(D_v, B·t) exactly, for random sojourns.
+	net := smallNet()
+	s, _ := Build(net, energy.Default(), 10, Options{})
+	f := func(raw float64) bool {
+		sojourn := math.Mod(math.Abs(raw), 30)
+		for base := 1; base < s.Len(); base++ {
+			want := 0.0
+			for _, v := range s.Locs[base].Covered {
+				want += math.Min(net.Sensors[v].Data, net.Bandwidth*sojourn)
+			}
+			if math.Abs(s.PartialAward(base, sojourn)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResidualDrain(t *testing.T) {
+	residual := []float64{100, 0, 40}
+	sojourn, award := ResidualDrain([]int{0, 1, 2}, residual, nil, 10)
+	if award != 140 || sojourn != 10 {
+		t.Errorf("ResidualDrain = %v, %v", sojourn, award)
+	}
+	sojourn, award = ResidualDrain([]int{1}, residual, nil, 10)
+	if award != 0 || sojourn != 0 {
+		t.Errorf("drained sensor should contribute nothing: %v %v", sojourn, award)
+	}
+}
+
+func TestResidualPartialAward(t *testing.T) {
+	residual := []float64{100, 0, 40}
+	// 3 s at 10 MB/s caps each sensor at 30 MB.
+	if got := ResidualPartialAward([]int{0, 1, 2}, residual, nil, 10, 3); got != 60 {
+		t.Errorf("ResidualPartialAward = %v, want 60", got)
+	}
+	if got := ResidualPartialAward([]int{0, 1, 2}, residual, nil, 10, 100); got != 140 {
+		t.Errorf("long sojourn should take everything: %v", got)
+	}
+	if got := ResidualPartialAward(nil, residual, nil, 10, 5); got != 0 {
+		t.Errorf("empty coverage: %v", got)
+	}
+}
+
+func TestCoverageUnion(t *testing.T) {
+	net := smallNet()
+	s, _ := Build(net, energy.Default(), 10, Options{})
+	all := s.CoverageUnion(rangeInts(0, s.Len()))
+	if len(all) != len(net.Sensors) {
+		t.Errorf("union covers %d sensors, want %d", len(all), len(net.Sensors))
+	}
+	if got := s.CoverageUnion(nil); len(got) != 0 {
+		t.Errorf("empty union = %v", got)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] <= all[i-1] {
+			t.Fatal("union not sorted ascending")
+		}
+	}
+}
+
+func TestBuildPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale build in -short mode")
+	}
+	net, err := sensornet.Generate(sensornet.DefaultGenParams(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(net, energy.Default(), 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100×100 grid; nearly all squares are within 50 m of some sensor at
+	// this density, so expect thousands of candidates but full coverage.
+	if s.Len() < 1000 {
+		t.Errorf("suspiciously few candidates: %d", s.Len())
+	}
+	if got := len(s.CoverageUnion(rangeInts(1, s.Len()))); got != 500 {
+		t.Errorf("candidates cover %d/500 sensors", got)
+	}
+}
+
+func TestDrainWrapper(t *testing.T) {
+	net := smallNet()
+	s1, a1 := Drain(net, []int{0, 1})
+	s2, a2 := DrainRates(net, []int{0, 1}, nil)
+	if s1 != s2 || a1 != a2 {
+		t.Errorf("Drain (%v,%v) != DrainRates (%v,%v)", s1, a1, s2, a2)
+	}
+	if a1 != 150 || s1 != 10 {
+		t.Errorf("Drain = %v, %v", s1, a1)
+	}
+}

@@ -1,0 +1,113 @@
+package hover
+
+import (
+	"fmt"
+	"math"
+)
+
+// Virtual is a virtual hovering location s_{j,k} (Section III-C): the real
+// location Base visited for the k-th fraction of its full sojourn.
+type Virtual struct {
+	// Base is the index of the underlying real location in Set.Locs.
+	Base int
+	// Level is k ∈ 1..K.
+	Level int
+	// K is the partition granularity.
+	K int
+	// Sojourn is t(s_{j,k}) = k·t(s_j)/K (Eq. 5).
+	Sojourn float64
+	// Award is P(s_{j,k}) per Eq. 4: every covered sensor contributes
+	// min(D_v, rate_v·Sojourn).
+	Award float64
+}
+
+// Virtuals materialises the K virtual locations of every non-depot
+// candidate, ordered by (base, level). K must be ≥ 1.
+func (s *Set) Virtuals(k int) ([]Virtual, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("hover: K must be ≥ 1, got %d", k)
+	}
+	out := make([]Virtual, 0, (s.Len()-1)*k)
+	for base := 1; base < s.Len(); base++ {
+		loc := &s.Locs[base]
+		for level := 1; level <= k; level++ {
+			sojourn := float64(level) * loc.Sojourn / float64(k)
+			out = append(out, Virtual{
+				Base:    base,
+				Level:   level,
+				K:       k,
+				Sojourn: sojourn,
+				Award:   s.PartialAward(base, sojourn),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PartialAward returns the data collectable at location base when hovering
+// for the given duration with every covered sensor at full volume:
+// Σ_v min(D_v, rate_v·sojourn) (Eq. 4 in closed form, generalised to
+// per-sensor rates).
+func (s *Set) PartialAward(base int, sojourn float64) float64 {
+	var award float64
+	loc := &s.Locs[base]
+	for i, v := range loc.Covered {
+		award += math.Min(s.Net.Sensors[v].Data, s.rate(loc, i)*sojourn)
+	}
+	return award
+}
+
+// rate returns the uplink rate of the i-th covered sensor of loc.
+func (s *Set) rate(loc *Location, i int) float64 {
+	if loc.Rates != nil {
+		return loc.Rates[i]
+	}
+	return s.Net.Bandwidth
+}
+
+// RateAt returns the uplink rate of the i-th covered sensor of location
+// base (the constant bandwidth when the set was built without a radio
+// model).
+func (s *Set) RateAt(base, i int) float64 {
+	return s.rate(&s.Locs[base], i)
+}
+
+// ResidualDrain returns the sojourn and award for fully draining the given
+// sensors when their remaining volumes are residual[v] (the Algorithm 3
+// recomputation step: after partial collection elsewhere, both t' and P'
+// shrink). rates is parallel to covered; nil means every sensor uploads at
+// bandwidth. Sensors with zero residual contribute nothing.
+func ResidualDrain(covered []int, residual []float64, rates []float64, bandwidth float64) (sojourn, award float64) {
+	for i, v := range covered {
+		d := residual[v]
+		if d <= 0 {
+			continue
+		}
+		award += d
+		r := bandwidth
+		if rates != nil {
+			r = rates[i]
+		}
+		if t := d / r; t > sojourn {
+			sojourn = t
+		}
+	}
+	return sojourn, award
+}
+
+// ResidualPartialAward returns Σ_v min(residual_v, rate_v·sojourn) over
+// covered: the award of a virtual location against current residual
+// volumes. rates is parallel to covered; nil means bandwidth for all.
+func ResidualPartialAward(covered []int, residual, rates []float64, bandwidth, sojourn float64) float64 {
+	var award float64
+	for i, v := range covered {
+		if d := residual[v]; d > 0 {
+			r := bandwidth
+			if rates != nil {
+				r = rates[i]
+			}
+			award += math.Min(d, r*sojourn)
+		}
+	}
+	return award
+}

@@ -1,0 +1,52 @@
+package mission
+
+import (
+	"math"
+	"testing"
+
+	"uavdc/internal/core"
+)
+
+func TestCampaignMakespan(t *testing.T) {
+	in := campaignInstance(t, 20, 1e4)
+	noRecharge, err := Run(in, &core.Algorithm3{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noRecharge.Sorties) < 2 {
+		t.Skip("need a multi-sortie campaign for this check")
+	}
+	// Makespan without recharge equals the sum of sortie durations.
+	var flightSum float64
+	for _, p := range noRecharge.Sorties {
+		flightSum += p.Duration(in.Model)
+	}
+	if math.Abs(noRecharge.Makespan-flightSum) > 1e-6 {
+		t.Errorf("makespan %v, sum of sortie durations %v", noRecharge.Makespan, flightSum)
+	}
+
+	const recharge = 1800.0
+	withRecharge, err := Run(in, &core.Algorithm3{}, Options{RechargeTime: recharge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExtra := recharge * float64(len(withRecharge.Sorties)-1)
+	var flightSum2 float64
+	for _, p := range withRecharge.Sorties {
+		flightSum2 += p.Duration(in.Model)
+	}
+	if math.Abs(withRecharge.Makespan-(flightSum2+wantExtra)) > 1e-6 {
+		t.Errorf("makespan %v, want %v (+%v recharge)", withRecharge.Makespan, flightSum2+wantExtra, wantExtra)
+	}
+}
+
+func TestCampaignMakespanZeroWhenNoSorties(t *testing.T) {
+	in := campaignInstance(t, 21, 0)
+	camp, err := Run(in, &core.Algorithm3{}, Options{RechargeTime: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Makespan != 0 {
+		t.Errorf("makespan %v for empty campaign", camp.Makespan)
+	}
+}

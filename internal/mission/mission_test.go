@@ -1,0 +1,127 @@
+package mission
+
+import (
+	"math"
+	"testing"
+
+	"uavdc/internal/core"
+	"uavdc/internal/energy"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+func campaignInstance(t testing.TB, seed uint64, capacity float64) *core.Instance {
+	t.Helper()
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 40
+	p.Side = 300
+	net, err := sensornet.Generate(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Instance{Net: net, Model: energy.Default().WithCapacity(capacity), Delta: 20, K: 2}
+}
+
+func TestCampaignDrainsField(t *testing.T) {
+	in := campaignInstance(t, 1, 1e4)
+	total := in.Net.TotalData()
+	camp, err := Run(in, &core.Algorithm3{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !camp.Drained {
+		t.Fatalf("campaign left %v MB (sorties: %d)", camp.Remaining, len(camp.Sorties))
+	}
+	if math.Abs(camp.Collected-total) > 1 {
+		t.Errorf("collected %v of %v", camp.Collected, total)
+	}
+	if len(camp.Sorties) < 2 {
+		t.Errorf("tight budget should need multiple sorties, got %d", len(camp.Sorties))
+	}
+	if len(camp.SortieVolumes) != len(camp.Sorties) {
+		t.Fatal("volume/sortie length mismatch")
+	}
+	var sum float64
+	for _, v := range camp.SortieVolumes {
+		sum += v
+	}
+	if math.Abs(sum-camp.Collected) > 1e-6 {
+		t.Error("per-sortie volumes do not add up")
+	}
+}
+
+func TestCampaignDoesNotMutateCallerNetwork(t *testing.T) {
+	in := campaignInstance(t, 2, 1e4)
+	before := in.Net.TotalData()
+	if _, err := Run(in, &core.Algorithm3{}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if in.Net.TotalData() != before {
+		t.Error("campaign mutated the caller's network")
+	}
+}
+
+func TestCampaignSortieCap(t *testing.T) {
+	in := campaignInstance(t, 3, 5e3)
+	camp, err := Run(in, &core.Algorithm3{}, Options{MaxSorties: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Sorties) > 2 {
+		t.Fatalf("cap ignored: %d sorties", len(camp.Sorties))
+	}
+	if camp.Drained {
+		t.Error("two tight sorties cannot drain this field")
+	}
+	if camp.Remaining <= 0 {
+		t.Error("remaining should be positive")
+	}
+}
+
+func TestCampaignBaselineNeedsMoreSorties(t *testing.T) {
+	seedIn := func() *core.Instance { return campaignInstance(t, 4, 1e4) }
+	smart, err := Run(seedIn(), &core.Algorithm3{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(seedIn(), &core.BenchmarkPlanner{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smart.Drained || !base.Drained {
+		t.Fatalf("both campaigns should drain (smart %v, base %v)", smart.Drained, base.Drained)
+	}
+	if len(smart.Sorties) > len(base.Sorties) {
+		t.Errorf("framework planner needed %d sorties, baseline %d", len(smart.Sorties), len(base.Sorties))
+	}
+}
+
+func TestCampaignDefaultPlanner(t *testing.T) {
+	in := campaignInstance(t, 5, 1e4)
+	camp, err := Run(in, nil, Options{MaxSorties: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Sorties) != 1 || camp.Sorties[0].Algorithm != "algorithm3" {
+		t.Errorf("default planner should be algorithm3, got %+v", camp.Sorties)
+	}
+}
+
+func TestCampaignInvalidInstance(t *testing.T) {
+	in := campaignInstance(t, 6, 1e4)
+	in.Delta = 0
+	if _, err := Run(in, nil, Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestCampaignZeroCapacity(t *testing.T) {
+	in := campaignInstance(t, 7, 0)
+	camp, err := Run(in, &core.Algorithm3{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Sorties) != 0 || camp.Collected != 0 || camp.Drained {
+		t.Errorf("zero capacity campaign: %+v", camp)
+	}
+}

@@ -1,0 +1,28 @@
+package orienteering
+
+// UpperBound returns a combinatorial upper bound on the optimal reward of
+// the instance: any closed tour visiting node v costs at least the round
+// trip 2·Cost(depot, v) (triangle inequality), so no node whose round trip
+// exceeds the budget can ever be collected, and the sum of the rewards of
+// all remaining nodes bounds every feasible tour from above.
+//
+// The bound is loose on tight budgets but certifiable; tests use it to
+// sandwich the heuristics, and experiment reports can quote a provable
+// optimality gap of Reward/UpperBound without solving anything.
+func UpperBound(p *Problem) float64 {
+	if p.Validate() != nil {
+		return 0
+	}
+	var sum float64
+	for v := 0; v < p.N; v++ {
+		if v == p.Depot {
+			continue
+		}
+		if 2*p.Cost(p.Depot, v) <= p.Budget+1e-9 {
+			if r := p.Reward(v); r > 0 {
+				sum += r
+			}
+		}
+	}
+	return sum
+}

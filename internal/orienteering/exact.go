@@ -1,0 +1,102 @@
+package orienteering
+
+import (
+	"fmt"
+	"math"
+
+	"uavdc/internal/tsp"
+)
+
+// ExactMax is the largest node count ExactDP accepts.
+const ExactMax = 16
+
+// ExactDP solves the instance optimally by dynamic programming over node
+// subsets (Held–Karp with a budget filter): dp[mask][j] is the cheapest
+// path that starts at the depot, visits exactly the nodes in mask, and ends
+// at j. Every mask whose cheapest depot-closing cycle fits the budget is a
+// candidate; the maximum-reward one wins. Exponential — for tests and tiny
+// instances only.
+func ExactDP(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if p.N > ExactMax {
+		return Solution{}, fmt.Errorf("orienteering: exact solver limited to %d nodes, got %d", ExactMax, p.N)
+	}
+	n := p.N
+	d := p.Depot
+	size := 1 << n
+	dp := make([][]float64, size)
+	parent := make([][]int8, size)
+	for mask := range dp {
+		dp[mask] = make([]float64, n)
+		parent[mask] = make([]int8, n)
+		for j := range dp[mask] {
+			dp[mask][j] = math.Inf(1)
+			parent[mask][j] = -1
+		}
+	}
+	startMask := 1 << d
+	dp[startMask][d] = 0
+
+	rewardOf := func(mask int) float64 {
+		var r float64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				r += p.Reward(v)
+			}
+		}
+		return r
+	}
+
+	bestMask, bestEnd := startMask, d
+	bestReward := rewardOf(startMask)
+
+	for mask := startMask; mask < size; mask++ {
+		if mask&startMask == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			cur := dp[mask][j]
+			if math.IsInf(cur, 1) || mask&(1<<j) == 0 {
+				continue
+			}
+			// Candidate closed tour: path + return edge.
+			if cur+p.Cost(j, d) <= p.Budget+1e-9 {
+				if r := rewardOf(mask); r > bestReward+1e-12 {
+					bestReward, bestMask, bestEnd = r, mask, j
+				}
+			}
+			for nxt := 0; nxt < n; nxt++ {
+				if mask&(1<<nxt) != 0 {
+					continue
+				}
+				c := cur + p.Cost(j, nxt)
+				if c > p.Budget { // cannot recover: costs are non-negative
+					continue
+				}
+				nm := mask | 1<<nxt
+				if c < dp[nm][nxt] {
+					dp[nm][nxt] = c
+					parent[nm][nxt] = int8(j)
+				}
+			}
+		}
+	}
+
+	// Reconstruct the best path.
+	order := []int{}
+	mask, j := bestMask, bestEnd
+	for j != -1 {
+		order = append(order, j)
+		pj := parent[mask][j]
+		mask &^= 1 << j
+		j = int(pj)
+	}
+	// order is end→depot; reverse to depot→end.
+	for i, k := 0, len(order)-1; i < k; i, k = i+1, k-1 {
+		order[i], order[k] = order[k], order[i]
+	}
+	sol := p.solutionFor(tsp.Tour{Order: order})
+	return sol, nil
+}

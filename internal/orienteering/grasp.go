@@ -1,0 +1,113 @@
+package orienteering
+
+import (
+	"math"
+	"math/rand"
+
+	"uavdc/internal/tsp"
+)
+
+// GRASPOptions tunes the randomized multi-start solver.
+type GRASPOptions struct {
+	// Restarts is the number of randomized constructions (default 16).
+	Restarts int
+	// RCLSize is the restricted candidate list size: each step picks
+	// uniformly among the RCLSize best-ratio insertions instead of the
+	// single best (default 3). 1 reduces to deterministic greedy.
+	RCLSize int
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+}
+
+// GRASP runs greedy randomized adaptive search: Restarts randomized
+// ratio-greedy constructions, each polished by LocalSearch, best kept.
+// Plain greedy commits to the globally best ratio at every step and can
+// be trapped by an early cheap node; sampling among the top few escapes
+// that basin at the cost of extra restarts. Deterministic under Seed.
+func GRASP(p *Problem, opts GRASPOptions) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 16
+	}
+	rcl := opts.RCLSize
+	if rcl <= 0 {
+		rcl = 3
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	best, err := GreedyRatio(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	best = LocalSearch(p, best, 0)
+	for r := 0; r < restarts; r++ {
+		cand := randomizedConstruct(p, rcl, rng)
+		cand = LocalSearch(p, cand, 0)
+		if cand.Reward > best.Reward+1e-12 {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// rclEntry is one feasible insertion candidate.
+type rclEntry struct {
+	node  int
+	pos   int
+	delta float64
+	ratio float64
+}
+
+// randomizedConstruct is GreedyRatio with an RCL draw at each step.
+func randomizedConstruct(p *Problem, rcl int, rng *rand.Rand) Solution {
+	tour := tsp.Tour{Order: []int{p.Depot}}
+	cost := 0.0
+	in := make([]bool, p.N)
+	in[p.Depot] = true
+	for {
+		var entries []rclEntry
+		for v := 0; v < p.N; v++ {
+			if in[v] || p.Reward(v) <= 0 {
+				continue
+			}
+			pos, delta := tsp.BestInsertion(tour, v, p.Cost)
+			if cost+delta > p.Budget+1e-12 {
+				continue
+			}
+			ratio := math.Inf(1)
+			if delta > 1e-12 {
+				ratio = p.Reward(v) / delta
+			}
+			entries = append(entries, rclEntry{node: v, pos: pos, delta: delta, ratio: ratio})
+		}
+		if len(entries) == 0 {
+			break
+		}
+		// Partial selection of the top-rcl ratios.
+		limit := rcl
+		if limit > len(entries) {
+			limit = len(entries)
+		}
+		for i := 0; i < limit; i++ {
+			top := i
+			for j := i + 1; j < len(entries); j++ {
+				if entries[j].ratio > entries[top].ratio {
+					top = j
+				}
+			}
+			entries[i], entries[top] = entries[top], entries[i]
+		}
+		pick := entries[rng.Intn(limit)]
+		tour = tsp.Insert(tour, pick.node, pick.pos)
+		cost += pick.delta
+		in[pick.node] = true
+		if tour.Len()%8 == 0 {
+			tsp.Improve(&tour, p.Cost)
+			cost = tour.Cost(p.Cost)
+		}
+	}
+	tsp.Improve(&tour, p.Cost)
+	return p.solutionFor(tour)
+}

@@ -1,0 +1,77 @@
+package orienteering
+
+import "testing"
+
+func TestGRASPNeverBelowGreedy(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		p, _ := randomProblem(25, 180, 400+seed)
+		greedy, err := Solve(p, MethodGreedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grasp, err := GRASP(p, GRASPOptions{Restarts: 12, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Feasible(grasp.Tour); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if grasp.Reward < greedy.Reward-1e-9 {
+			t.Errorf("seed %d: GRASP %v below greedy %v", seed, grasp.Reward, greedy.Reward)
+		}
+		if ub := UpperBound(p); grasp.Reward > ub+1e-9 {
+			t.Errorf("seed %d: GRASP beat the upper bound", seed)
+		}
+	}
+}
+
+func TestGRASPDeterministic(t *testing.T) {
+	p, _ := randomProblem(20, 150, 9)
+	a, err := GRASP(p, GRASPOptions{Restarts: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GRASP(p, GRASPOptions{Restarts: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reward != b.Reward {
+		t.Error("same seed, different rewards")
+	}
+}
+
+func TestGRASPNeverBeatsExact(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p, _ := randomProblem(9, 140, 500+seed)
+		opt, err := ExactDP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grasp, err := GRASP(p, GRASPOptions{Restarts: 20, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grasp.Reward > opt.Reward+1e-9 {
+			t.Fatalf("seed %d: GRASP %v beat optimum %v", seed, grasp.Reward, opt.Reward)
+		}
+		if grasp.Reward < opt.Reward*0.8 {
+			t.Errorf("seed %d: GRASP %v below 80%% of optimum %v", seed, grasp.Reward, opt.Reward)
+		}
+	}
+}
+
+func TestGRASPDefaultsAndErrors(t *testing.T) {
+	p, _ := randomProblem(10, 120, 3)
+	sol, err := GRASP(p, GRASPOptions{}) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Feasible(sol.Tour); err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.N = 0
+	if _, err := GRASP(&bad, GRASPOptions{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package orienteering
+
+import (
+	"math"
+	"testing"
+)
+
+func pathFromProblem(p *Problem, end int) *PathProblem {
+	return &PathProblem{N: p.N, Cost: p.Cost, Reward: p.Reward, Budget: p.Budget, Start: p.Depot, End: end}
+}
+
+func TestPathValidate(t *testing.T) {
+	p, _ := randomProblem(6, 100, 1)
+	pp := pathFromProblem(p, 3)
+	if err := pp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *pp
+	bad.End = 9
+	if bad.Validate() == nil {
+		t.Error("end out of range accepted")
+	}
+	bad = *pp
+	bad.Budget = math.NaN()
+	if bad.Validate() == nil {
+		t.Error("NaN budget accepted")
+	}
+}
+
+func TestFeasiblePath(t *testing.T) {
+	p, _ := randomProblem(6, 1000, 2)
+	pp := pathFromProblem(p, 3)
+	if err := pp.FeasiblePath([]int{0, 1, 3}); err != nil {
+		t.Errorf("good path rejected: %v", err)
+	}
+	if pp.FeasiblePath([]int{0, 1, 2}) == nil {
+		t.Error("wrong terminus accepted")
+	}
+	if pp.FeasiblePath([]int{1, 0, 3}) == nil {
+		t.Error("wrong origin accepted")
+	}
+	if pp.FeasiblePath([]int{0, 1, 1, 3}) == nil {
+		t.Error("duplicate accepted")
+	}
+	tight := *pp
+	tight.Budget = 0.01
+	if tight.FeasiblePath([]int{0, 1, 3}) == nil {
+		t.Error("over budget accepted")
+	}
+}
+
+// brutePath enumerates all simple Start→End paths (n ≤ 7).
+func brutePath(p *PathProblem) float64 {
+	best := math.Inf(-1)
+	used := make([]bool, p.N)
+	var rec func(order []int, cost, reward float64)
+	rec = func(order []int, cost, reward float64) {
+		last := order[len(order)-1]
+		if last == p.End && cost <= p.Budget+1e-9 && reward > best {
+			best = reward
+		}
+		for v := 0; v < p.N; v++ {
+			if used[v] {
+				continue
+			}
+			nc := cost + p.Cost(last, v)
+			if nc > p.Budget+1e-9 {
+				continue
+			}
+			used[v] = true
+			r := reward + p.Reward(v)
+			rec(append(order, v), nc, r)
+			used[v] = false
+		}
+	}
+	used[p.Start] = true
+	rec([]int{p.Start}, 0, p.Reward(p.Start))
+	return best
+}
+
+func TestExactPathDPVsBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, budget := range []float64{80, 150, 300} {
+			p, _ := randomProblem(6, budget, 50+seed)
+			pp := pathFromProblem(p, 4)
+			want := brutePath(pp)
+			sol, err := ExactPathDP(pp)
+			if math.IsInf(want, -1) {
+				if err == nil {
+					t.Errorf("seed=%d budget=%v: infeasible instance solved", seed, budget)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed=%d budget=%v: %v", seed, budget, err)
+			}
+			if err := pp.FeasiblePath(sol.Order); err != nil {
+				t.Fatalf("seed=%d budget=%v: %v (order %v)", seed, budget, err, sol.Order)
+			}
+			if math.Abs(sol.Reward-want) > 1e-9 {
+				t.Errorf("seed=%d budget=%v: DP %v, brute %v", seed, budget, sol.Reward, want)
+			}
+		}
+	}
+}
+
+// TestDummyDepotEquivalence is the fidelity check for Algorithm 1's
+// formulation: solving the d→d′ path problem on the dummy-depot graph
+// yields exactly the optimal closed-tour reward of the cycle formulation.
+func TestDummyDepotEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, budget := range []float64{100, 200, 350} {
+			p, _ := randomProblem(7, budget, 80+seed)
+			cycle, err := ExactDP(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path, err := ExactPathDP(DummyDepot(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(cycle.Reward-path.Reward) > 1e-9 {
+				t.Errorf("seed=%d budget=%v: cycle %v != dummy-depot path %v", seed, budget, cycle.Reward, path.Reward)
+			}
+		}
+	}
+}
+
+func TestExactPathDPStartEqualsEnd(t *testing.T) {
+	p, _ := randomProblem(7, 250, 5)
+	pp := pathFromProblem(p, p.Depot)
+	sol, err := ExactPathDP(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := ExactDP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Reward-cyc.Reward) > 1e-9 {
+		t.Errorf("start=end path %v != cycle %v", sol.Reward, cyc.Reward)
+	}
+}
+
+func TestExactPathDPInfeasible(t *testing.T) {
+	p, _ := randomProblem(5, 0.0001, 9)
+	pp := pathFromProblem(p, 3)
+	if _, err := ExactPathDP(pp); err == nil {
+		t.Error("impossible endpoint pair accepted")
+	}
+}
+
+func TestGreedyPathFeasibleAndBounded(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p, _ := randomProblem(10, 200, 120+seed)
+		pp := pathFromProblem(p, 7)
+		sol, err := GreedyPath(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pp.FeasiblePath(sol.Order); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		opt, err := ExactPathDP(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Reward > opt.Reward+1e-9 {
+			t.Fatalf("seed=%d: greedy %v beat optimum %v", seed, sol.Reward, opt.Reward)
+		}
+		if sol.Reward < opt.Reward/3 {
+			t.Errorf("seed=%d: greedy %v below opt/3 (%v)", seed, sol.Reward, opt.Reward/3)
+		}
+	}
+}
+
+func TestGreedyPathInfeasibleEndpoints(t *testing.T) {
+	p, _ := randomProblem(5, 0.001, 3)
+	pp := pathFromProblem(p, 2)
+	if _, err := GreedyPath(pp); err == nil {
+		t.Error("unreachable end accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package orienteering
+
+import "fmt"
+
+// Method selects an orienteering solver.
+type Method int
+
+const (
+	// MethodAuto runs the portfolio: exact DP when the instance is small
+	// enough, otherwise greedy ratio and tour-split, each refined by local
+	// search, returning the best.
+	MethodAuto Method = iota
+	// MethodExact forces the subset DP (errors above ExactMax nodes).
+	MethodExact
+	// MethodGreedy uses ratio-greedy insertion plus local search.
+	MethodGreedy
+	// MethodTourSplit uses the Christofides window scan plus local search.
+	MethodTourSplit
+	// MethodGRASP runs randomized multi-start greedy construction with
+	// local search (see GRASP); slower than MethodGreedy, often better on
+	// instances where pure greedy gets trapped early.
+	MethodGRASP
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodExact:
+		return "exact"
+	case MethodGreedy:
+		return "greedy"
+	case MethodTourSplit:
+		return "toursplit"
+	case MethodGRASP:
+		return "grasp"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Solve dispatches on method and returns a feasible solution. The returned
+// tour always contains the depot; when nothing else fits the budget the
+// depot-only tour is returned with zero reward.
+func Solve(p *Problem, method Method) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	switch method {
+	case MethodExact:
+		return ExactDP(p)
+	case MethodGreedy:
+		sol, err := GreedyRatio(p)
+		if err != nil {
+			return Solution{}, err
+		}
+		return LocalSearch(p, sol, 0), nil
+	case MethodTourSplit:
+		sol, err := TourSplit(p)
+		if err != nil {
+			return Solution{}, err
+		}
+		return LocalSearch(p, sol, 0), nil
+	case MethodGRASP:
+		return GRASP(p, GRASPOptions{})
+	case MethodAuto:
+		if p.N <= ExactMax {
+			return ExactDP(p)
+		}
+		g, err := GreedyRatio(p)
+		if err != nil {
+			return Solution{}, err
+		}
+		g = LocalSearch(p, g, 0)
+		t, err := TourSplit(p)
+		if err != nil {
+			return Solution{}, err
+		}
+		t = LocalSearch(p, t, 0)
+		if t.Reward > g.Reward {
+			return t, nil
+		}
+		return g, nil
+	default:
+		return Solution{}, fmt.Errorf("orienteering: unknown method %v", method)
+	}
+}

@@ -1,0 +1,89 @@
+// Package radio models the sensor→UAV uplink rate. The paper assumes every
+// covered sensor uploads at one fixed bandwidth B, arguing the
+// distance-induced differences are negligible at low hovering altitude
+// (Section III-B). This package provides that constant model plus a
+// Shannon-capacity model over free-space path loss, so the planners and the
+// simulator can be run with the assumption *removed* — the ablation the
+// paper gestures at but does not evaluate.
+//
+// Rates are in MB/s, distances in metres.
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model yields the achievable uplink rate at a given slant distance (the
+// 3-D straight-line distance between sensor and hovering UAV).
+type Model interface {
+	// Rate returns the rate in MB/s at slant distance d ≥ 0. It must be
+	// non-increasing in d and strictly positive for every distance the
+	// coverage model admits.
+	Rate(d float64) float64
+}
+
+// Constant is the paper's model: B MB/s regardless of distance.
+type Constant struct {
+	// B is the rate in MB/s.
+	B float64
+}
+
+// Rate implements Model.
+func (c Constant) Rate(float64) float64 { return c.B }
+
+// Shannon is a capacity-style model over free-space path loss: the
+// received SNR falls with the path-loss exponent, and the rate follows
+// W·log2(1+SNR), scaled so the rate at RefDist equals RefRate. It captures
+// the qualitative truth the paper waves off: far sensors upload slower, so
+// sojourns computed under the constant-B assumption are optimistic.
+type Shannon struct {
+	// RefRate is the rate at RefDist, MB/s.
+	RefRate float64
+	// RefDist is the calibration distance, metres (e.g. the hover
+	// altitude, where the paper's B is measured).
+	RefDist float64
+	// RefSNR is the linear SNR at RefDist (typical uplink: 10–1000).
+	RefSNR float64
+	// PathLossExp is the path-loss exponent α (2 = free space,
+	// 2.7–3.5 = urban).
+	PathLossExp float64
+}
+
+// DefaultShannon calibrates a Shannon model to the paper's B = 150 MB/s at
+// 10 m with 100× SNR and free-space loss.
+func DefaultShannon() Shannon {
+	return Shannon{RefRate: 150, RefDist: 10, RefSNR: 100, PathLossExp: 2}
+}
+
+// Validate checks the parameters.
+func (s Shannon) Validate() error {
+	switch {
+	case !(s.RefRate > 0):
+		return fmt.Errorf("radio: RefRate must be positive, got %v", s.RefRate)
+	case !(s.RefDist > 0):
+		return fmt.Errorf("radio: RefDist must be positive, got %v", s.RefDist)
+	case !(s.RefSNR > 0):
+		return fmt.Errorf("radio: RefSNR must be positive, got %v", s.RefSNR)
+	case !(s.PathLossExp > 0):
+		return fmt.Errorf("radio: PathLossExp must be positive, got %v", s.PathLossExp)
+	}
+	return nil
+}
+
+// Rate implements Model. The implicit channel width W is chosen so that
+// Rate(RefDist) = RefRate; SNR(d) = RefSNR·(RefDist/d)^α.
+func (s Shannon) Rate(d float64) float64 {
+	if d < s.RefDist {
+		d = s.RefDist // inside the calibration sphere the link saturates
+	}
+	snr := s.RefSNR * math.Pow(s.RefDist/d, s.PathLossExp)
+	w := s.RefRate / math.Log2(1+s.RefSNR)
+	return w * math.Log2(1+snr)
+}
+
+// SlantDist returns the 3-D distance between a sensor and a UAV hovering at
+// the given altitude above a point at ground distance g.
+func SlantDist(groundDist, altitude float64) float64 {
+	return math.Hypot(groundDist, altitude)
+}

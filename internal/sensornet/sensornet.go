@@ -1,0 +1,144 @@
+// Package sensornet models the ground layer of the paper's system: a
+// sparse network of aggregate IoT sensor nodes, each storing a volume D_v
+// of sensory data (its own plus data forwarded from neighbouring non-
+// aggregate devices), deployed in a rectangular monitoring region together
+// with the UAV depot.
+//
+// Units: metres for positions, megabytes for data, MB/s for bandwidth —
+// the units of the paper's experimental section.
+package sensornet
+
+import (
+	"fmt"
+	"math"
+
+	"uavdc/internal/geom"
+)
+
+// Sensor is one aggregate sensor node.
+type Sensor struct {
+	// Pos is the ground position (x, y, 0) of the node.
+	Pos geom.Point
+	// Data is the stored volume D_v in MB awaiting collection.
+	Data float64
+}
+
+// Network is an aggregate sensor network plus the UAV depot.
+type Network struct {
+	// Region is the monitoring region.
+	Region geom.Rect
+	// Depot is the UAV's start/return position (assumed inside Region).
+	Depot geom.Point
+	// Sensors are the aggregate sensor nodes.
+	Sensors []Sensor
+	// Bandwidth B is the uplink rate of every node, in MB/s. The paper
+	// assumes all nodes within hover coverage share the same rate.
+	Bandwidth float64
+	// CommRange R is the radio transmission range of a node in metres;
+	// it caps the UAV hover altitude and defines ground connectivity.
+	CommRange float64
+
+	index *geom.Index
+}
+
+// Validate checks structural invariants: positive bandwidth and range,
+// sensors inside the region with non-negative data, depot inside region.
+func (n *Network) Validate() error {
+	if !(n.Bandwidth > 0) || math.IsInf(n.Bandwidth, 1) {
+		return fmt.Errorf("sensornet: bandwidth must be positive and finite, got %v", n.Bandwidth)
+	}
+	if !(n.CommRange > 0) || math.IsInf(n.CommRange, 1) {
+		return fmt.Errorf("sensornet: comm range must be positive and finite, got %v", n.CommRange)
+	}
+	if !n.Region.Contains(n.Depot) {
+		return fmt.Errorf("sensornet: depot %v outside region", n.Depot)
+	}
+	for i, s := range n.Sensors {
+		if !n.Region.Contains(s.Pos) {
+			return fmt.Errorf("sensornet: sensor %d at %v outside region", i, s.Pos)
+		}
+		if s.Data < 0 || math.IsNaN(s.Data) || math.IsInf(s.Data, 1) {
+			return fmt.Errorf("sensornet: sensor %d has invalid data volume %v", i, s.Data)
+		}
+	}
+	return nil
+}
+
+// Positions returns the sensor positions, in sensor order.
+func (n *Network) Positions() []geom.Point {
+	pts := make([]geom.Point, len(n.Sensors))
+	for i, s := range n.Sensors {
+		pts[i] = s.Pos
+	}
+	return pts
+}
+
+// Index returns (building lazily) a spatial index over the sensor
+// positions. The index is invalidated by mutating Sensors; callers that
+// mutate should call InvalidateIndex.
+func (n *Network) Index() *geom.Index {
+	if n.index == nil || n.index.Len() != len(n.Sensors) {
+		n.index = geom.NewIndex(n.Positions(), n.CommRange)
+	}
+	return n.index
+}
+
+// InvalidateIndex discards the cached spatial index.
+func (n *Network) InvalidateIndex() { n.index = nil }
+
+// TotalData returns the sum of all stored volumes, the upper bound any
+// collection plan can reach.
+func (n *Network) TotalData() float64 {
+	var sum float64
+	for _, s := range n.Sensors {
+		sum += s.Data
+	}
+	return sum
+}
+
+// CoveredBy returns the indices of sensors within radius of p — the
+// coverage set C(s) of a hover position projected to the ground.
+func (n *Network) CoveredBy(p geom.Point, radius float64) []int {
+	return n.Index().Within(p, radius)
+}
+
+// UploadTime returns the time for sensor i to upload all of its stored
+// data: D_v / B.
+func (n *Network) UploadTime(i int) float64 {
+	return n.Sensors[i].Data / n.Bandwidth
+}
+
+// ConnectedComponents returns the number of connected components of the
+// ground network, where two nodes are adjacent when within CommRange of
+// each other. The paper's premise is that this number is typically large —
+// aggregate nodes are sparse, so multi-hop relay to a base station is
+// impossible and a UAV is needed.
+func (n *Network) ConnectedComponents() int {
+	k := len(n.Sensors)
+	if k == 0 {
+		return 0
+	}
+	idx := n.Index()
+	visited := make([]bool, k)
+	comps := 0
+	var stack []int
+	for s := 0; s < k; s++ {
+		if visited[s] {
+			continue
+		}
+		comps++
+		stack = append(stack[:0], s)
+		visited[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range idx.Within(n.Sensors[v].Pos, n.CommRange) {
+				if !visited[u] {
+					visited[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,305 @@
+package sensornet
+
+import (
+	"math"
+	"testing"
+
+	"uavdc/internal/geom"
+	"uavdc/internal/rng"
+)
+
+func testNet() *Network {
+	return &Network{
+		Region:    geom.Square(100),
+		Depot:     geom.Pt(50, 50),
+		Bandwidth: 150,
+		CommRange: 20,
+		Sensors: []Sensor{
+			{Pos: geom.Pt(10, 10), Data: 300},
+			{Pos: geom.Pt(15, 10), Data: 600},
+			{Pos: geom.Pt(90, 90), Data: 150},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := testNet()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testNet()
+	bad.Bandwidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	bad = testNet()
+	bad.CommRange = -1
+	if bad.Validate() == nil {
+		t.Error("negative range accepted")
+	}
+	bad = testNet()
+	bad.Depot = geom.Pt(-1, 0)
+	if bad.Validate() == nil {
+		t.Error("depot outside region accepted")
+	}
+	bad = testNet()
+	bad.Sensors[0].Pos = geom.Pt(101, 0)
+	if bad.Validate() == nil {
+		t.Error("sensor outside region accepted")
+	}
+	bad = testNet()
+	bad.Sensors[1].Data = math.NaN()
+	if bad.Validate() == nil {
+		t.Error("NaN data accepted")
+	}
+}
+
+func TestTotalDataAndUploadTime(t *testing.T) {
+	n := testNet()
+	if got := n.TotalData(); got != 1050 {
+		t.Errorf("TotalData = %v", got)
+	}
+	if got := n.UploadTime(1); got != 4 {
+		t.Errorf("UploadTime(1) = %v, want 600/150", got)
+	}
+}
+
+func TestCoveredBy(t *testing.T) {
+	n := testNet()
+	got := n.CoveredBy(geom.Pt(12, 10), 5)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("CoveredBy = %v", got)
+	}
+	if got := n.CoveredBy(geom.Pt(50, 50), 5); len(got) != 0 {
+		t.Errorf("empty coverage expected, got %v", got)
+	}
+}
+
+func TestIndexInvalidation(t *testing.T) {
+	n := testNet()
+	_ = n.Index()
+	n.Sensors = append(n.Sensors, Sensor{Pos: geom.Pt(50, 50), Data: 10})
+	// Length change triggers rebuild even without InvalidateIndex.
+	if got := n.CoveredBy(geom.Pt(50, 50), 1); len(got) != 1 {
+		t.Errorf("index not rebuilt after append: %v", got)
+	}
+	n.Sensors[3].Pos = geom.Pt(60, 60)
+	n.InvalidateIndex()
+	if got := n.CoveredBy(geom.Pt(60, 60), 1); len(got) != 1 {
+		t.Errorf("index not rebuilt after invalidation: %v", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	n := testNet()
+	// Sensors 0 and 1 are 5 m apart (< 20), sensor 2 is far away.
+	if got := n.ConnectedComponents(); got != 2 {
+		t.Errorf("ConnectedComponents = %d, want 2", got)
+	}
+	empty := &Network{Region: geom.Square(10), Depot: geom.Pt(1, 1), Bandwidth: 1, CommRange: 1}
+	if got := empty.ConnectedComponents(); got != 0 {
+		t.Errorf("empty network components = %d", got)
+	}
+}
+
+func TestDefaultGenParamsMatchPaper(t *testing.T) {
+	p := DefaultGenParams()
+	if p.NumSensors != 500 || p.Side != 1000 || p.DataMin != 100 || p.DataMax != 1000 ||
+		p.Bandwidth != 150 || p.CommRange != 50 {
+		t.Errorf("DefaultGenParams = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenParamsValidate(t *testing.T) {
+	cases := []func(GenParams) GenParams{
+		func(p GenParams) GenParams { p.NumSensors = -1; return p },
+		func(p GenParams) GenParams { p.Side = 0; return p },
+		func(p GenParams) GenParams { p.DataMin = -1; return p },
+		func(p GenParams) GenParams { p.DataMax = p.DataMin - 1; return p },
+		func(p GenParams) GenParams { p.Bandwidth = 0; return p },
+		func(p GenParams) GenParams { p.CommRange = 0; return p },
+	}
+	for i, mut := range cases {
+		if err := mut(DefaultGenParams()).Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	p := DefaultGenParams()
+	p.NumSensors = 200
+	net, err := Generate(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Sensors) != 200 {
+		t.Fatalf("sensor count %d", len(net.Sensors))
+	}
+	if net.Depot != geom.Pt(500, 500) {
+		t.Errorf("depot = %v", net.Depot)
+	}
+	for i, s := range net.Sensors {
+		if s.Data < 100 || s.Data >= 1000 {
+			t.Fatalf("sensor %d data %v outside [100,1000)", i, s.Data)
+		}
+	}
+	// Reproducibility.
+	net2, _ := Generate(p, rng.New(1))
+	for i := range net.Sensors {
+		if net.Sensors[i] != net2.Sensors[i] {
+			t.Fatal("same seed produced different networks")
+		}
+	}
+	net3, _ := Generate(p, rng.New(2))
+	same := true
+	for i := range net.Sensors {
+		if net.Sensors[i] != net3.Sensors[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical networks")
+	}
+}
+
+func TestGenerateDepotCorner(t *testing.T) {
+	p := DefaultGenParams()
+	p.NumSensors = 5
+	p.DepotAtCenter = false
+	net, err := Generate(p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Depot != geom.Pt(0, 0) {
+		t.Errorf("corner depot = %v", net.Depot)
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	p := DefaultGenParams()
+	p.Side = -1
+	if _, err := Generate(p, rng.New(1)); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestGenerateWithDevices(t *testing.T) {
+	p := DefaultGenParams()
+	p.NumSensors = 100
+	net, field, err := GenerateWithDevices(p, 10, 50, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(field.Positions) != 1000 || len(field.Rates) != 1000 || len(field.AssignedTo) != 1000 {
+		t.Fatalf("device field sizes wrong: %d", len(field.Positions))
+	}
+	// Conservation: every assigned device's rate appears in exactly one
+	// aggregate's stored volume on top of the own base.
+	var forwarded float64
+	for i, a := range field.AssignedTo {
+		if a >= 0 {
+			forwarded += field.Rates[i]
+			if field.Positions[i].Dist(net.Sensors[a].Pos) > p.CommRange+1e-9 {
+				t.Fatalf("device %d assigned out of range", i)
+			}
+		}
+	}
+	wantTotal := 50*float64(len(net.Sensors)) + forwarded
+	if math.Abs(net.TotalData()-wantTotal) > 1e-6*wantTotal {
+		t.Errorf("TotalData = %v, want %v", net.TotalData(), wantTotal)
+	}
+	if _, _, err := GenerateWithDevices(p, -1, 0, rng.New(1)); err == nil {
+		t.Error("negative multiplier accepted")
+	}
+}
+
+func TestPaperScaleNetworkIsSparse(t *testing.T) {
+	// The paper's premise: 500 nodes with 50 m range in 1 km² do not form
+	// one connected component, so multi-hop relay to a base station fails.
+	net, err := Generate(DefaultGenParams(), rng.New(2026))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := net.ConnectedComponents(); c < 2 {
+		t.Errorf("expected a sparse (disconnected) network, got %d components", c)
+	}
+}
+
+func TestGenerateClustered(t *testing.T) {
+	p := ClusterParams{GenParams: DefaultGenParams(), NumClusters: 4, ClusterRadius: 40}
+	p.NumSensors = 200
+	net, err := GenerateClustered(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Sensors) != 200 {
+		t.Fatalf("sensor count %d", len(net.Sensors))
+	}
+	// Clustering signature: the mean nearest-neighbour distance must be
+	// far below the uniform field's (200 sensors in 1 km² uniform → ≈35 m;
+	// clustered in 4 spots of radius 40 → a few metres).
+	mean := meanNearestNeighbour(net)
+	uniform, err := Generate(p.GenParams, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniformMean := meanNearestNeighbour(uniform); mean > uniformMean/2 {
+		t.Errorf("clustered NN distance %v not far below uniform %v", mean, uniformMean)
+	}
+	// Determinism.
+	net2, _ := GenerateClustered(p, rng.New(5))
+	if net.Sensors[0] != net2.Sensors[0] {
+		t.Error("not deterministic")
+	}
+}
+
+func meanNearestNeighbour(net *Network) float64 {
+	idx := net.Index()
+	var sum float64
+	for i, s := range net.Sensors {
+		best := math.Inf(1)
+		for _, j := range idx.Within(s.Pos, net.CommRange*4) {
+			if j != i {
+				if d := net.Sensors[j].Pos.Dist(s.Pos); d < best {
+					best = d
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			best = net.CommRange * 4
+		}
+		sum += best
+	}
+	return sum / float64(len(net.Sensors))
+}
+
+func TestGenerateClusteredErrors(t *testing.T) {
+	p := ClusterParams{GenParams: DefaultGenParams(), NumClusters: 0, ClusterRadius: 40}
+	if _, err := GenerateClustered(p, rng.New(1)); err == nil {
+		t.Error("0 clusters accepted")
+	}
+	p.NumClusters = 2
+	p.ClusterRadius = 0
+	if _, err := GenerateClustered(p, rng.New(1)); err == nil {
+		t.Error("0 radius accepted")
+	}
+	p.ClusterRadius = 10
+	p.Side = -1
+	if _, err := GenerateClustered(p, rng.New(1)); err == nil {
+		t.Error("bad base params accepted")
+	}
+}

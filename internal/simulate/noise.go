@@ -1,0 +1,37 @@
+package simulate
+
+import "math/rand"
+
+// Noise injects stochastic disturbances into a mission: real flights draw
+// more (or less) power than the nameplate model because of wind, battery
+// ageing and manoeuvring, which the paper's deterministic planner cannot
+// see. Each flight leg and hover segment gets an independent multiplicative
+// power factor drawn from [1−Spread, 1+Spread] (clipped at ≥ 0.1), so the
+// planner's energy budget may or may not survive contact with reality —
+// the robustness experiment (experiments.ExtRobustness) measures how much
+// capacity margin buys mission-completion probability.
+type Noise struct {
+	// Spread is the half-width of the uniform power-factor disturbance;
+	// 0 disables noise. Typical winds: 0.05–0.25.
+	Spread float64
+	// Seed makes the disturbance sequence reproducible.
+	Seed int64
+}
+
+// Enabled reports whether the noise model perturbs anything.
+func (n Noise) Enabled() bool { return n.Spread > 0 }
+
+// factors returns a deterministic generator of per-segment power factors.
+func (n Noise) factors() func() float64 {
+	if !n.Enabled() {
+		return func() float64 { return 1 }
+	}
+	rng := rand.New(rand.NewSource(n.Seed))
+	return func() float64 {
+		f := 1 + (2*rng.Float64()-1)*n.Spread
+		if f < 0.1 {
+			f = 0.1
+		}
+		return f
+	}
+}

@@ -1,0 +1,131 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"uavdc/internal/energy"
+)
+
+func TestNoiseDisabledMatchesDeterministic(t *testing.T) {
+	net := simNet()
+	em := energy.Default()
+	plan := simPlan()
+	base := Run(net, em, plan, Options{})
+	noisy := Run(net, em, plan, Options{Noise: Noise{Spread: 0, Seed: 5}})
+	if base.EnergyUsed != noisy.EnergyUsed || base.Collected != noisy.Collected {
+		t.Error("zero-spread noise changed the outcome")
+	}
+}
+
+func TestNoiseReproducible(t *testing.T) {
+	net := simNet()
+	em := energy.Default()
+	plan := simPlan()
+	a := Run(net, em, plan, Options{Noise: Noise{Spread: 0.2, Seed: 9}})
+	b := Run(net, em, plan, Options{Noise: Noise{Spread: 0.2, Seed: 9}})
+	if a.EnergyUsed != b.EnergyUsed || a.Collected != b.Collected || a.Completed != b.Completed {
+		t.Error("same seed produced different noisy missions")
+	}
+	c := Run(net, em, plan, Options{Noise: Noise{Spread: 0.2, Seed: 10}})
+	if a.EnergyUsed == c.EnergyUsed {
+		t.Error("different seeds produced identical energy draws")
+	}
+}
+
+func TestNoiseChangesEnergy(t *testing.T) {
+	net := simNet()
+	em := energy.Default()
+	plan := simPlan()
+	base := Run(net, em, plan, Options{})
+	noisy := Run(net, em, plan, Options{Noise: Noise{Spread: 0.2, Seed: 3}})
+	if math.Abs(noisy.EnergyUsed-base.EnergyUsed) < 1e-9 {
+		t.Error("20% spread left energy unchanged")
+	}
+}
+
+// TestNoiseCanKillTightMissions: a plan using ~100% of the battery must
+// fail under adverse noise for some seeds, and the failure accounting must
+// stay physical (energy ≤ capacity).
+func TestNoiseCanKillTightMissions(t *testing.T) {
+	net := simNet()
+	plan := simPlan()
+	em := energy.Default().WithCapacity(plan.Energy(energy.Default()) * 1.001)
+	failures := 0
+	for seed := int64(0); seed < 40; seed++ {
+		res := Run(net, em, plan, Options{Noise: Noise{Spread: 0.25, Seed: seed}})
+		if !res.Completed {
+			failures++
+			if res.AbortReason == "" {
+				t.Fatal("failed mission without abort reason")
+			}
+		}
+		if res.EnergyUsed > em.Capacity+1e-6 {
+			t.Fatalf("seed %d: drew %v J from a %v J battery", seed, res.EnergyUsed, em.Capacity)
+		}
+	}
+	if failures == 0 {
+		t.Error("±25% noise never killed a 0.1%-margin mission across 40 seeds")
+	}
+	if failures == 40 {
+		t.Error("every seed failed — noise looks biased")
+	}
+}
+
+// TestNoiseMarginHelps: completion frequency must not decrease as the
+// capacity margin grows.
+func TestNoiseMarginHelps(t *testing.T) {
+	net := simNet()
+	plan := simPlan()
+	need := plan.Energy(energy.Default())
+	rate := func(margin float64) int {
+		em := energy.Default().WithCapacity(need * margin)
+		ok := 0
+		for seed := int64(0); seed < 60; seed++ {
+			if Run(net, em, plan, Options{Noise: Noise{Spread: 0.2, Seed: seed}}).Completed {
+				ok++
+			}
+		}
+		return ok
+	}
+	tight, comfy := rate(1.0), rate(1.3)
+	if comfy < tight {
+		t.Errorf("30%% margin completed %d/60, tight %d/60", comfy, tight)
+	}
+	if comfy != 60 {
+		t.Errorf("30%% margin against 20%% spread should always complete, got %d/60", comfy)
+	}
+}
+
+func TestVerticalEnergyInSimulator(t *testing.T) {
+	net := simNet()
+	plan := simPlan()
+	em := energy.Default()
+	em.ClimbPower = 200
+	em.ClimbRate = 4
+	const alt = 20.0
+	// 2 climbs × 20 m × 200/4 = 2000 J extra, 10 s extra.
+	flat := Run(net, em, plan, Options{})
+	high := Run(net, em, plan, Options{Altitude: alt})
+	if !high.Completed {
+		t.Fatal(high.AbortReason)
+	}
+	if d := high.EnergyUsed - flat.EnergyUsed; math.Abs(d-2000) > 1e-9 {
+		t.Errorf("vertical energy delta %v, want 2000", d)
+	}
+	if d := high.MissionTime - flat.MissionTime; math.Abs(d-10) > 1e-9 {
+		t.Errorf("vertical time delta %v, want 10", d)
+	}
+	// Battery exactly one joule short of the ascent: dies immediately.
+	tiny := em.WithCapacity(999)
+	res := Run(net, tiny, plan, Options{Altitude: alt})
+	if res.Completed || res.AbortReason != "battery died on ascent" {
+		t.Errorf("ascent failure not detected: %+v", res.AbortReason)
+	}
+	// Enough for everything but the final descent.
+	justShort := em.WithCapacity(flat.EnergyUsed + 2000 - 1)
+	res = Run(net, justShort, plan, Options{Altitude: alt})
+	if res.Completed || res.AbortReason != "battery died on descent" {
+		t.Errorf("descent failure not detected: %q", res.AbortReason)
+	}
+}

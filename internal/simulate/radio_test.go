@@ -1,0 +1,67 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"uavdc/internal/core"
+	"uavdc/internal/energy"
+	"uavdc/internal/radio"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+// TestSimulatorAgreesWithPlannersUnderRadio is the end-to-end cross-check
+// for the distance-dependent uplink extension: plans produced with a
+// Shannon rate model and hovering altitude must complete in a simulator
+// configured with the same physics and reproduce their accounting.
+func TestSimulatorAgreesWithPlannersUnderRadio(t *testing.T) {
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 40
+	p.Side = 300
+	net, err := sensornet.Generate(p, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := energy.Default().WithCapacity(2.5e4)
+	model := radio.Shannon{RefRate: net.Bandwidth, RefDist: 30, RefSNR: 100, PathLossExp: 2.7}
+	in := &core.Instance{Net: net, Model: em, Delta: 20, K: 2, Altitude: 30, Radio: model}
+	for _, pl := range []core.Planner{&core.Algorithm1{}, &core.Algorithm2{}, &core.Algorithm3{}} {
+		plan, err := pl.Plan(in)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		res := Run(net, em, plan, Options{Altitude: in.Altitude, Radio: model})
+		if !res.Completed {
+			t.Fatalf("%s: aborted: %s", pl.Name(), res.AbortReason)
+		}
+		if math.Abs(res.Collected-plan.Collected()) > 1e-6*(1+plan.Collected()) {
+			t.Errorf("%s: simulator %v vs plan %v", pl.Name(), res.Collected, plan.Collected())
+		}
+	}
+}
+
+// TestSimulatorRadioTruncatesOptimisticPlans: a plan computed under the
+// constant-B assumption but executed under harsher radio physics collects
+// less than it claims — the quantitative version of the paper's
+// "negligible if H is low" caveat.
+func TestSimulatorRadioTruncatesOptimisticPlans(t *testing.T) {
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 40
+	p.Side = 300
+	net, err := sensornet.Generate(p, rng.New(56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := energy.Default().WithCapacity(2e4)
+	in := &core.Instance{Net: net, Model: em, Delta: 20, K: 1}
+	plan, err := (&core.Algorithm2{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh := radio.Shannon{RefRate: net.Bandwidth, RefDist: 5, RefSNR: 50, PathLossExp: 3.5}
+	res := Run(net, em, plan, Options{Altitude: 45, Radio: harsh})
+	if res.Collected >= plan.Collected()-1e-6 {
+		t.Errorf("harsh physics should truncate: simulated %v vs planned %v", res.Collected, plan.Collected())
+	}
+}

@@ -1,0 +1,251 @@
+package simulate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"uavdc/internal/core"
+	"uavdc/internal/energy"
+	"uavdc/internal/geom"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+func simNet() *sensornet.Network {
+	return &sensornet.Network{
+		Region:    geom.Square(200),
+		Depot:     geom.Pt(0, 0),
+		Bandwidth: 10,
+		CommRange: 20,
+		Sensors: []sensornet.Sensor{
+			{Pos: geom.Pt(50, 0), Data: 100},
+			{Pos: geom.Pt(55, 0), Data: 200},
+			{Pos: geom.Pt(150, 0), Data: 50},
+		},
+	}
+}
+
+func simPlan() *core.Plan {
+	return &core.Plan{
+		Algorithm: "test",
+		Depot:     geom.Pt(0, 0),
+		Stops: []core.Stop{
+			{Pos: geom.Pt(52, 0), Sojourn: 20, Collected: []core.Collection{
+				{Sensor: 0, Amount: 100}, {Sensor: 1, Amount: 200},
+			}},
+			{Pos: geom.Pt(150, 0), Sojourn: 5, Collected: []core.Collection{
+				{Sensor: 2, Amount: 50},
+			}},
+		},
+	}
+}
+
+func TestRunCompletesAndMatchesPlanAccounting(t *testing.T) {
+	net := simNet()
+	em := energy.Default()
+	plan := simPlan()
+	res := Run(net, em, plan, Options{RecordEvents: true})
+	if !res.Completed {
+		t.Fatalf("mission aborted: %s", res.AbortReason)
+	}
+	if math.Abs(res.FlightDistance-plan.FlightDistance()) > 1e-9 {
+		t.Errorf("flight %v vs plan %v", res.FlightDistance, plan.FlightDistance())
+	}
+	if math.Abs(res.HoverTime-plan.HoverTime()) > 1e-9 {
+		t.Errorf("hover %v vs plan %v", res.HoverTime, plan.HoverTime())
+	}
+	if math.Abs(res.EnergyUsed-plan.Energy(em)) > 1e-9 {
+		t.Errorf("energy %v vs plan %v", res.EnergyUsed, plan.Energy(em))
+	}
+	if math.Abs(res.Collected-plan.Collected()) > 1e-9 {
+		t.Errorf("collected %v vs plan %v", res.Collected, plan.Collected())
+	}
+	if math.Abs(res.MissionTime-plan.Duration(em)) > 1e-9 {
+		t.Errorf("mission time %v vs plan %v", res.MissionTime, plan.Duration(em))
+	}
+	// Telemetry shape: takeoff, (arrive, collect)×2, return.
+	kinds := []EventKind{EventTakeoff, EventArrive, EventCollect, EventArrive, EventCollect, EventReturn}
+	if len(res.Events) != len(kinds) {
+		t.Fatalf("got %d events", len(res.Events))
+	}
+	for i, k := range kinds {
+		if res.Events[i].Kind != k {
+			t.Errorf("event %d = %v, want %v", i, res.Events[i].Kind, k)
+		}
+		if i > 0 && res.Events[i].Time < res.Events[i-1].Time {
+			t.Error("events not time-ordered")
+		}
+	}
+}
+
+func TestRunNoEventsByDefault(t *testing.T) {
+	res := Run(simNet(), energy.Default(), simPlan(), Options{})
+	if res.Events != nil {
+		t.Error("events recorded without RecordEvents")
+	}
+}
+
+func TestRunDiesEnRoute(t *testing.T) {
+	em := energy.Default().WithCapacity(300) // 30 m of flight only
+	res := Run(simNet(), em, simPlan(), Options{RecordEvents: true})
+	if res.Completed {
+		t.Fatal("impossible mission completed")
+	}
+	if res.AbortReason == "" {
+		t.Error("missing abort reason")
+	}
+	if math.Abs(res.FlightDistance-30) > 1e-9 {
+		t.Errorf("died after %v m, want 30", res.FlightDistance)
+	}
+	if res.Collected != 0 {
+		t.Error("collected data without reaching a stop")
+	}
+	last := res.Events[len(res.Events)-1]
+	if last.Kind != EventBatteryDead {
+		t.Errorf("last event %v", last.Kind)
+	}
+}
+
+func TestRunDiesWhileHovering(t *testing.T) {
+	// Enough to reach stop 1 (520 J) and hover ~10 s of the needed 20 s.
+	em := energy.Default().WithCapacity(520 + 10*150)
+	res := Run(simNet(), em, simPlan(), Options{})
+	if res.Completed {
+		t.Fatal("should die hovering")
+	}
+	// 10 s at 10 MB/s: sensor 0 gives 100 (its full amount), sensor 1
+	// gives 100 of 200.
+	if math.Abs(res.Collected-200) > 1e-6 {
+		t.Errorf("partial collection = %v, want 200", res.Collected)
+	}
+	if math.Abs(res.HoverTime-10) > 1e-9 {
+		t.Errorf("hover time %v, want 10", res.HoverTime)
+	}
+}
+
+func TestRunDiesOnReturnLeg(t *testing.T) {
+	// Exactly enough for both stops and hovers but not the 150 m home.
+	plan := simPlan()
+	em := energy.Default()
+	need := plan.Energy(em)
+	em = em.WithCapacity(need - 100) // 10 m short
+	res := Run(simNet(), em, plan, Options{})
+	if res.Completed {
+		t.Fatal("should die on return")
+	}
+	if res.AbortReason != "battery died on the return leg" {
+		t.Errorf("reason = %q", res.AbortReason)
+	}
+	// All data was nevertheless gathered before the failure.
+	if math.Abs(res.Collected-350) > 1e-6 {
+		t.Errorf("collected %v", res.Collected)
+	}
+}
+
+func TestRunTruncatesOverdraw(t *testing.T) {
+	// A malicious plan claiming more than bandwidth×sojourn or more than
+	// the stored volume gets physically truncated.
+	net := simNet()
+	plan := &core.Plan{Depot: geom.Pt(0, 0), Stops: []core.Stop{{
+		Pos:     geom.Pt(52, 0),
+		Sojourn: 5, // cap 50 MB per sensor
+		Collected: []core.Collection{
+			{Sensor: 0, Amount: 1000}, // wants 1000, cap 50
+			{Sensor: 99, Amount: 50},  // unknown sensor: ignored
+		},
+	}}}
+	res := Run(net, energy.Default(), plan, Options{})
+	if !res.Completed {
+		t.Fatal(res.AbortReason)
+	}
+	if math.Abs(res.Collected-50) > 1e-9 {
+		t.Errorf("collected %v, want 50", res.Collected)
+	}
+}
+
+func TestRunConservesPerSensorAcrossStops(t *testing.T) {
+	// Two stops both claiming sensor 0's full volume: the second gets 0.
+	net := simNet()
+	plan := &core.Plan{Depot: geom.Pt(0, 0), Stops: []core.Stop{
+		{Pos: geom.Pt(50, 0), Sojourn: 10, Collected: []core.Collection{{Sensor: 0, Amount: 100}}},
+		{Pos: geom.Pt(50, 5), Sojourn: 10, Collected: []core.Collection{{Sensor: 0, Amount: 100}}},
+	}}
+	res := Run(net, energy.Default(), plan, Options{})
+	if !res.Completed {
+		t.Fatal(res.AbortReason)
+	}
+	if math.Abs(res.PerSensor[0]-100) > 1e-9 {
+		t.Errorf("sensor 0 gave %v, stores 100", res.PerSensor[0])
+	}
+}
+
+func TestEmptyPlanMission(t *testing.T) {
+	res := Run(simNet(), energy.Default(), &core.Plan{Depot: geom.Pt(0, 0)}, Options{RecordEvents: true})
+	if !res.Completed || res.EnergyUsed != 0 || res.Collected != 0 {
+		t.Errorf("empty plan result %+v", res)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventTakeoff; k <= EventBatteryDead; k++ {
+		if k.String() == "" {
+			t.Errorf("empty String for %d", int(k))
+		}
+	}
+	if EventKind(42).String() == "" {
+		t.Error("unknown kind String empty")
+	}
+}
+
+// TestSimulatorAgreesWithAllPlanners is the integration cross-check: every
+// planner's plan, executed by the simulator, completes and reproduces the
+// plan's own accounting.
+func TestSimulatorAgreesWithAllPlanners(t *testing.T) {
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 50
+	p.Side = 300
+	net, err := sensornet.Generate(p, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := energy.Default().WithCapacity(4e4)
+	in := &core.Instance{Net: net, Model: em, Delta: 25, K: 3}
+	planners := []core.Planner{
+		&core.Algorithm1{}, &core.Algorithm2{}, &core.Algorithm3{}, &core.BenchmarkPlanner{},
+	}
+	for _, pl := range planners {
+		plan, err := pl.Plan(in)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		res := Run(net, em, plan, Options{})
+		if !res.Completed {
+			t.Fatalf("%s: mission aborted: %s", pl.Name(), res.AbortReason)
+		}
+		if math.Abs(res.Collected-plan.Collected()) > 1e-6*(1+plan.Collected()) {
+			t.Errorf("%s: simulator collected %v, plan claims %v", pl.Name(), res.Collected, plan.Collected())
+		}
+		if res.EnergyUsed > em.Capacity+1e-6 {
+			t.Errorf("%s: energy %v over capacity", pl.Name(), res.EnergyUsed)
+		}
+	}
+}
+
+func TestWriteTelemetryCSV(t *testing.T) {
+	res := Run(simNet(), energy.Default(), simPlan(), Options{RecordEvents: true})
+	var sb strings.Builder
+	if err := WriteTelemetryCSV(&sb, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(res.Events)+1 {
+		t.Fatalf("csv lines %d, want %d", len(lines), len(res.Events)+1)
+	}
+	if !strings.HasPrefix(lines[0], "kind,time_s,") {
+		t.Errorf("header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "takeoff,") {
+		t.Errorf("first event = %s", lines[1])
+	}
+}

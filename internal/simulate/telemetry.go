@@ -1,0 +1,33 @@
+package simulate
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteTelemetryCSV exports a mission's event log as CSV
+// (kind,time_s,x_m,y_m,stop,energy_j,collected_mb) for offline analysis or
+// plotting. Run the mission with Options.RecordEvents to populate the log.
+func WriteTelemetryCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "time_s", "x_m", "y_m", "stop", "energy_j", "collected_mb"}); err != nil {
+		return err
+	}
+	for _, e := range events {
+		rec := []string{
+			e.Kind.String(),
+			strconv.FormatFloat(e.Time, 'f', 3, 64),
+			strconv.FormatFloat(e.Pos.X, 'f', 2, 64),
+			strconv.FormatFloat(e.Pos.Y, 'f', 2, 64),
+			strconv.Itoa(e.Stop),
+			strconv.FormatFloat(e.EnergyUsed, 'f', 2, 64),
+			strconv.FormatFloat(e.Collected, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

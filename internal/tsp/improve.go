@@ -1,0 +1,149 @@
+package tsp
+
+// TwoOpt improves t in place by repeatedly reversing segments while an
+// improving 2-exchange exists, up to maxRounds full sweeps (≤ 0 means sweep
+// until no improvement). Returns the total cost reduction. The classic
+// post-processing step after Christofides or insertion construction.
+func TwoOpt(t *Tour, m Metric, maxRounds int) float64 {
+	n := t.Len()
+	if n < 4 {
+		return 0
+	}
+	var saved float64
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		improved := false
+		for i := 0; i < n-1; i++ {
+			a := t.Order[i]
+			b := t.Order[i+1]
+			dAB := m(a, b)
+			for j := i + 2; j < n; j++ {
+				// Reversing t.Order[i+1..j] replaces edges (a,b),(c,d)
+				// with (a,c),(b,d).
+				c := t.Order[j]
+				d := t.Order[(j+1)%n]
+				if i == 0 && j == n-1 {
+					continue // same edge pair on the cycle
+				}
+				delta := m(a, c) + m(b, d) - dAB - m(c, d)
+				if delta < -1e-12 {
+					reverse(t.Order[i+1 : j+1])
+					saved -= delta
+					improved = true
+					b = t.Order[i+1]
+					dAB = m(a, b)
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return saved
+}
+
+// OrOpt improves t in place by relocating chains of 1–3 consecutive items
+// to better positions, complementing 2-opt (which cannot fix misplaced
+// single stops). Returns the total cost reduction.
+func OrOpt(t *Tour, m Metric, maxRounds int) float64 {
+	n := t.Len()
+	if n < 4 {
+		return 0
+	}
+	var saved float64
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		improved := false
+		for segLen := 1; segLen <= 3 && segLen < n-1; segLen++ {
+			for i := 0; i < n; i++ {
+				// Segment s = positions i..i+segLen-1 (cyclic segments
+				// crossing the wrap are skipped; a full sweep still sees
+				// every segment in some rotation over successive rounds).
+				if i+segLen > n {
+					continue
+				}
+				prev := t.Order[(i-1+n)%n]
+				segStart := t.Order[i]
+				segEnd := t.Order[i+segLen-1]
+				next := t.Order[(i+segLen)%n]
+				if prev == segEnd || next == segStart {
+					continue // segment is the whole cycle
+				}
+				removeGain := m(prev, segStart) + m(segEnd, next) - m(prev, next)
+				if removeGain <= 1e-12 {
+					continue
+				}
+				// Try inserting between every other edge (a, b).
+				for j := 0; j < n; j++ {
+					a := t.Order[j]
+					b := t.Order[(j+1)%n]
+					// Skip edges touching the segment or its boundary.
+					if j >= i-1 && j <= i+segLen-1 {
+						continue
+					}
+					if i == 0 && j == n-1 {
+						continue
+					}
+					insCost := m(a, segStart) + m(segEnd, b) - m(a, b)
+					if insCost < removeGain-1e-12 {
+						relocate(t.Order, i, segLen, j)
+						saved += removeGain - insCost
+						improved = true
+						// Restart scanning this segment length.
+						i = -1
+						break
+					}
+				}
+				if i == -1 {
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return saved
+}
+
+// relocate moves the segment order[i:i+segLen] so it follows the element
+// originally at position j (j outside the segment).
+func relocate(order []int, i, segLen, j int) {
+	seg := append([]int(nil), order[i:i+segLen]...)
+	rest := make([]int, 0, len(order)-segLen)
+	rest = append(rest, order[:i]...)
+	rest = append(rest, order[i+segLen:]...)
+	// Find the element originally at position j within rest.
+	target := order[j]
+	pos := -1
+	for k, v := range rest {
+		if v == target {
+			pos = k
+			break
+		}
+	}
+	out := make([]int, 0, len(order))
+	out = append(out, rest[:pos+1]...)
+	out = append(out, seg...)
+	out = append(out, rest[pos+1:]...)
+	copy(order, out)
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Improve applies TwoOpt then OrOpt until neither helps (bounded sweeps),
+// returning the total reduction. This is the standard polish the planners
+// apply after construction.
+func Improve(t *Tour, m Metric) float64 {
+	var total float64
+	for iter := 0; iter < 8; iter++ {
+		d := TwoOpt(t, m, 0) + OrOpt(t, m, 2)
+		total += d
+		if d <= 1e-12 {
+			break
+		}
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+package tsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOneTreeBoundDegenerate(t *testing.T) {
+	pts := randPts(3, 1)
+	m := euclid(pts)
+	if lb, err := OneTreeBound(nil, m, 0); err != nil || lb != 0 {
+		t.Errorf("empty: %v %v", lb, err)
+	}
+	if lb, err := OneTreeBound([]int{0}, m, 0); err != nil || lb != 0 {
+		t.Errorf("single: %v %v", lb, err)
+	}
+	lb, err := OneTreeBound([]int{0, 1}, m, 0)
+	if err != nil || math.Abs(lb-2*m(0, 1)) > 1e-12 {
+		t.Errorf("pair: %v %v", lb, err)
+	}
+}
+
+// TestOneTreeBoundSandwich: MST ≤ 1-tree bound ≤ optimum, on instances
+// small enough for Held–Karp DP.
+func TestOneTreeBoundSandwich(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := 8 + int(seed)%5
+		pts := randPts(n, 700+seed)
+		m := euclid(pts)
+		items := allItems(n)
+		_, opt, err := ExactHeldKarp(items, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mst, err := MSTLowerBound(items, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := OneTreeBound(items, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > opt+1e-6 {
+			t.Fatalf("seed %d: bound %v above optimum %v", seed, lb, opt)
+		}
+		if lb < mst-1e-6 {
+			t.Fatalf("seed %d: bound %v below MST %v — ascent lost ground", seed, lb, mst)
+		}
+		// The ascent should close most of the MST↔OPT gap.
+		if opt > mst && (lb-mst)/(opt-mst) < 0.5 {
+			t.Errorf("seed %d: bound closed only %.0f%% of the gap (mst %v, lb %v, opt %v)",
+				seed, 100*(lb-mst)/(opt-mst), mst, lb, opt)
+		}
+	}
+}
+
+// TestOneTreeBoundCertifiesChristofides: on larger instances without an
+// exact oracle, Christofides+Improve must land within 1.5× of the 1-tree
+// bound (it is guaranteed within 1.5× of OPT ≥ bound).
+func TestOneTreeBoundCertifiesChristofides(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		pts := randPts(60, 900+seed)
+		m := euclid(pts)
+		items := allItems(60)
+		tour, err := Christofides(items, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Improve(&tour, m)
+		lb, err := OneTreeBound(items, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := tour.Cost(m)
+		if c < lb-1e-6 {
+			t.Fatalf("seed %d: tour %v below the lower bound %v", seed, c, lb)
+		}
+		if c > 1.5*lb {
+			t.Errorf("seed %d: tour %v above 1.5× bound %v", seed, c, 1.5*lb)
+		}
+		// Polished tours on random Euclidean instances sit within ~5% of
+		// the bound; allow 10% before complaining.
+		if c > 1.10*lb {
+			t.Errorf("seed %d: tour %v more than 10%% above bound %v", seed, c, lb)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package tsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThreeOptGainAccounting(t *testing.T) {
+	// Every applied move's predicted gain must equal the observed cost
+	// drop — this catches any mispairing of cost formulas and segment
+	// operations.
+	for seed := int64(0); seed < 10; seed++ {
+		pts := randPts(20, seed)
+		m := euclid(pts)
+		items := allItems(20)
+		tour := NearestNeighbor(items, m)
+		before := tour.Cost(m)
+		saved := ThreeOpt(&tour, m, 0)
+		after := tour.Cost(m)
+		if err := tour.Validate(items); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(before-saved-after) > 1e-6*(1+before) {
+			t.Fatalf("seed %d: claimed saving %v, actual %v", seed, saved, before-after)
+		}
+	}
+}
+
+func TestThreeOptAtLeastTwoOpt(t *testing.T) {
+	// From the same start, a full 3-opt pass must end at a cost no worse
+	// than a full 2-opt pass (3-opt's move set strictly contains 2-opt's
+	// — first-improvement search order differs, so compare via a 2-opt
+	// pass applied after 3-opt stalls: it must find nothing).
+	for seed := int64(0); seed < 8; seed++ {
+		pts := randPts(25, 100+seed)
+		m := euclid(pts)
+		tour := NearestNeighbor(allItems(25), m)
+		ThreeOpt(&tour, m, 0)
+		if extra := TwoOpt(&tour, m, 0); extra > 1e-9 {
+			t.Errorf("seed %d: 2-opt improved a 3-opt-optimal tour by %v", seed, extra)
+		}
+	}
+}
+
+func TestThreeOptReachesOptimumSmall(t *testing.T) {
+	hits := 0
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		pts := randPts(9, 200+seed)
+		m := euclid(pts)
+		items := allItems(9)
+		_, opt, err := ExactHeldKarp(items, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tour := NearestNeighbor(items, m)
+		ThreeOpt(&tour, m, 0)
+		if tour.Cost(m) < opt-1e-6 {
+			t.Fatalf("seed %d: 3-opt beat Held–Karp", seed)
+		}
+		if tour.Cost(m) < opt+1e-6 {
+			hits++
+		}
+	}
+	// 3-opt from a NN start finds the true optimum on most 9-point
+	// instances; demand a solid majority.
+	if hits < trials*6/10 {
+		t.Errorf("3-opt hit the optimum on only %d/%d instances", hits, trials)
+	}
+}
+
+func TestThreeOptTinyDelegatesToTwoOpt(t *testing.T) {
+	pts := randPts(4, 3)
+	m := euclid(pts)
+	tour := NearestNeighbor(allItems(4), m)
+	before := tour.Cost(m)
+	saved := ThreeOpt(&tour, m, 0)
+	if math.Abs(before-saved-tour.Cost(m)) > 1e-9 {
+		t.Error("tiny-instance delegation broke accounting")
+	}
+}
+
+func BenchmarkThreeOpt50(b *testing.B) {
+	pts := randPts(50, 5)
+	m := euclid(pts)
+	items := allItems(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tour := NearestNeighbor(items, m)
+		ThreeOpt(&tour, m, 0)
+	}
+}

@@ -1,0 +1,63 @@
+// Package unionfind implements a disjoint-set forest with union by rank and
+// path compression, used by Kruskal's MST construction in internal/graph.
+package unionfind
+
+// UF is a disjoint-set forest over elements 0..n-1.
+type UF struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	uf := &UF{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UF) Find(x int) int {
+	root := int32(x)
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression.
+	for int32(x) != root {
+		x, u.parent[x] = int(u.parent[x]), root
+	}
+	return int(root)
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// happened (false when they were already in the same set).
+func (u *UF) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Connected reports whether a and b share a set.
+func (u *UF) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Len returns the number of elements.
+func (u *UF) Len() int { return len(u.parent) }

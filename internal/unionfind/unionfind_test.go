@@ -1,0 +1,95 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingletons(t *testing.T) {
+	u := New(5)
+	if u.Sets() != 5 || u.Len() != 5 {
+		t.Fatalf("Sets=%d Len=%d", u.Sets(), u.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if u.Find(i) != i {
+			t.Errorf("Find(%d) = %d", i, u.Find(i))
+		}
+	}
+	if u.Connected(0, 1) {
+		t.Error("singletons should not be connected")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := New(10)
+	if !u.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if u.Union(0, 1) {
+		t.Error("repeated union should not merge")
+	}
+	u.Union(1, 2)
+	u.Union(3, 4)
+	if !u.Connected(0, 2) {
+		t.Error("0 and 2 should be connected transitively")
+	}
+	if u.Connected(0, 3) {
+		t.Error("0 and 3 should not be connected")
+	}
+	if u.Sets() != 10-3 {
+		t.Errorf("Sets = %d, want 7", u.Sets())
+	}
+	u.Union(2, 4)
+	if !u.Connected(0, 3) {
+		t.Error("after bridge union, 0 and 3 connected")
+	}
+}
+
+func TestChainCompression(t *testing.T) {
+	const n = 1000
+	u := New(n)
+	for i := 1; i < n; i++ {
+		u.Union(i-1, i)
+	}
+	if u.Sets() != 1 {
+		t.Fatalf("Sets = %d", u.Sets())
+	}
+	root := u.Find(0)
+	for i := 0; i < n; i++ {
+		if u.Find(i) != root {
+			t.Fatalf("element %d has root %d, want %d", i, u.Find(i), root)
+		}
+	}
+}
+
+// TestAgainstNaive cross-checks random unions with a naive labelling.
+func TestAgainstNaive(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewSource(5))
+	u := New(n)
+	label := make([]int, n)
+	for i := range label {
+		label[i] = i
+	}
+	relabel := func(from, to int) {
+		for i := range label {
+			if label[i] == from {
+				label[i] = to
+			}
+		}
+	}
+	for step := 0; step < 500; step++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		merged := u.Union(a, b)
+		if merged != (label[a] != label[b]) {
+			t.Fatalf("step %d: merged=%v labels %d,%d", step, merged, label[a], label[b])
+		}
+		if merged {
+			relabel(label[a], label[b])
+		}
+		x, y := rng.Intn(n), rng.Intn(n)
+		if u.Connected(x, y) != (label[x] == label[y]) {
+			t.Fatalf("step %d: connectivity mismatch for %d,%d", step, x, y)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"uavdc/internal/core"
+	"uavdc/internal/sensornet"
+)
+
+// WriteASCII renders the field and a plan as a terminal map — the
+// zero-dependency preview for CLI sessions. Glyphs: `.` sensor, `:` sensor
+// with most of its data still on board, `o` hovering stop, `D` depot,
+// digits 1–9 label every stop in visiting order (mod 10, `0` for the
+// tenth). Stops overwrite sensors; the depot overwrites everything.
+func WriteASCII(w io.Writer, net *sensornet.Network, plan *core.Plan, cols int) error {
+	if cols <= 0 {
+		cols = 60
+	}
+	rw, rh := net.Region.Width(), net.Region.Height()
+	if rw <= 0 || rh <= 0 {
+		return fmt.Errorf("viz: degenerate region")
+	}
+	// Terminal cells are ~2× taller than wide; halve the row count to
+	// keep the aspect ratio roughly square.
+	rows := int(float64(cols) * rh / rw / 2)
+	if rows < 2 {
+		rows = 2
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	put := func(x, y float64, ch byte) {
+		c := int((x - net.Region.Min.X) / rw * float64(cols))
+		r := int((y - net.Region.Min.Y) / rh * float64(rows))
+		if c >= cols {
+			c = cols - 1
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		if c < 0 || r < 0 {
+			return
+		}
+		grid[rows-1-r][c] = ch // invert y: north up
+	}
+
+	collected := plan.CollectedBySensor(len(net.Sensors))
+	for v, s := range net.Sensors {
+		ch := byte('.')
+		if s.Data > 0 && collected[v] < s.Data/2 {
+			ch = ':'
+		}
+		put(s.Pos.X, s.Pos.Y, ch)
+	}
+	for i := range plan.Stops {
+		put(plan.Stops[i].Pos.X, plan.Stops[i].Pos.Y, byte('0'+(i+1)%10))
+	}
+	put(net.Depot.X, net.Depot.Y, 'D')
+
+	border := "+" + strings.Repeat("-", cols) + "+\n"
+	if _, err := io.WriteString(w, border); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", row); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, border); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "D depot · digits stops in order · ':' sensor still loaded · '.' drained/covered\n")
+	return err
+}

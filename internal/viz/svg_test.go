@@ -1,0 +1,151 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"uavdc/internal/core"
+	"uavdc/internal/energy"
+	"uavdc/internal/geom"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+)
+
+func renderSample(t *testing.T, opts Options) string {
+	t.Helper()
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 30
+	p.Side = 300
+	net, err := sensornet.Generate(p, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &core.Instance{Net: net, Model: energy.Default().WithCapacity(1e4), Delta: 25, K: 2}
+	plan, err := (&core.Algorithm3{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSVG(&sb, net, []*core.Plan{plan}, opts); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	out := renderSample(t, Options{CoverRadius: 50, Title: "tour <1> & \"two\""})
+	// Must be valid XML end to end.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "circle", "</svg>", "&lt;1&gt; &amp; &quot;two&quot;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGDefaults(t *testing.T) {
+	out := renderSample(t, Options{})
+	if !strings.Contains(out, `width="800"`) {
+		t.Error("default width not applied")
+	}
+	if strings.Contains(out, "fill-opacity=\"0.08\"") {
+		t.Error("coverage circles drawn without CoverRadius")
+	}
+}
+
+func TestWriteSVGEmptyPlanAndNetwork(t *testing.T) {
+	net := &sensornet.Network{
+		Region:    geom.Square(100),
+		Depot:     geom.Pt(50, 50),
+		Bandwidth: 1,
+		CommRange: 10,
+	}
+	var sb strings.Builder
+	if err := WriteSVG(&sb, net, []*core.Plan{{Depot: net.Depot}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("no svg emitted")
+	}
+	bad := *net
+	bad.Region = geom.Square(0)
+	if err := WriteSVG(&sb, &bad, nil, Options{}); err == nil {
+		t.Error("degenerate region accepted")
+	}
+}
+
+func TestWriteSVGMultipleTourColours(t *testing.T) {
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 30
+	p.Side = 300
+	net, _ := sensornet.Generate(p, rng.New(2))
+	in := &core.Instance{Net: net, Model: energy.Default().WithCapacity(8e3), Delta: 25, K: 1}
+	p1, err := (&core.Algorithm2{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := (&core.BenchmarkPlanner{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSVG(&sb, net, []*core.Plan{p1, p2}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), palette[0]) || !strings.Contains(sb.String(), palette[1]) {
+		t.Error("two tours should use two palette colours")
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	p := sensornet.DefaultGenParams()
+	p.NumSensors = 25
+	p.Side = 300
+	net, _ := sensornet.Generate(p, rng.New(4))
+	in := &core.Instance{Net: net, Model: energy.Default().WithCapacity(1e4), Delta: 25, K: 1}
+	plan, err := (&core.Algorithm2{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteASCII(&sb, net, plan, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "D") {
+		t.Error("depot missing")
+	}
+	if !strings.Contains(out, "1") {
+		t.Error("first stop missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// border + rows + border + legend
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	for _, l := range lines[:len(lines)-1] {
+		if len(l) != 52 { // '|' + 50 + '|' or border width
+			t.Fatalf("ragged map line %q (len %d)", l, len(l))
+		}
+	}
+	// Degenerate region fails cleanly.
+	bad := *net
+	bad.Region = geom.Square(0)
+	if err := WriteASCII(&sb, &bad, plan, 50); err == nil {
+		t.Error("degenerate region accepted")
+	}
+	// Default width path.
+	if err := WriteASCII(&sb, net, &core.Plan{Depot: net.Depot}, 0); err != nil {
+		t.Error(err)
+	}
+}

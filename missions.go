@@ -1,0 +1,182 @@
+package uavdc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"uavdc/internal/core"
+	"uavdc/internal/mission"
+	"uavdc/internal/multi"
+	"uavdc/internal/simulate"
+	"uavdc/internal/viz"
+)
+
+// FleetResult is a multi-UAV mission: one verified Result per UAV.
+type FleetResult struct {
+	PerUAV      []*Result
+	CollectedMB float64
+}
+
+// PlanFleet plans a mission for fleetSize UAVs sharing the depot, each
+// with its own full battery: the field is partitioned into balanced
+// angular sectors and the chosen algorithm routes each UAV inside its
+// sector. Every per-UAV plan is simulator-verified.
+func PlanFleet(sc Scenario, uav UAV, opts Options, fleetSize int) (*FleetResult, error) {
+	planner, err := plannerFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	in, err := sc.instance(uav, opts)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := multi.PlanFleet(in, multi.Options{
+		Fleet:    fleetSize,
+		Strategy: multi.StrategySweep,
+		Base:     planner,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fp.Validate(in); err != nil {
+		return nil, fmt.Errorf("uavdc: fleet plan invalid: %w", err)
+	}
+	out := &FleetResult{}
+	for u, plan := range fp.PerUAV {
+		sim := simulate.Run(in.Net, in.Model, plan, simulate.Options{Altitude: in.Altitude, Radio: in.Radio})
+		if !sim.Completed {
+			return nil, fmt.Errorf("uavdc: uav %d mission aborted: %s", u, sim.AbortReason)
+		}
+		res := &Result{
+			Algorithm:       plan.Algorithm,
+			CollectedMB:     sim.Collected,
+			EnergyJ:         sim.EnergyUsed,
+			FlightDistanceM: sim.FlightDistance,
+			HoverTimeS:      sim.HoverTime,
+			MissionTimeS:    sim.MissionTime,
+			plan:            plan,
+			net:             in.Net,
+		}
+		for i := range plan.Stops {
+			st := &plan.Stops[i]
+			res.Stops = append(res.Stops, Stop{
+				X: st.Pos.X, Y: st.Pos.Y,
+				SojournS:    st.Sojourn,
+				CollectedMB: st.CollectedTotal(),
+			})
+		}
+		out.PerUAV = append(out.PerUAV, res)
+		out.CollectedMB += sim.Collected
+	}
+	return out, nil
+}
+
+// CampaignResult summarises a multi-sortie campaign.
+type CampaignResult struct {
+	// SortieMB is the simulator-confirmed volume of each flight.
+	SortieMB []float64
+	// CollectedMB is the campaign total.
+	CollectedMB float64
+	// RemainingMB is what is left in the field.
+	RemainingMB float64
+	// Drained reports whether the field was emptied.
+	Drained bool
+	// MakespanS is the campaign's elapsed time in seconds, including the
+	// recharge turnaround between flights.
+	MakespanS float64
+}
+
+// PlanCampaign flies repeated sorties until the field drains or maxSorties
+// is reached (≤ 0 means no practical limit), with instantaneous battery
+// swaps at the depot.
+func PlanCampaign(sc Scenario, uav UAV, opts Options, maxSorties int) (*CampaignResult, error) {
+	return PlanCampaignRecharge(sc, uav, opts, maxSorties, 0)
+}
+
+// PlanCampaignRecharge is PlanCampaign with an explicit recharge
+// turnaround between sorties, in seconds.
+func PlanCampaignRecharge(sc Scenario, uav UAV, opts Options, maxSorties int, rechargeS float64) (*CampaignResult, error) {
+	planner, err := plannerFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	in, err := sc.instance(uav, opts)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := mission.Run(in, planner, mission.Options{
+		MaxSorties:   maxSorties,
+		RechargeTime: rechargeS,
+		Simulate:     simulate.Options{Altitude: in.Altitude, Radio: in.Radio},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CampaignResult{
+		SortieMB:    camp.SortieVolumes,
+		CollectedMB: camp.Collected,
+		RemainingMB: camp.Remaining,
+		Drained:     camp.Drained,
+		MakespanS:   camp.Makespan,
+	}, nil
+}
+
+// WriteSVG renders the mission (field, tour, coverage circles) as a
+// standalone SVG document.
+func (r *Result) WriteSVG(w io.Writer, coverRadiusM float64) error {
+	if r.plan == nil || r.net == nil {
+		return fmt.Errorf("uavdc: result was not produced by Plan")
+	}
+	return viz.WriteSVG(w, r.net, []*core.Plan{r.plan}, viz.Options{
+		CoverRadius: coverRadiusM,
+		Title:       fmt.Sprintf("%s: %.1f GB", r.Algorithm, r.CollectedMB/1024),
+	})
+}
+
+// WriteSVG renders every UAV's tour in a distinct colour.
+func (fr *FleetResult) WriteSVG(w io.Writer, coverRadiusM float64) error {
+	var plans []*core.Plan
+	for _, r := range fr.PerUAV {
+		if r.plan == nil || r.net == nil {
+			return fmt.Errorf("uavdc: fleet result was not produced by PlanFleet")
+		}
+		plans = append(plans, r.plan)
+	}
+	if len(plans) == 0 {
+		return fmt.Errorf("uavdc: empty fleet result")
+	}
+	return viz.WriteSVG(w, fr.PerUAV[0].net, plans, viz.Options{
+		CoverRadius: coverRadiusM,
+		Title:       fmt.Sprintf("fleet of %d: %.1f GB", len(plans), fr.CollectedMB/1024),
+	})
+}
+
+// WriteASCII renders the mission as a terminal map (digits mark stops in
+// visiting order, D the depot).
+func (r *Result) WriteASCII(w io.Writer, cols int) error {
+	if r.plan == nil || r.net == nil {
+		return fmt.Errorf("uavdc: result was not produced by Plan")
+	}
+	return viz.WriteASCII(w, r.net, r.plan, cols)
+}
+
+// WriteJSON serialises the scenario.
+func (sc Scenario) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc)
+}
+
+// ReadScenario deserialises a scenario written by WriteJSON and validates
+// it.
+func ReadScenario(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	if err := json.NewDecoder(r).Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("uavdc: decoding scenario: %w", err)
+	}
+	if _, err := sc.network(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}

@@ -1,0 +1,208 @@
+package uavdc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlanFleet(t *testing.T) {
+	sc := testScenario()
+	uav := DefaultUAV()
+	uav.CapacityJ = 8e3
+	single, err := Plan(sc, uav, Options{DeltaM: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := PlanFleet(sc, uav, Options{DeltaM: 25}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.PerUAV) != 3 {
+		t.Fatalf("fleet size %d", len(fleet.PerUAV))
+	}
+	if fleet.CollectedMB <= single.CollectedMB {
+		t.Errorf("3 UAVs collected %v, single %v", fleet.CollectedMB, single.CollectedMB)
+	}
+	var sum float64
+	for _, r := range fleet.PerUAV {
+		sum += r.CollectedMB
+		if r.EnergyJ > uav.CapacityJ+1e-6 {
+			t.Errorf("uav over budget: %v", r.EnergyJ)
+		}
+	}
+	if math.Abs(sum-fleet.CollectedMB) > 1e-6 {
+		t.Error("per-UAV volumes do not add up")
+	}
+}
+
+func TestPlanFleetErrors(t *testing.T) {
+	sc := testScenario()
+	if _, err := PlanFleet(sc, DefaultUAV(), Options{Algorithm: "nope"}, 2); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := PlanFleet(sc, DefaultUAV(), Options{}, 0); err == nil {
+		t.Error("fleet size 0 accepted")
+	}
+}
+
+func TestPlanCampaign(t *testing.T) {
+	sc := testScenario()
+	uav := DefaultUAV()
+	uav.CapacityJ = 8e3
+	camp, err := PlanCampaign(sc, uav, Options{DeltaM: 25}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !camp.Drained {
+		t.Errorf("campaign left %v MB", camp.RemainingMB)
+	}
+	if len(camp.SortieMB) < 2 {
+		t.Errorf("tight budget should need several sorties, got %d", len(camp.SortieMB))
+	}
+	if math.Abs(camp.CollectedMB-sc.TotalDataMB()) > 1 {
+		t.Errorf("campaign collected %v of %v", camp.CollectedMB, sc.TotalDataMB())
+	}
+	capped, err := PlanCampaign(sc, uav, Options{DeltaM: 25}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.SortieMB) != 1 || capped.Drained {
+		t.Errorf("capped campaign: %+v", capped)
+	}
+}
+
+func TestResultWriteSVG(t *testing.T) {
+	sc := testScenario()
+	uav := DefaultUAV()
+	uav.CapacityJ = 1.5e4
+	res, err := Plan(sc, uav, Options{DeltaM: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteSVG(&sb, sc.CoverRadiusM); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") || !strings.Contains(sb.String(), "polyline") {
+		t.Error("svg output malformed")
+	}
+	var empty Result
+	if err := empty.WriteSVG(&sb, 0); err == nil {
+		t.Error("hand-built result should not render")
+	}
+}
+
+func TestFleetWriteSVG(t *testing.T) {
+	sc := testScenario()
+	uav := DefaultUAV()
+	uav.CapacityJ = 8e3
+	fleet, err := PlanFleet(sc, uav, Options{DeltaM: 25}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := fleet.WriteSVG(&sb, sc.CoverRadiusM); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fleet of 2") {
+		t.Error("missing fleet title")
+	}
+	var emptyFleet FleetResult
+	if err := emptyFleet.WriteSVG(&sb, 0); err == nil {
+		t.Error("empty fleet should not render")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := testScenario()
+	var sb strings.Builder
+	if err := sc.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScenario(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sensors) != len(sc.Sensors) || back.RegionSideM != sc.RegionSideM {
+		t.Error("round trip lost data")
+	}
+	for i := range sc.Sensors {
+		if back.Sensors[i] != sc.Sensors[i] {
+			t.Fatalf("sensor %d changed", i)
+		}
+	}
+	if _, err := ReadScenario(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid JSON but invalid scenario (sensor outside region).
+	bad := `{"RegionSideM":10,"DepotX":5,"DepotY":5,"Sensors":[{"X":50,"Y":0,"DataMB":1}],"BandwidthMBps":1,"CoverRadiusM":1}`
+	if _, err := ReadScenario(strings.NewReader(bad)); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestPlanWithAltitudeAndShannon(t *testing.T) {
+	sc := testScenario()
+	uav := DefaultUAV()
+	uav.CapacityJ = 2e4
+	ideal, err := Plan(sc, uav, Options{DeltaM: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := Plan(sc, uav, Options{DeltaM: 25, AltitudeM: 30, ShannonRadio: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.CollectedMB > ideal.CollectedMB+1e-6 {
+		t.Errorf("harsher physics collected more: %v vs %v", real.CollectedMB, ideal.CollectedMB)
+	}
+	if real.CollectedMB <= 0 {
+		t.Error("realistic physics collected nothing")
+	}
+}
+
+func TestPlanCampaignRechargeMakespan(t *testing.T) {
+	sc := testScenario()
+	uav := DefaultUAV()
+	uav.CapacityJ = 8e3
+	fast, err := PlanCampaign(sc, uav, Options{DeltaM: 25}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := PlanCampaignRecharge(sc, uav, Options{DeltaM: 25}, 0, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.SortieMB) < 2 {
+		t.Skip("need multiple sorties")
+	}
+	wantExtra := 1800 * float64(len(slow.SortieMB)-1)
+	if slow.MakespanS < fast.MakespanS+wantExtra-1e-6 {
+		t.Errorf("recharge makespan %v, flight-only %v, want +%v", slow.MakespanS, fast.MakespanS, wantExtra)
+	}
+	if fast.MakespanS <= 0 {
+		t.Error("makespan not populated")
+	}
+}
+
+func TestResultWriteASCII(t *testing.T) {
+	sc := testScenario()
+	uav := DefaultUAV()
+	uav.CapacityJ = 1e4
+	res, err := Plan(sc, uav, Options{DeltaM: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteASCII(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "D") {
+		t.Error("no depot in map")
+	}
+	var empty Result
+	if err := empty.WriteASCII(&sb, 40); err == nil {
+		t.Error("hand-built result rendered")
+	}
+}
