@@ -1,0 +1,34 @@
+# Tier-1 gate: everything `make ci` runs must pass before merging.
+# See CONTRIBUTING.md.
+
+GO ?= go
+
+.PHONY: ci build vet test race fuzz bench golden
+
+ci: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every target; extend -fuzztime for a deeper run.
+fuzz:
+	$(GO) test -fuzz FuzzReadScenario -fuzztime 10s .
+	$(GO) test -fuzz FuzzPlanSmallScenarios -fuzztime 10s .
+	$(GO) test -fuzz FuzzValidatorSimulatorAgreement -fuzztime 10s .
+
+# Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines").
+bench:
+	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR1.json
+
+# Rewrite the golden volume panels after a deliberate behaviour change.
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenVolumePanels -update

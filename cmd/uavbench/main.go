@@ -1,0 +1,127 @@
+// Command uavbench runs the figure drivers with the obs instrumentation
+// layer attached and writes a BENCH_*.json perf baseline: per-figure
+// wall-clock time, planner-only time, deterministic counter totals, and
+// collected volumes. Later repo states diff their own run against a
+// committed baseline to tell "faster" apart from "does less work".
+//
+// Usage:
+//
+//	uavbench [flags]
+//
+//	-preset    tiny | reduced | paper | papertight (default reduced)
+//	-fig       comma-separated figure ids (default fig3,fig4,fig5)
+//	-instances override the number of network instances per point
+//	-seed      override the experiment seed
+//	-workers   parallel candidate-scan goroutines (counters are identical)
+//	-out       output path (default BENCH.json; "-" = stdout)
+//
+// Counter totals and volumes are deterministic for a fixed preset at any
+// -workers setting; only the timing fields vary run to run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"uavdc/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args with its own FlagSet,
+// writes to the given streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uavbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		preset    = fs.String("preset", "reduced", "tiny | reduced | paper | papertight")
+		fig       = fs.String("fig", "fig3,fig4,fig5", "comma-separated figure ids")
+		instances = fs.Int("instances", 0, "override instances per point (0 = preset default)")
+		seed      = fs.Uint64("seed", 0, "override experiment seed (0 = preset default)")
+		workers   = fs.Int("workers", 0, "parallel candidate-scan goroutines")
+		out       = fs.String("out", "BENCH.json", `output path ("-" = stdout)`)
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg experiments.Config
+	switch *preset {
+	case "tiny":
+		cfg = experiments.Tiny()
+	case "reduced":
+		cfg = experiments.Reduced()
+	case "paper":
+		cfg = experiments.Paper()
+	case "papertight":
+		cfg = experiments.PaperTight()
+	default:
+		fmt.Fprintf(stderr, "uavbench: unknown preset %q\n", *preset)
+		return 2
+	}
+	if *instances > 0 {
+		cfg.Instances = *instances
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	var figures []string
+	for _, name := range strings.Split(*fig, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := experiments.Figures[name]; !ok {
+			fmt.Fprintf(stderr, "uavbench: unknown figure %q\n", name)
+			return 2
+		}
+		figures = append(figures, name)
+	}
+	if len(figures) == 0 {
+		fmt.Fprintln(stderr, "uavbench: no figures selected")
+		return 2
+	}
+
+	b, err := experiments.RunBench(*preset, cfg, figures)
+	if err != nil {
+		fmt.Fprintln(stderr, "uavbench:", err)
+		return 1
+	}
+
+	if *out == "-" {
+		if err := b.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "uavbench:", err)
+			return 1
+		}
+		return 0
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, "uavbench:", err)
+		return 1
+	}
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, "uavbench:", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "uavbench:", err)
+		return 1
+	}
+	for _, bf := range b.Figures {
+		fmt.Fprintf(stdout, "%-18s %8.3f s wall  %8.3f s plan  %6d plans\n",
+			bf.Figure, bf.WallSeconds, bf.PlanSeconds, bf.PlanCalls)
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return 0
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uavdc/internal/experiments"
+)
+
+func TestRunWritesBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errb strings.Builder
+	code := run([]string{"-preset", "tiny", "-fig", "fig3", "-out", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("summary missing output path:\n%s", out.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := experiments.ReadBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Preset != "tiny" || len(b.Figures) != 1 || b.Figures[0].Figure != "fig3" {
+		t.Errorf("bench content wrong: %+v", b)
+	}
+	if b.Figures[0].Counters["core.candidate_evals"] == 0 &&
+		b.Figures[0].Counters["tsp.christofides_runs"] == 0 {
+		t.Errorf("no instrumentation counters recorded: %v", b.Figures[0].Counters)
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-preset", "tiny", "-fig", "fig3", "-out", "-"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	b, err := experiments.ReadBench(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("stdout is not a bench document: %v\n%s", err, out.String())
+	}
+	if b.Schema != experiments.BenchSchema {
+		t.Errorf("schema %q", b.Schema)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-preset", "nope"},
+		{"-fig", "fig9"},
+		{"-fig", ","},
+		{"-what"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}

@@ -15,6 +15,8 @@
 //	-seed      override the experiment seed
 //	-csv       write long-form CSV to this file (appends all figures)
 //	-md        render markdown tables instead of aligned text
+//	-metrics   attach the obs instrumentation layer and print a (c) panel of
+//	           per-point counter totals after each figure
 //
 // The paper preset matches Section VII-A exactly (500 sensors, 1 km²,
 // 15 instances, E = 3–9×10⁵ J, δ = 5–30 m) and takes CPU-hours; reduced
@@ -24,36 +26,39 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"uavdc/internal/experiments"
 )
 
 func main() {
-	var (
-		fig       = flag.String("fig", "all", "fig3 | fig4 | fig5 | all")
-		preset    = flag.String("preset", "reduced", "tiny | reduced | paper | papertight")
-		instances = flag.Int("instances", 0, "override instances per point (0 = preset default)")
-		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = preset default)")
-		csvPath   = flag.String("csv", "", "write long-form CSV to this file")
-		markdown  = flag.Bool("md", false, "render markdown tables instead of aligned text")
-		workers   = flag.Int("workers", 0, "parallel candidate-scan goroutines (identical plans; distorts runtime panels)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var cfg experiments.Config
-	switch *preset {
-	case "tiny":
-		cfg = experiments.Tiny()
-	case "reduced":
-		cfg = experiments.Reduced()
-	case "paper":
-		cfg = experiments.Paper()
-	case "papertight":
-		cfg = experiments.PaperTight()
-	default:
-		fmt.Fprintf(os.Stderr, "uavexp: unknown preset %q\n", *preset)
-		os.Exit(2)
+// run is the testable entry point: it parses args with its own FlagSet,
+// writes to the given streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uavexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig       = fs.String("fig", "all", "fig3 | fig4 | fig5 | all | ext | ext-*")
+		preset    = fs.String("preset", "reduced", "tiny | reduced | paper | papertight")
+		instances = fs.Int("instances", 0, "override instances per point (0 = preset default)")
+		seed      = fs.Uint64("seed", 0, "override experiment seed (0 = preset default)")
+		csvPath   = fs.String("csv", "", "write long-form CSV to this file")
+		markdown  = fs.Bool("md", false, "render markdown tables instead of aligned text")
+		workers   = fs.Int("workers", 0, "parallel candidate-scan goroutines (identical plans; distorts runtime panels)")
+		metrics   = fs.Bool("metrics", false, "record obs counters and print the (c) instrumentation panel")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg, err := presetConfig(*preset)
+	if err != nil {
+		fmt.Fprintln(stderr, "uavexp:", err)
+		return 2
 	}
 	if *instances > 0 {
 		cfg.Instances = *instances
@@ -64,26 +69,20 @@ func main() {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	cfg.Metrics = *metrics
 
-	var figures []string
-	switch *fig {
-	case "all":
-		figures = []string{"fig3", "fig4", "fig5"}
-	case "ext":
-		figures = []string{"ext-altitude", "ext-fleet", "ext-robustness", "ext-decomposition"}
-	case "fig3", "fig4", "fig5", "ext-altitude", "ext-fleet", "ext-robustness", "ext-decomposition":
-		figures = []string{*fig}
-	default:
-		fmt.Fprintf(os.Stderr, "uavexp: unknown figure %q\n", *fig)
-		os.Exit(2)
+	figures, err := figureList(*fig)
+	if err != nil {
+		fmt.Fprintln(stderr, "uavexp:", err)
+		return 2
 	}
 
 	var csvFile *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "uavexp:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "uavexp:", err)
+			return 1
 		}
 		defer f.Close()
 		csvFile = f
@@ -92,25 +91,61 @@ func main() {
 	for i, name := range figures {
 		tab, err := experiments.Run(name, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "uavexp:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "uavexp:", err)
+			return 1
 		}
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		render := tab.Render
 		if *markdown {
 			render = tab.WriteMarkdown
 		}
-		if err := render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "uavexp:", err)
-			os.Exit(1)
+		if err := render(stdout); err != nil {
+			fmt.Fprintln(stderr, "uavexp:", err)
+			return 1
+		}
+		if *metrics && tab.HasMetrics() {
+			fmt.Fprintln(stdout)
+			if err := tab.RenderMetrics(stdout); err != nil {
+				fmt.Fprintln(stderr, "uavexp:", err)
+				return 1
+			}
 		}
 		if csvFile != nil {
 			if err := tab.WriteCSV(csvFile); err != nil {
-				fmt.Fprintln(os.Stderr, "uavexp:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "uavexp:", err)
+				return 1
 			}
 		}
+	}
+	return 0
+}
+
+func presetConfig(name string) (experiments.Config, error) {
+	switch name {
+	case "tiny":
+		return experiments.Tiny(), nil
+	case "reduced":
+		return experiments.Reduced(), nil
+	case "paper":
+		return experiments.Paper(), nil
+	case "papertight":
+		return experiments.PaperTight(), nil
+	default:
+		return experiments.Config{}, fmt.Errorf("unknown preset %q", name)
+	}
+}
+
+func figureList(fig string) ([]string, error) {
+	switch fig {
+	case "all":
+		return []string{"fig3", "fig4", "fig5"}, nil
+	case "ext":
+		return []string{"ext-altitude", "ext-fleet", "ext-robustness", "ext-decomposition"}, nil
+	case "fig3", "fig4", "fig5", "ext-altitude", "ext-fleet", "ext-robustness", "ext-decomposition":
+		return []string{fig}, nil
+	default:
+		return nil, fmt.Errorf("unknown figure %q", fig)
 	}
 }

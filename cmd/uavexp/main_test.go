@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyFig3(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-preset", "tiny", "-fig", "fig3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fig3(a): collected data volume (MB)",
+		"fig3(b): running time (s)",
+		"algorithm1",
+		"benchmark",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "instrumentation counters") {
+		t.Error("metrics panel rendered without -metrics")
+	}
+}
+
+func TestRunMetricsPanel(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-preset", "tiny", "-fig", "fig4", "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fig4(c): instrumentation counters",
+		"series algorithm2",
+		"core.candidate_evals",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var out, errb strings.Builder
+	code := run([]string{"-preset", "tiny", "-fig", "fig3", "-csv", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "figure,series,x,volume_mb") {
+		t.Errorf("csv header wrong: %q", string(data[:60]))
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-preset", "nope"},
+		{"-fig", "fig9"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+func TestFigureList(t *testing.T) {
+	if figs, err := figureList("all"); err != nil || len(figs) != 3 {
+		t.Errorf("all -> %v, %v", figs, err)
+	}
+	if figs, err := figureList("ext"); err != nil || len(figs) != 4 {
+		t.Errorf("ext -> %v, %v", figs, err)
+	}
+	if _, err := figureList("fig6"); err == nil {
+		t.Error("fig6 accepted")
+	}
+}

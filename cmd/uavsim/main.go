@@ -35,49 +35,79 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"uavdc"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args with its own FlagSet,
+// writes to the given streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uavsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sensors   = flag.Int("sensors", 60, "number of aggregate sensor nodes")
-		side      = flag.Float64("side", 350, "region edge length (m)")
-		seed      = flag.Uint64("seed", 1, "scenario seed")
-		algorithm = flag.String("algorithm", "partial", "no-overlap | greedy | partial | baseline")
-		delta     = flag.Float64("delta", 0, "grid resolution δ (m); 0 = R0/5")
-		k         = flag.Int("k", 4, "sojourn partition K (partial algorithm)")
-		capacity  = flag.Float64("capacity", 2e4, "battery capacity (J)")
-		altitude  = flag.Float64("altitude", 0, "hovering altitude H (m)")
-		shannon   = flag.Bool("shannon", false, "distance-dependent Shannon uplink")
-		fleet     = flag.Int("fleet", 1, "number of UAVs")
-		sorties   = flag.Int("sorties", 0, "max sorties; 0 = single flight")
-		stops     = flag.Bool("stops", false, "print individual stops")
-		svgPath   = flag.String("svg", "", "write mission SVG to this file")
-		asciiMap  = flag.Bool("map", false, "print a terminal map of the mission")
-		savePath  = flag.String("save", "", "write the generated scenario as JSON and exit")
-		loadPath  = flag.String("load", "", "load a scenario JSON instead of generating one")
+		sensors   = fs.Int("sensors", 60, "number of aggregate sensor nodes")
+		side      = fs.Float64("side", 350, "region edge length (m)")
+		seed      = fs.Uint64("seed", 1, "scenario seed")
+		algorithm = fs.String("algorithm", "partial", "no-overlap | greedy | partial | baseline")
+		delta     = fs.Float64("delta", 0, "grid resolution δ (m); 0 = R0/5")
+		k         = fs.Int("k", 4, "sojourn partition K (partial algorithm)")
+		capacity  = fs.Float64("capacity", 2e4, "battery capacity (J)")
+		altitude  = fs.Float64("altitude", 0, "hovering altitude H (m)")
+		shannon   = fs.Bool("shannon", false, "distance-dependent Shannon uplink")
+		fleet     = fs.Int("fleet", 1, "number of UAVs")
+		sorties   = fs.Int("sorties", 0, "max sorties; 0 = single flight")
+		stops     = fs.Bool("stops", false, "print individual stops")
+		svgPath   = fs.String("svg", "", "write mission SVG to this file")
+		asciiMap  = fs.Bool("map", false, "print a terminal map of the mission")
+		savePath  = fs.String("save", "", "write the generated scenario as JSON and exit")
+		loadPath  = fs.String("load", "", "load a scenario JSON instead of generating one")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "uavsim:", err)
+		return 1
+	}
 
 	var sc uavdc.Scenario
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
-		exitOn(err)
+		if err != nil {
+			return fail(err)
+		}
 		sc, err = uavdc.ReadScenario(f)
-		exitOn(err)
-		exitOn(f.Close())
+		if err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
 	} else {
 		sc = uavdc.RandomScenario(*sensors, *side, *seed)
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
-		exitOn(err)
-		exitOn(sc.WriteJSON(f))
-		exitOn(f.Close())
-		fmt.Printf("saved scenario to %s (%d sensors)\n", *savePath, len(sc.Sensors))
-		return
+		if err != nil {
+			return fail(err)
+		}
+		if err := sc.WriteJSON(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "saved scenario to %s (%d sensors)\n", *savePath, len(sc.Sensors))
+		return 0
 	}
 	uav := uavdc.DefaultUAV()
 	uav.CapacityJ = *capacity
@@ -90,73 +120,87 @@ func main() {
 	}
 
 	total := sc.TotalDataMB()
-	fmt.Printf("scenario   %d sensors in %.0f×%.0f m, %.1f GB stored, depot (%.0f, %.0f)\n",
+	fmt.Fprintf(stdout, "scenario   %d sensors in %.0f×%.0f m, %.1f GB stored, depot (%.0f, %.0f)\n",
 		len(sc.Sensors), sc.RegionSideM, sc.RegionSideM, total/1024, sc.DepotX, sc.DepotY)
-	fmt.Printf("uav        %.0f W hover, %.0f W travel, %.0f m/s, %.3g J battery\n",
+	fmt.Fprintf(stdout, "uav        %.0f W hover, %.0f W travel, %.0f m/s, %.3g J battery\n",
 		uav.HoverPowerW, uav.TravelPowerW, uav.SpeedMS, uav.CapacityJ)
 
 	switch {
 	case *sorties > 0:
 		camp, err := uavdc.PlanCampaign(sc, uav, opts, *sorties)
-		exitOn(err)
-		fmt.Printf("campaign   %d sorties, %.1f MB collected (%.1f%%)",
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "campaign   %d sorties, %.1f MB collected (%.1f%%)",
 			len(camp.SortieMB), camp.CollectedMB, 100*camp.CollectedMB/total)
 		if camp.Drained {
-			fmt.Println(", field drained")
+			fmt.Fprintln(stdout, ", field drained")
 		} else {
-			fmt.Printf(", %.1f MB remaining\n", camp.RemainingMB)
+			fmt.Fprintf(stdout, ", %.1f MB remaining\n", camp.RemainingMB)
 		}
 		for i, v := range camp.SortieMB {
-			fmt.Printf("  sortie %2d  %10.1f MB\n", i+1, v)
+			fmt.Fprintf(stdout, "  sortie %2d  %10.1f MB\n", i+1, v)
 		}
 
 	case *fleet > 1:
 		fr, err := uavdc.PlanFleet(sc, uav, opts, *fleet)
-		exitOn(err)
-		fmt.Printf("fleet      %d UAVs, %.1f MB collected (%.1f%%)\n",
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "fleet      %d UAVs, %.1f MB collected (%.1f%%)\n",
 			len(fr.PerUAV), fr.CollectedMB, 100*fr.CollectedMB/total)
 		for u, r := range fr.PerUAV {
-			fmt.Printf("  uav %d    %8.1f MB, %2d stops, %6.0f J, %5.0f s\n",
+			fmt.Fprintf(stdout, "  uav %d    %8.1f MB, %2d stops, %6.0f J, %5.0f s\n",
 				u+1, r.CollectedMB, len(r.Stops), r.EnergyJ, r.MissionTimeS)
 		}
-		writeSVG(*svgPath, func(f *os.File) error { return fr.WriteSVG(f, sc.CoverRadiusM) })
+		if err := writeSVG(stdout, *svgPath, func(f *os.File) error { return fr.WriteSVG(f, sc.CoverRadiusM) }); err != nil {
+			return fail(err)
+		}
 
 	default:
 		res, err := uavdc.Plan(sc, uav, opts)
-		exitOn(err)
-		fmt.Printf("plan       %s: %d stops\n", res.Algorithm, len(res.Stops))
-		fmt.Printf("collected  %.1f MB (%.1f%% of stored)\n", res.CollectedMB, 100*res.CollectedMB/total)
-		fmt.Printf("energy     %.0f J of %.0f J (%.1f%%)\n", res.EnergyJ, uav.CapacityJ, 100*res.EnergyJ/uav.CapacityJ)
-		fmt.Printf("flight     %.0f m in %.0f s; hover %.0f s; mission %.0f s\n",
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "plan       %s: %d stops\n", res.Algorithm, len(res.Stops))
+		fmt.Fprintf(stdout, "collected  %.1f MB (%.1f%% of stored)\n", res.CollectedMB, 100*res.CollectedMB/total)
+		fmt.Fprintf(stdout, "energy     %.0f J of %.0f J (%.1f%%)\n", res.EnergyJ, uav.CapacityJ, 100*res.EnergyJ/uav.CapacityJ)
+		fmt.Fprintf(stdout, "flight     %.0f m in %.0f s; hover %.0f s; mission %.0f s\n",
 			res.FlightDistanceM, res.FlightDistanceM/uav.SpeedMS, res.HoverTimeS, res.MissionTimeS)
 		if *stops {
-			fmt.Println("\n  #    x (m)    y (m)  sojourn (s)  collected (MB)")
+			fmt.Fprintln(stdout, "\n  #    x (m)    y (m)  sojourn (s)  collected (MB)")
 			for i, st := range res.Stops {
-				fmt.Printf("%3d %8.1f %8.1f %12.2f %15.1f\n", i+1, st.X, st.Y, st.SojournS, st.CollectedMB)
+				fmt.Fprintf(stdout, "%3d %8.1f %8.1f %12.2f %15.1f\n", i+1, st.X, st.Y, st.SojournS, st.CollectedMB)
 			}
 		}
-		writeSVG(*svgPath, func(f *os.File) error { return res.WriteSVG(f, sc.CoverRadiusM) })
+		if err := writeSVG(stdout, *svgPath, func(f *os.File) error { return res.WriteSVG(f, sc.CoverRadiusM) }); err != nil {
+			return fail(err)
+		}
 		if *asciiMap {
-			fmt.Println()
-			exitOn(res.WriteASCII(os.Stdout, 70))
+			fmt.Fprintln(stdout)
+			if err := res.WriteASCII(stdout, 70); err != nil {
+				return fail(err)
+			}
 		}
 	}
+	return 0
 }
 
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "uavsim:", err)
-		os.Exit(1)
-	}
-}
-
-func writeSVG(path string, render func(*os.File) error) {
+func writeSVG(stdout io.Writer, path string, render func(*os.File) error) error {
 	if path == "" {
-		return
+		return nil
 	}
 	f, err := os.Create(path)
-	exitOn(err)
-	exitOn(render(f))
-	exitOn(f.Close())
-	fmt.Printf("rendered   %s\n", path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "rendered   %s\n", path)
+	return nil
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tinyArgs(extra ...string) []string {
+	base := []string{"-sensors", "12", "-side", "150", "-seed", "3", "-capacity", "5e3"}
+	return append(base, extra...)
+}
+
+func TestRunSingleMission(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(tinyArgs("-algorithm", "greedy", "-stops"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"scenario", "uav", "plan", "collected", "energy", "flight"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFleetAndCampaign(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(tinyArgs("-fleet", "2"), &out, &errb); code != 0 {
+		t.Fatalf("fleet exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fleet      2 UAVs") {
+		t.Errorf("fleet summary missing:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(tinyArgs("-sorties", "3", "-algorithm", "baseline"), &out, &errb); code != 0 {
+		t.Fatalf("campaign exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "campaign") {
+		t.Errorf("campaign summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sc.json")
+
+	var out, errb strings.Builder
+	if code := run(tinyArgs("-save", path), &out, &errb); code != 0 {
+		t.Fatalf("save exit %d, stderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-load", path, "-capacity", "5e3", "-algorithm", "partial"}, &out, &errb); code != 0 {
+		t.Fatalf("load exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scenario   12 sensors") {
+		t.Errorf("loaded scenario summary wrong:\n%s", out.String())
+	}
+}
+
+func TestRunSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mission.svg")
+	var out, errb strings.Builder
+	if code := run(tinyArgs("-svg", path), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("not an SVG file")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-load", filepath.Join(t.TempDir(), "missing.json")}, &out, &errb); code != 1 {
+		t.Errorf("missing -load file: exit %d, want 1", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-bogus-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(tinyArgs("-algorithm", "nonsense"), &out, &errb); code != 1 {
+		t.Errorf("bad algorithm: exit %d, want 1", code)
+	}
+}

@@ -1,8 +1,12 @@
 package uavdc
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"uavdc/internal/core"
+	"uavdc/internal/simulate"
 )
 
 // FuzzReadScenario hardens the scenario decoder: arbitrary bytes must
@@ -59,6 +63,98 @@ func FuzzPlanSmallScenarios(f *testing.F) {
 		}
 		if res.EnergyJ > capacity+1e-6 {
 			t.Fatalf("energy over budget: %v > %v", res.EnergyJ, capacity)
+		}
+	})
+}
+
+// FuzzValidatorSimulatorAgreement cross-checks the two independent
+// implementations of the physical model. For any planner output on a valid
+// scenario:
+//
+//  1. core.ValidatePlanPhysics must accept it (the validator recomputes
+//     energy, coverage, and per-sensor limits from geometry alone);
+//  2. internal/simulate must fly it to completion;
+//  3. the simulator's collected-volume and energy accounting must agree
+//     with the plan's own, since the simulator enforces limits instead of
+//     trusting them;
+//  4. a corrupted copy — one collection amount inflated past both the
+//     rate×sojourn limit and the sensor's stored volume — must be rejected
+//     by the validator and must NOT inflate the simulator's accounting.
+//
+// Divergence between the two implementations is exactly the kind of bug
+// the obs counters cannot catch, hence this target.
+func FuzzValidatorSimulatorAgreement(f *testing.F) {
+	f.Add(int64(1), uint8(6), float64(8e3), uint8(0))
+	f.Add(int64(2), uint8(3), float64(2e4), uint8(1))
+	f.Add(int64(5), uint8(10), float64(1.2e3), uint8(2))
+	f.Add(int64(9), uint8(15), float64(5e4), uint8(3))
+	f.Add(int64(42), uint8(0), float64(0), uint8(1))
+	algos := []Algorithm{AlgorithmGreedy, AlgorithmPartial, AlgorithmBaseline, AlgorithmNoOverlap}
+	f.Fuzz(func(t *testing.T, seed int64, rawN uint8, capacity float64, algoRaw uint8) {
+		if capacity < 0 || capacity > 1e9 || math.IsNaN(capacity) {
+			return
+		}
+		n := int(rawN)%10 + 1
+		sc := RandomScenario(n, 120, uint64(seed))
+		uav := DefaultUAV()
+		uav.CapacityJ = capacity
+		opts := Options{Algorithm: algos[int(algoRaw)%len(algos)], DeltaM: 25, K: 2}
+
+		planner, err := plannerFor(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := sc.instance(uav, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := planner.Plan(in)
+		if err != nil {
+			t.Fatalf("%s errored on valid input: %v", opts.Algorithm, err)
+		}
+
+		// 1. The independent validator must accept every planner output.
+		if err := core.ValidatePlanPhysics(in.Net, in.Model, in.Physics(), plan); err != nil {
+			t.Fatalf("%s plan rejected by validator: %v", opts.Algorithm, err)
+		}
+
+		// 2–3. The simulator must complete the mission and agree with the
+		// plan's own accounting.
+		sim := simulate.Run(in.Net, in.Model, plan, simulate.Options{Altitude: in.Altitude, Radio: in.Radio})
+		if !sim.Completed {
+			t.Fatalf("%s plan aborted in simulation: %s", opts.Algorithm, sim.AbortReason)
+		}
+		wantVol := plan.Collected()
+		if d := math.Abs(sim.Collected - wantVol); d > 1e-6+1e-9*wantVol {
+			t.Fatalf("%s: simulator collected %.9f MB, plan accounts %.9f MB", opts.Algorithm, sim.Collected, wantVol)
+		}
+		wantEnergy := plan.Energy(in.Model) + in.Model.VerticalOverhead(in.Altitude)
+		if d := math.Abs(sim.EnergyUsed - wantEnergy); d > 1e-6+1e-9*wantEnergy {
+			t.Fatalf("%s: simulator drew %.9f J, plan accounts %.9f J", opts.Algorithm, sim.EnergyUsed, wantEnergy)
+		}
+
+		// 4. Corrupt one collection amount beyond every physical limit:
+		// the validator must reject it, and the simulator must truncate
+		// rather than report the inflated figure.
+		si, ci := -1, -1
+		for i := range plan.Stops {
+			if len(plan.Stops[i].Collected) > 0 {
+				si, ci = i, 0
+				break
+			}
+		}
+		if si < 0 {
+			return // empty plan (capacity too small): nothing to corrupt
+		}
+		c := &plan.Stops[si].Collected[ci]
+		stored := in.Net.Sensors[c.Sensor].Data
+		c.Amount = stored + in.Net.Bandwidth*plan.Stops[si].Sojourn + 1
+		if err := core.ValidatePlanPhysics(in.Net, in.Model, in.Physics(), plan); err == nil {
+			t.Fatalf("%s: validator accepted corrupted plan (stop %d amount %.3f)", opts.Algorithm, si, c.Amount)
+		}
+		simBad := simulate.Run(in.Net, in.Model, plan, simulate.Options{Altitude: in.Altitude, Radio: in.Radio})
+		if simBad.Collected > sc.TotalDataMB()+1e-6 {
+			t.Fatalf("%s: simulator reported %.3f MB from a field storing %.3f MB", opts.Algorithm, simBad.Collected, sc.TotalDataMB())
 		}
 	})
 }

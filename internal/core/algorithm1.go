@@ -64,7 +64,7 @@ func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
 		Budget: in.Budget(),
 		Depot:  0,
 	}
-	sol, err := orienteering.Solve(prob, a.Method)
+	sol, err := orienteering.Solve(prob, a.Method, in.obsRecorder())
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm1 orienteering: %w", err)
 	}

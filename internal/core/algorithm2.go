@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"uavdc/internal/hover"
+	"uavdc/internal/obs"
 	"uavdc/internal/tsp"
 )
 
@@ -66,9 +67,12 @@ type fullCandidate struct {
 }
 
 // evalFull prices candidate c against the current state, returning ok =
-// false when it is covered, drained, or over budget.
-func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy float64) (fullCandidate, float64, bool) {
+// false when it is covered, drained, or over budget. so carries the
+// evaluating worker's counter handles.
+func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy float64, so scanObs) (fullCandidate, float64, bool) {
+	so.evals.Inc()
 	loc := &st.set.Locs[c]
+	so.resid.Inc()
 	sojourn, award := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, st.in.Net.Bandwidth)
 	if award <= 0 {
 		return fullCandidate{}, 0, false
@@ -83,6 +87,7 @@ func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy float64) (fullCa
 	hoverE := st.in.Model.HoverEnergy(sojourn)
 	travelE := st.in.Model.TravelEnergy(travelD)
 	if curEnergy+hoverE+travelE > st.in.Budget()+1e-9 {
+		so.pruned.Inc()
 		return fullCandidate{}, 0, false
 	}
 	denom := hoverE + travelE
@@ -118,11 +123,12 @@ func (a *Algorithm2) pickNext(st *greedyState) (fullCandidate, bool) {
 	if workers <= 1 || a.ExactRatioTSP || n < 256 {
 		best := fullCandidate{loc: -1}
 		bestRatio := -1.0
+		so := newScanObs(st.rec)
 		for c := 1; c < n; c++ {
 			if st.inTour[c] {
 				continue
 			}
-			if cand, ratio, ok := a.evalFull(st, c, cur); ok && betterFull(cand, ratio, best, bestRatio) {
+			if cand, ratio, ok := a.evalFull(st, c, cur, so); ok && betterFull(cand, ratio, best, bestRatio) {
 				best, bestRatio = cand, ratio
 			}
 		}
@@ -133,6 +139,7 @@ func (a *Algorithm2) pickNext(st *greedyState) (fullCandidate, bool) {
 		ratio float64
 	}
 	results := make([]localBest, workers)
+	shards := obs.Shards(st.rec, workers)
 	var wg sync.WaitGroup
 	chunk := (n - 1 + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -148,12 +155,13 @@ func (a *Algorithm2) pickNext(st *greedyState) (fullCandidate, bool) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			so := newScanObs(shards[w])
 			best := localBest{cand: fullCandidate{loc: -1}, ratio: -1}
 			for c := lo; c < hi; c++ {
 				if st.inTour[c] {
 					continue
 				}
-				if cand, ratio, ok := a.evalFull(st, c, cur); ok && betterFull(cand, ratio, best.cand, best.ratio) {
+				if cand, ratio, ok := a.evalFull(st, c, cur, so); ok && betterFull(cand, ratio, best.cand, best.ratio) {
 					best = localBest{cand: cand, ratio: ratio}
 				}
 			}
@@ -161,6 +169,7 @@ func (a *Algorithm2) pickNext(st *greedyState) (fullCandidate, bool) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	obs.MergeShards(st.rec, shards)
 	best := localBest{cand: fullCandidate{loc: -1}, ratio: -1}
 	for _, r := range results {
 		if r.cand.loc >= 0 && betterFull(r.cand, r.ratio, best.cand, best.ratio) {
@@ -182,9 +191,15 @@ type greedyState struct {
 	sojourns  map[int]float64
 	collected map[int]map[int]float64 // loc → sensor → MB
 	hoverTime float64
+	// rec is the instance's recorder (obs.Discard when uninstrumented);
+	// cAccepted/cUpgraded are its cached accept-path counter handles.
+	rec       obs.Recorder
+	cAccepted obs.Counter
+	cUpgraded obs.Counter
 }
 
 func newGreedyState(in *Instance, set *hover.Set) *greedyState {
+	rec := in.obsRecorder()
 	st := &greedyState{
 		in:        in,
 		set:       set,
@@ -193,6 +208,9 @@ func newGreedyState(in *Instance, set *hover.Set) *greedyState {
 		residual:  make([]float64, len(in.Net.Sensors)),
 		sojourns:  map[int]float64{},
 		collected: map[int]map[int]float64{},
+		rec:       rec,
+		cAccepted: rec.Counter(CounterAcceptedStops),
+		cUpgraded: rec.Counter(CounterUpgradedStops),
 	}
 	st.dist = func(i, j int) float64 { return set.Dist(i, j) }
 	st.inTour[hover.DepotID] = true
@@ -210,6 +228,7 @@ func (st *greedyState) energy() float64 {
 // acceptFull inserts the candidate, drains every still-loaded covered
 // sensor completely, and re-optimises the tour order.
 func (st *greedyState) acceptFull(c fullCandidate) {
+	st.cAccepted.Inc()
 	st.tour = tsp.Insert(st.tour, c.loc, c.pos)
 	st.inTour[c.loc] = true
 	st.sojourns[c.loc] = c.sojourn
@@ -222,7 +241,7 @@ func (st *greedyState) acceptFull(c fullCandidate) {
 		}
 	}
 	st.collected[c.loc] = m
-	tsp.Improve(&st.tour, st.dist)
+	tsp.Improve(&st.tour, st.dist, st.rec)
 }
 
 // christofidesDelta prices candidate c by re-running Christofides over the
@@ -232,11 +251,11 @@ func (st *greedyState) acceptFull(c fullCandidate) {
 // difference (clamped at ≥ 0).
 func (st *greedyState) christofidesDelta(c int) (int, float64) {
 	items := append(append([]int(nil), st.tour.Order...), c)
-	full, err := tsp.Christofides(items, st.dist)
+	full, err := tsp.Christofides(items, st.dist, st.rec)
 	if err != nil {
 		return tsp.BestInsertion(st.tour, c, st.dist)
 	}
-	tsp.Improve(&full, st.dist)
+	tsp.Improve(&full, st.dist, st.rec)
 	delta := full.Cost(st.dist) - st.tour.Cost(st.dist)
 	if delta < 0 {
 		delta = 0

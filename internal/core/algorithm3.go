@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"uavdc/internal/hover"
+	"uavdc/internal/obs"
 	"uavdc/internal/tsp"
 )
 
@@ -98,8 +99,9 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 		best := partialCandidate{loc: -1}
 		bestRatio := -1.0
 		cur := st.energy()
+		so := newScanObs(st.rec)
 		for c := 1; c < n; c++ {
-			if cand, ratio, ok := a.evalLoc(st, k, c, cur); ok && betterPartial(cand, ratio, best, bestRatio) {
+			if cand, ratio, ok := a.evalLoc(st, k, c, cur, so); ok && betterPartial(cand, ratio, best, bestRatio) {
 				best, bestRatio = cand, ratio
 			}
 		}
@@ -111,6 +113,7 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 	}
 	cur := st.energy()
 	results := make([]localBest, workers)
+	shards := obs.Shards(st.rec, workers)
 	var wg sync.WaitGroup
 	chunk := (n - 1 + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -126,9 +129,10 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			so := newScanObs(shards[w])
 			best := localBest{cand: partialCandidate{loc: -1}, ratio: -1}
 			for c := lo; c < hi; c++ {
-				if cand, ratio, ok := a.evalLoc(st, k, c, cur); ok && betterPartial(cand, ratio, best.cand, best.ratio) {
+				if cand, ratio, ok := a.evalLoc(st, k, c, cur, so); ok && betterPartial(cand, ratio, best.cand, best.ratio) {
 					best = localBest{cand: cand, ratio: ratio}
 				}
 			}
@@ -136,6 +140,7 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	obs.MergeShards(st.rec, shards)
 	best := localBest{cand: partialCandidate{loc: -1}, ratio: -1}
 	for _, r := range results {
 		if r.cand.loc >= 0 && betterPartial(r.cand, r.ratio, best.cand, best.ratio) {
@@ -146,14 +151,17 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 }
 
 // evalLoc prices every level of one location and returns its best
-// candidate under the total order.
-func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64) (partialCandidate, float64, bool) {
+// candidate under the total order. so carries the evaluating worker's
+// counter handles.
+func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64, so scanObs) (partialCandidate, float64, bool) {
+	so.evals.Inc()
 	in := st.in
 	best := partialCandidate{loc: -1}
 	bestRatio := -1.0
 	budget := in.Budget()
 	loc := &st.set.Locs[c]
 	// Residual full-drain time defines this location's level ladder.
+	so.resid.Inc()
 	fullSojourn, fullAward := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, in.Net.Bandwidth)
 	prevSojourn := st.sojourns[c] // 0 when not in tour
 	already := st.collected[c]
@@ -180,6 +188,7 @@ func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64) (partialCan
 			travelE = in.Model.TravelEnergy(travelD)
 		}
 		if cur+hoverE+travelE > budget+1e-9 {
+			so.pruned.Inc()
 			continue
 		}
 		denom := hoverE + travelE
@@ -237,7 +246,10 @@ func partialTake(covered []int, residual []float64, already map[int]float64, rat
 // moves the taken volumes from residuals into the stop's ledger, and
 // re-optimises the tour.
 func (st *greedyState) acceptPartial(c partialCandidate) {
-	if !c.upgrade {
+	if c.upgrade {
+		st.cUpgraded.Inc()
+	} else {
+		st.cAccepted.Inc()
 		st.tour = tsp.Insert(st.tour, c.loc, c.pos)
 		st.inTour[c.loc] = true
 		st.collected[c.loc] = map[int]float64{}
@@ -252,5 +264,5 @@ func (st *greedyState) acceptPartial(c partialCandidate) {
 			st.residual[v] = 0
 		}
 	}
-	tsp.Improve(&st.tour, st.dist)
+	tsp.Improve(&st.tour, st.dist, st.rec)
 }

@@ -27,6 +27,9 @@ func (b *BenchmarkCoverage) Plan(in *Instance) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	rec := in.obsRecorder()
+	so := newScanObs(rec)
+	removals := rec.Counter(CounterBenchRemovals)
 	net := in.Net
 	n := len(net.Sensors)
 	r0 := in.EffectiveCoverRadius()
@@ -35,11 +38,11 @@ func (b *BenchmarkCoverage) Plan(in *Instance) (*Plan, error) {
 	for i := range items {
 		items[i] = i
 	}
-	tour, err := tsp.Christofides(items, dist)
+	tour, err := tsp.Christofides(items, dist, rec)
 	if err != nil {
 		return nil, fmt.Errorf("core: benchmark-coverage tsp: %w", err)
 	}
-	tsp.Improve(&tour, dist)
+	tsp.Improve(&tour, dist, rec)
 	tour.RotateTo(0)
 
 	// Iteratively: realise the coverage-aware plan along the tour, and
@@ -55,6 +58,7 @@ func (b *BenchmarkCoverage) Plan(in *Instance) (*Plan, error) {
 		// Score stops by loss/saving; plan.Stops parallels tour.Order[1:].
 		bestIdx, bestScore := -1, 0.0
 		for si := range plan.Stops {
+			so.evals.Inc()
 			stop := &plan.Stops[si]
 			_, travelD := tsp.Remove(tour, tour.Order[si+1], dist)
 			saved := in.Model.TravelEnergy(travelD) + in.Model.HoverEnergy(stop.Sojourn)
@@ -71,7 +75,8 @@ func (b *BenchmarkCoverage) Plan(in *Instance) (*Plan, error) {
 			return plan, nil // only the depot remains; plan is empty
 		}
 		tour, _ = tsp.Remove(tour, tour.Order[bestIdx+1], dist)
-		tsp.Improve(&tour, dist)
+		removals.Inc()
+		tsp.Improve(&tour, dist, rec)
 		tour.RotateTo(0)
 	}
 }

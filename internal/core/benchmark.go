@@ -28,6 +28,9 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	rec := in.obsRecorder()
+	so := newScanObs(rec)
+	removals := rec.Counter(CounterBenchRemovals)
 	net := in.Net
 	n := len(net.Sensors)
 	// Item ids: 0 is the depot, 1..n are sensors (sensor v is item v+1).
@@ -36,11 +39,11 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 	for i := range items {
 		items[i] = i
 	}
-	tour, err := tsp.Christofides(items, dist)
+	tour, err := tsp.Christofides(items, dist, rec)
 	if err != nil {
 		return nil, fmt.Errorf("core: benchmark tsp: %w", err)
 	}
-	tsp.Improve(&tour, dist)
+	tsp.Improve(&tour, dist, rec)
 
 	hoverTime := 0.0
 	for v := 0; v < n; v++ {
@@ -51,7 +54,7 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 	if improveEvery <= 0 {
 		improveEvery = 1
 	}
-	removals := 0
+	removed := 0
 	for in.Model.TourEnergy(tour.Cost(dist), hoverTime) > in.Budget()+1e-9 {
 		// Find the cheapest-loss removal.
 		bestItem := -1
@@ -60,6 +63,7 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 			if it == 0 {
 				continue // never remove the depot
 			}
+			so.evals.Inc()
 			v := it - 1
 			_, travelD := tsp.Remove(tour, it, dist)
 			saved := in.Model.TravelEnergy(travelD) + in.Model.HoverEnergy(net.UploadTime(v))
@@ -78,12 +82,13 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 		}
 		tour, _ = tsp.Remove(tour, bestItem, dist)
 		hoverTime -= net.UploadTime(bestItem - 1)
-		removals++
-		if removals%improveEvery == 0 {
-			tsp.Improve(&tour, dist)
+		removals.Inc()
+		removed++
+		if removed%improveEvery == 0 {
+			tsp.Improve(&tour, dist, rec)
 		}
 	}
-	tsp.Improve(&tour, dist)
+	tsp.Improve(&tour, dist, rec)
 
 	tour.RotateTo(0)
 	plan := &Plan{Algorithm: b.Name(), Depot: net.Depot}

@@ -5,6 +5,7 @@ import (
 
 	"uavdc/internal/energy"
 	"uavdc/internal/hover"
+	"uavdc/internal/obs"
 	"uavdc/internal/radio"
 	"uavdc/internal/sensornet"
 )
@@ -33,6 +34,12 @@ type Instance struct {
 	// Radio is the uplink rate model; nil is the paper's constant
 	// bandwidth B.
 	Radio radio.Model
+	// Obs receives instrumentation counters and timers from the planners;
+	// nil disables recording (the default). Recording never changes a
+	// planner's output, and counter totals are reproducible at any
+	// Workers setting. Use an *obs.Registry to collect, or any custom
+	// Recorder (which must be concurrency-safe when Workers > 1).
+	Obs obs.Recorder
 }
 
 // Validate checks the instance's parameters.

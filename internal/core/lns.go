@@ -67,9 +67,13 @@ func (l *LNSPlanner) Plan(in *Instance) (*Plan, error) {
 		return best, nil
 	}
 
+	rec := in.obsRecorder()
+	cRounds := rec.Counter(CounterLNSRounds)
+	cImproved := rec.Counter(CounterLNSImprovements)
 	rng := rand.New(rand.NewSource(l.Seed))
 	alg := &Algorithm3{}
 	for round := 0; round < rounds; round++ {
+		cRounds.Inc()
 		cur := rebuildState(in, set, best, frac, rng)
 		for {
 			cand, ok := alg.pickNext(cur, k)
@@ -80,6 +84,7 @@ func (l *LNSPlanner) Plan(in *Instance) (*Plan, error) {
 		}
 		trial := cur.plan(l.Name())
 		if trial.Collected() > best.Collected()+1e-9 {
+			cImproved.Inc()
 			best = trial
 		}
 	}
@@ -134,6 +139,6 @@ func rebuildState(in *Instance, set *hover.Set, p *Plan, frac float64, rng *rand
 		}
 		st.collected[id] = ledger
 	}
-	tsp.Improve(&st.tour, st.dist)
+	tsp.Improve(&st.tour, st.dist, st.rec)
 	return st
 }

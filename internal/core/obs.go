@@ -1,0 +1,56 @@
+package core
+
+import "uavdc/internal/obs"
+
+// Instrumentation counter names recorded by the planners. All counts are
+// exactly reproducible for a fixed instance, at any Workers setting: the
+// parallel candidate scans record into per-worker shards that are merged
+// after the join (see obs.Shards), so a divergence across worker counts
+// means the scan itself evaluated a different candidate set — the counters
+// double as a correctness oracle for the parallelisation.
+const (
+	// CounterCandidateEvals counts candidate (or candidate-location)
+	// evaluations across all greedy iterations; the benchmark's removal
+	// scans contribute their per-removal candidate checks here too.
+	CounterCandidateEvals = "core.candidate_evals"
+	// CounterPrunedOverBudget counts candidate evaluations (levels, for
+	// Algorithm 3) rejected because accepting them would exceed the
+	// energy budget.
+	CounterPrunedOverBudget = "core.pruned_over_budget"
+	// CounterResidualRecomputes counts residual drain-time recomputations
+	// (hover.ResidualDrain calls) — the paper's Algorithm 3 line 12.
+	CounterResidualRecomputes = "core.residual_recomputes"
+	// CounterAcceptedStops counts stops newly inserted into the tour.
+	CounterAcceptedStops = "core.accepted_stops"
+	// CounterUpgradedStops counts Algorithm 3 in-place sojourn upgrades
+	// of stops already in the tour (Lemma 2).
+	CounterUpgradedStops = "core.upgraded_stops"
+	// CounterBenchRemovals counts nodes pruned from the benchmark's
+	// initial TSP tour to reach feasibility.
+	CounterBenchRemovals = "core.bench_removals"
+	// CounterLNSRounds counts LNS destroy/repair rounds executed.
+	CounterLNSRounds = "core.lns_rounds"
+	// CounterLNSImprovements counts LNS rounds that improved the
+	// incumbent plan.
+	CounterLNSImprovements = "core.lns_improvements"
+)
+
+// obsRecorder resolves the instance's optional recorder.
+func (in *Instance) obsRecorder() obs.Recorder { return obs.OrDiscard(in.Obs) }
+
+// scanObs caches the candidate-scan counter handles so the hot evaluation
+// loop pays no per-event name lookup. Each parallel worker builds its own
+// scanObs over its shard recorder.
+type scanObs struct {
+	evals  obs.Counter
+	pruned obs.Counter
+	resid  obs.Counter
+}
+
+func newScanObs(r obs.Recorder) scanObs {
+	return scanObs{
+		evals:  r.Counter(CounterCandidateEvals),
+		pruned: r.Counter(CounterPrunedOverBudget),
+		resid:  r.Counter(CounterResidualRecomputes),
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// TimerPlan is the obs timer under which runSweep records every planner
+// invocation's wall time when Config.Metrics is on.
+const TimerPlan = "experiments.plan"
+
+// BenchSchema identifies the BENCH_*.json format version. Bump it when a
+// field changes meaning; perf-trajectory tooling compares files only
+// within one schema version.
+const BenchSchema = "uavdc-bench/1"
+
+// BenchFigure is one figure driver's measurement in a bench run.
+type BenchFigure struct {
+	// Figure is the driver id, e.g. "fig3".
+	Figure string `json:"figure"`
+	// WallSeconds is the driver's total wall-clock time: planning,
+	// validation, and simulation for every (series, x, instance) cell.
+	WallSeconds float64 `json:"wall_seconds"`
+	// PlanSeconds is the summed planner-only wall time (the obs
+	// "experiments.plan" timer), i.e. WallSeconds minus generation,
+	// validation, and simulation overhead.
+	PlanSeconds float64 `json:"plan_seconds"`
+	// PlanCalls is the number of planner invocations.
+	PlanCalls int64 `json:"plan_calls"`
+	// VolumeMB maps each series to its collected volume summed over the
+	// sweep's points (mean over instances at each point). A perf PR that
+	// changes any of these numbers changed planner behaviour, not just
+	// speed.
+	VolumeMB map[string]float64 `json:"volume_mb"`
+	// Counters is the obs counter totals summed over every series and
+	// point of the figure. Deterministic for a fixed configuration.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Bench is the on-disk BENCH_*.json document: the perf baseline one repo
+// state leaves behind for later states to diff against.
+type Bench struct {
+	Schema    string        `json:"schema"`
+	Preset    string        `json:"preset"`
+	Instances int           `json:"instances"`
+	Seed      uint64        `json:"seed"`
+	Workers   int           `json:"workers"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Figures   []BenchFigure `json:"figures"`
+}
+
+// RunBench executes the named figure drivers with instrumentation on and
+// returns the perf baseline: per-figure wall clock, planner-only time,
+// counter totals, and collected volumes. preset is recorded verbatim for
+// provenance; cfg should be the matching configuration.
+func RunBench(preset string, cfg Config, figures []string) (*Bench, error) {
+	cfg.Metrics = true
+	b := &Bench{
+		Schema:    BenchSchema,
+		Preset:    preset,
+		Instances: cfg.Instances,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, name := range figures {
+		start := time.Now()
+		tab, err := Run(name, cfg)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench %s: %w", name, err)
+		}
+		fig := BenchFigure{
+			Figure:      name,
+			WallSeconds: wall,
+			VolumeMB:    map[string]float64{},
+			Counters:    map[string]int64{},
+		}
+		for _, s := range tab.Series {
+			for _, p := range s.Points {
+				fig.VolumeMB[s.Name] += p.Volume
+				for cname, n := range p.Counters {
+					fig.Counters[cname] += n
+				}
+			}
+		}
+		fig.PlanSeconds, fig.PlanCalls = planTimerTotals(tab)
+		b.Figures = append(b.Figures, fig)
+	}
+	return b, nil
+}
+
+// planTimerTotals sums the per-point plan timer that runSweep folds into
+// the counter map via snapshotting; the timer itself lives outside
+// Point.Counters, so it is re-derived here from the runtime panel: mean
+// runtime × N per point.
+func planTimerTotals(tab *Table) (seconds float64, calls int64) {
+	for _, s := range tab.Series {
+		for _, p := range s.Points {
+			seconds += p.Runtime * float64(p.N)
+			calls += int64(p.N)
+		}
+	}
+	return seconds, calls
+}
+
+// WriteJSON writes the bench document as indented JSON with a trailing
+// newline. Map keys are emitted sorted (encoding/json), so two runs of the
+// same configuration differ only in the timing fields.
+func (b *Bench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBench parses a BENCH_*.json document and checks its schema tag.
+func ReadBench(r io.Reader) (*Bench, error) {
+	var b Bench
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: parsing bench file: %w", err)
+	}
+	if b.Schema != BenchSchema {
+		return nil, fmt.Errorf("experiments: bench schema %q, want %q", b.Schema, BenchSchema)
+	}
+	return &b, nil
+}

@@ -48,6 +48,12 @@ type Config struct {
 	// wall time — and therefore the runtime panels — changes, so leave it
 	// serial when reproducing Fig. 3(b)/4(b)/5(b).
 	Workers int
+	// Metrics attaches an obs.Registry to every planner run and stores
+	// the per-point counter totals in each Point, enabling the figure
+	// tables' instrumentation panel (uavexp -metrics) and the bench
+	// harness. Counter totals are deterministic at any Workers setting;
+	// recording never changes plans.
+	Metrics bool
 }
 
 // Paper returns the full-scale configuration of Section VII-A. Running it

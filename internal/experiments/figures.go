@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"uavdc/internal/core"
+	"uavdc/internal/obs"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
 	"uavdc/internal/simulate"
@@ -50,11 +51,23 @@ func runSweep(cfg Config, xs []float64, specs []runSpec) ([]Series, error) {
 		for _, x := range xs {
 			vols := make([]float64, 0, len(nets))
 			times := make([]float64, 0, len(nets))
+			// One registry per (series, x) point: counters aggregate over
+			// the point's instances, exactly like volume and runtime.
+			var reg *obs.Registry
+			if cfg.Metrics {
+				reg = obs.NewRegistry()
+			}
 			for _, net := range nets {
 				in := spec.instance(net, x)
+				if reg != nil {
+					in.Obs = reg
+				}
 				start := time.Now()
 				plan, err := spec.planner.Plan(in)
 				elapsed := time.Since(start).Seconds()
+				if reg != nil {
+					reg.Timer(TimerPlan).Observe(elapsed)
+				}
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s at x=%g: %w", spec.name, x, err)
 				}
@@ -71,14 +84,18 @@ func runSweep(cfg Config, xs []float64, specs []runSpec) ([]Series, error) {
 				times = append(times, elapsed)
 			}
 			vs, ts := stats.Summarize(vols), stats.Summarize(times)
-			series[si].Points = append(series[si].Points, Point{
+			p := Point{
 				X:         x,
 				Volume:    vs.Mean,
 				VolumeCI:  vs.CI95(),
 				Runtime:   ts.Mean,
 				RuntimeCI: ts.CI95(),
 				N:         vs.N,
-			})
+			}
+			if reg != nil {
+				p.Counters = reg.Snapshot().Counters
+			}
+			series[si].Points = append(series[si].Points, p)
 		}
 	}
 	return series, nil

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// TestGoldenVolumePanels locks the deterministic (a) collected-volume panel
+// of every figure driver at the Tiny configuration. The runtime panel is
+// wall-clock and excluded. A diff here means planner *behaviour* changed —
+// which must be deliberate: regenerate with
+//
+//	go test ./internal/experiments -run TestGoldenVolumePanels -update
+//
+// and justify the new numbers in the commit message.
+func TestGoldenVolumePanels(t *testing.T) {
+	for name := range Figures {
+		t.Run(name, func(t *testing.T) {
+			tab, err := Run(name, Tiny())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := tab.RenderVolumePanel(&sb); err != nil {
+				t.Fatal(err)
+			}
+			got := sb.String()
+
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("volume panel drifted from golden.\n--- want (%s)\n%s--- got\n%s", path, want, got)
+			}
+		})
+	}
+}

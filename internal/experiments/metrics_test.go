@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsCollectedPerPoint(t *testing.T) {
+	cfg := Tiny()
+	cfg.Metrics = true
+	tab, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.HasMetrics() {
+		t.Fatal("Metrics=true sweep produced no counters")
+	}
+	alg := tab.SeriesByName("algorithm1")
+	bench := tab.SeriesByName("benchmark")
+	if alg == nil || bench == nil {
+		t.Fatal("missing series")
+	}
+	for _, p := range alg.Points {
+		if p.Counters["orienteering.exact_runs"]+p.Counters["orienteering.greedy_runs"] == 0 {
+			t.Errorf("algorithm1 x=%g: no orienteering solver attempts recorded: %v", p.X, p.Counters)
+		}
+	}
+	for _, p := range bench.Points {
+		if p.Counters["tsp.christofides_runs"] == 0 {
+			t.Errorf("benchmark x=%g: no christofides runs recorded: %v", p.X, p.Counters)
+		}
+		if p.Counters["matching.blossom_runs"]+p.Counters["matching.greedy_runs"] == 0 {
+			t.Errorf("benchmark x=%g: no matchings recorded: %v", p.X, p.Counters)
+		}
+	}
+}
+
+func TestMetricsOffByDefault(t *testing.T) {
+	tab, err := Fig3(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.HasMetrics() {
+		t.Error("counters recorded without Config.Metrics")
+	}
+	var sb strings.Builder
+	if err := tab.RenderMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("RenderMetrics on uninstrumented table rendered %q", sb.String())
+	}
+}
+
+func TestRenderMetricsPanel(t *testing.T) {
+	cfg := Tiny()
+	cfg.Metrics = true
+	tab, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.RenderMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fig5(c): instrumentation counters",
+		"series algorithm2",
+		"series algorithm3-k2",
+		"series benchmark",
+		"core.candidate_evals",
+		"core.accepted_stops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics panel missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBenchTiny(t *testing.T) {
+	b, err := RunBench("tiny", Tiny(), []string{"fig3", "fig4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != BenchSchema {
+		t.Errorf("schema = %q", b.Schema)
+	}
+	if len(b.Figures) != 2 {
+		t.Fatalf("figures = %d, want 2", len(b.Figures))
+	}
+	for _, fig := range b.Figures {
+		if fig.WallSeconds <= 0 {
+			t.Errorf("%s: wall_seconds = %v", fig.Figure, fig.WallSeconds)
+		}
+		if fig.PlanCalls == 0 {
+			t.Errorf("%s: no plan calls", fig.Figure)
+		}
+		if len(fig.Counters) == 0 {
+			t.Errorf("%s: no counters", fig.Figure)
+		}
+		if len(fig.VolumeMB) == 0 {
+			t.Errorf("%s: no volumes", fig.Figure)
+		}
+		for series, v := range fig.VolumeMB {
+			if v <= 0 {
+				t.Errorf("%s: series %s collected %v MB", fig.Figure, series, v)
+			}
+		}
+	}
+
+	// Round-trip through the JSON encoding.
+	var sb strings.Builder
+	if err := b.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Preset != "tiny" || len(got.Figures) != 2 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if got.Figures[0].Counters["core.candidate_evals"] != b.Figures[0].Counters["core.candidate_evals"] {
+		t.Error("counters lost in round-trip")
+	}
+
+	// Schema tag is enforced.
+	if _, err := ReadBench(strings.NewReader(`{"schema":"bogus/9"}`)); err == nil {
+		t.Error("ReadBench accepted wrong schema")
+	}
+}
+
+// TestBenchCountersDeterministic: two bench runs of the same configuration
+// must report identical counter totals and volumes — only timings differ.
+func TestBenchCountersDeterministic(t *testing.T) {
+	a, err := RunBench("tiny", Tiny(), []string{"fig3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBench("tiny", Tiny(), []string{"fig3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Figures[0], b.Figures[0]
+	if len(fa.Counters) != len(fb.Counters) {
+		t.Fatalf("counter sets differ: %v vs %v", fa.Counters, fb.Counters)
+	}
+	for name, n := range fa.Counters {
+		if fb.Counters[name] != n {
+			t.Errorf("counter %s: %d != %d", name, n, fb.Counters[name])
+		}
+	}
+	for name, v := range fa.VolumeMB {
+		if fb.VolumeMB[name] != v {
+			t.Errorf("volume %s: %v != %v", name, v, fb.VolumeMB[name])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -23,6 +24,10 @@ type Point struct {
 	RuntimeCI float64
 	// N is the number of instances averaged.
 	N int
+	// Counters holds the obs counter totals summed over the point's
+	// instances; nil unless the sweep ran with Config.Metrics. Totals are
+	// deterministic for a fixed configuration at any Workers setting.
+	Counters map[string]int64
 }
 
 // Series is one curve of a figure.
@@ -47,9 +52,7 @@ type Table struct {
 
 // Render writes both panels as aligned text tables.
 func (t *Table) Render(w io.Writer) error {
-	if err := t.renderPanel(w, fmt.Sprintf("%s(a): collected data volume (MB)", t.Figure), func(p Point) string {
-		return fmt.Sprintf("%.1f ±%.1f", p.Volume, p.VolumeCI)
-	}); err != nil {
+	if err := t.RenderVolumePanel(w); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintln(w); err != nil {
@@ -58,6 +61,82 @@ func (t *Table) Render(w io.Writer) error {
 	return t.renderPanel(w, fmt.Sprintf("%s(b): running time (s)", t.Figure), func(p Point) string {
 		return fmt.Sprintf("%.4f ±%.4f", p.Runtime, p.RuntimeCI)
 	})
+}
+
+// RenderVolumePanel writes only the (a) collected-volume panel. Unlike the
+// runtime panel its content is deterministic for a fixed configuration,
+// which is what the golden regression tests lock.
+func (t *Table) RenderVolumePanel(w io.Writer) error {
+	return t.renderPanel(w, fmt.Sprintf("%s(a): collected data volume (MB)", t.Figure), func(p Point) string {
+		return fmt.Sprintf("%.1f ±%.1f", p.Volume, p.VolumeCI)
+	})
+}
+
+// counterNames returns the sorted union of counter names across every
+// point of the series.
+func (s *Series) counterNames() []string {
+	seen := map[string]bool{}
+	for _, p := range s.Points {
+		for name := range p.Counters {
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasMetrics reports whether any point carries counter totals.
+func (t *Table) HasMetrics() bool {
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if len(p.Counters) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RenderMetrics writes the instrumentation panel: one aligned block per
+// series, rows per swept x value, one column per obs counter (sorted by
+// name). Series without counters are skipped; rendering nothing when the
+// sweep ran without Config.Metrics.
+func (t *Table) RenderMetrics(w io.Writer) error {
+	if !t.HasMetrics() {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%s(c): instrumentation counters — %s\n", t.Figure, t.Title); err != nil {
+		return err
+	}
+	for si := range t.Series {
+		s := &t.Series[si]
+		names := s.counterNames()
+		if len(names) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "series %s\n", s.Name)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "%s (%s)", t.XLabel, t.XUnit)
+		for _, name := range names {
+			fmt.Fprintf(tw, "\t%s", name)
+		}
+		fmt.Fprintln(tw)
+		for _, p := range s.Points {
+			fmt.Fprintf(tw, "%g", p.X)
+			for _, name := range names {
+				fmt.Fprintf(tw, "\t%d", p.Counters[name])
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (t *Table) renderPanel(w io.Writer, title string, cell func(Point) string) error {

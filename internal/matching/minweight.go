@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"uavdc/internal/obs"
 )
 
 // scaleBits controls the fixed-point precision when converting float64
@@ -127,14 +129,26 @@ func GreedyPerfect(cost [][]float64) ([]int, float64, error) {
 // begins to dominate planner runtime.
 const ExactThreshold = 600
 
+// Instrumentation counter names recorded by PerfectAuto.
+const (
+	// CounterBlossomRuns counts exact blossom matchings.
+	CounterBlossomRuns = "matching.blossom_runs"
+	// CounterGreedyRuns counts greedy-fallback matchings (instances above
+	// ExactThreshold, where the optimality guarantee is given up).
+	CounterGreedyRuns = "matching.greedy_runs"
+)
+
 // PerfectAuto picks the exact solver for n ≤ ExactThreshold and the greedy
 // heuristic above, returning the matching, its cost, and whether it is
-// provably optimal.
-func PerfectAuto(cost [][]float64) (mate []int, total float64, exact bool, err error) {
+// provably optimal. An optional obs.Recorder counts which solver ran.
+func PerfectAuto(cost [][]float64, rec ...obs.Recorder) (mate []int, total float64, exact bool, err error) {
+	r := obs.First(rec...)
 	if len(cost) <= ExactThreshold {
+		r.Counter(CounterBlossomRuns).Inc()
 		mate, total, err = MinWeightPerfect(cost)
 		return mate, total, true, err
 	}
+	r.Counter(CounterGreedyRuns).Inc()
 	mate, total, err = GreedyPerfect(cost)
 	return mate, total, false, err
 }

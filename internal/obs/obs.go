@@ -1,0 +1,121 @@
+// Package obs is a zero-dependency, deterministic instrumentation layer
+// for the planners: named counters and wall-clock timers handed out by a
+// Recorder. The planners thread a Recorder through their hot paths —
+// candidate evaluations, Christofides runs, blossom matchings, local-search
+// passes — so a run can report *why* it was slow, not just how long it
+// took.
+//
+// Design rules:
+//
+//   - Recording never changes planner output. The default Recorder is
+//     Discard, a no-op whose handles are shared singletons; uninstrumented
+//     runs pay one interface call per event.
+//   - Counter totals are exactly reproducible: for a fixed instance they do
+//     not depend on the number of worker goroutines. Parallel sections give
+//     each worker its own shard (see Shards) and merge them in worker-index
+//     order after the join, which both avoids data races and turns the
+//     counters into a correctness oracle for the parallel scan — any
+//     divergence across worker counts means a candidate was evaluated twice
+//     or skipped.
+//   - Timers measure wall time and are inherently not reproducible; only
+//     their invocation counts are.
+package obs
+
+// Recorder hands out named Counter and Timer handles. Handles are stable:
+// two calls with the same name affect the same underlying cell, so hot
+// loops should fetch handles once, outside the loop.
+type Recorder interface {
+	// Counter returns the named monotonically increasing counter.
+	Counter(name string) Counter
+	// Timer returns the named wall-clock timer.
+	Timer(name string) Timer
+}
+
+// Counter is a monotonically increasing event count.
+type Counter interface {
+	// Inc adds one.
+	Inc()
+	// Add adds n (n ≥ 0).
+	Add(n int64)
+}
+
+// Timer accumulates wall-clock durations.
+type Timer interface {
+	// Start begins a measurement; calling the returned function records
+	// the elapsed time.
+	Start() func()
+	// Observe records one measurement of the given duration in seconds.
+	Observe(seconds float64)
+}
+
+// Discard is the no-op Recorder every planner defaults to. Its handles are
+// shared stateless singletons, safe for concurrent use from any number of
+// goroutines.
+var Discard Recorder = nopRecorder{}
+
+type nopRecorder struct{}
+
+type nopCounter struct{}
+
+type nopTimer struct{}
+
+func (nopRecorder) Counter(string) Counter { return nopCounter{} }
+func (nopRecorder) Timer(string) Timer     { return nopTimer{} }
+
+func (nopCounter) Inc()          {}
+func (nopCounter) Add(int64)     {}
+func (nopTimer) Start() func()   { return func() {} }
+func (nopTimer) Observe(float64) {}
+
+// OrDiscard resolves an optional recorder: nil becomes Discard.
+func OrDiscard(r Recorder) Recorder {
+	if r == nil {
+		return Discard
+	}
+	return r
+}
+
+// First returns the first non-nil recorder of an optional variadic tail,
+// or Discard. It lets instrumented packages keep their original signatures:
+//
+//	func Improve(t *Tour, m Metric, rec ...obs.Recorder) float64
+func First(recs ...Recorder) Recorder {
+	for _, r := range recs {
+		if r != nil {
+			return r
+		}
+	}
+	return Discard
+}
+
+// Shards returns n recorders for a parallel section with n workers. When r
+// is a *Registry every worker gets an independent shard registry; merge
+// them back with MergeShards after the join. Any other recorder (notably
+// Discard) is returned unsharded for every worker and must itself be safe
+// for concurrent use.
+func Shards(r Recorder, n int) []Recorder {
+	out := make([]Recorder, n)
+	_, isReg := r.(*Registry)
+	for i := range out {
+		if isReg {
+			out[i] = NewRegistry()
+		} else {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// MergeShards folds shard totals back into r in ascending shard order.
+// It is a no-op unless r is a *Registry and the shards came from Shards.
+func MergeShards(r Recorder, shards []Recorder) {
+	reg, ok := r.(*Registry)
+	if !ok {
+		return
+	}
+	for _, s := range shards {
+		if sr, ok := s.(*Registry); ok && sr != reg {
+			reg.Merge(sr)
+		}
+	}
+}

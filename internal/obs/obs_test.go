@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	r.Counter("b").Inc()
+	// Same name → same cell.
+	r.Counter("a").Inc()
+
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 6 {
+		t.Errorf("a = %d, want 6", snap.Counters["a"])
+	}
+	if snap.Counters["b"] != 1 {
+		t.Errorf("b = %d, want 1", snap.Counters["b"])
+	}
+	if names := snap.CounterNames(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("CounterNames = %v", names)
+	}
+}
+
+func TestRegistryTimers(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("t")
+	tm.Observe(0.5)
+	tm.Observe(0.25)
+	stop := tm.Start()
+	stop()
+	snap := r.Snapshot()
+	st := snap.Timers["t"]
+	if st.Count != 3 {
+		t.Errorf("count = %d, want 3", st.Count)
+	}
+	if st.Seconds < 0.75 {
+		t.Errorf("seconds = %v, want ≥ 0.75", st.Seconds)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(2)
+	b.Counter("x").Add(3)
+	b.Counter("y").Inc()
+	b.Timer("t").Observe(1)
+	a.Merge(b)
+	snap := a.Snapshot()
+	if snap.Counters["x"] != 5 || snap.Counters["y"] != 1 {
+		t.Errorf("merged counters = %v", snap.Counters)
+	}
+	if snap.Timers["t"].Count != 1 {
+		t.Errorf("merged timer = %+v", snap.Timers["t"])
+	}
+}
+
+func TestShardsAndMergeShards(t *testing.T) {
+	root := NewRegistry()
+	shards := Shards(root, 4)
+	var wg sync.WaitGroup
+	for w, s := range shards {
+		wg.Add(1)
+		go func(w int, s Recorder) {
+			defer wg.Done()
+			c := s.Counter("n")
+			for i := 0; i <= w; i++ {
+				c.Inc()
+			}
+		}(w, s)
+	}
+	wg.Wait()
+	MergeShards(root, shards)
+	if got := root.Snapshot().Counters["n"]; got != 1+2+3+4 {
+		t.Errorf("sharded total = %d, want 10", got)
+	}
+
+	// A non-Registry recorder shards to itself and merges as a no-op.
+	nop := Shards(Discard, 2)
+	if nop[0] != Discard || nop[1] != Discard {
+		t.Errorf("Discard shards = %v", nop)
+	}
+	MergeShards(Discard, nop)
+}
+
+func TestSnapshotEqualAndDiff(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(2)
+	b.Counter("x").Add(2)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if !sa.Equal(sb) {
+		t.Errorf("equal snapshots differ: %s", sa.Diff(sb))
+	}
+	b.Counter("x").Inc()
+	b.Counter("y").Inc()
+	sb = b.Snapshot()
+	if sa.Equal(sb) {
+		t.Error("unequal snapshots compare equal")
+	}
+	d := sa.Diff(sb)
+	if !strings.Contains(d, "x: 2 != 3") || !strings.Contains(d, "y: 0 != 1") {
+		t.Errorf("Diff = %q", d)
+	}
+}
+
+func TestDiscardAndHelpers(t *testing.T) {
+	// Discard must be callable from anywhere without effect.
+	Discard.Counter("x").Inc()
+	Discard.Counter("x").Add(5)
+	Discard.Timer("t").Observe(1)
+	Discard.Timer("t").Start()()
+
+	if OrDiscard(nil) != Discard {
+		t.Error("OrDiscard(nil) != Discard")
+	}
+	r := NewRegistry()
+	if OrDiscard(r) != Recorder(r) {
+		t.Error("OrDiscard(r) != r")
+	}
+	if First() != Discard || First(nil) != Discard {
+		t.Error("First() should default to Discard")
+	}
+	if First(nil, r) != Recorder(r) {
+		t.Error("First should return first non-nil recorder")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Reset()
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Errorf("after Reset: %v", snap.Counters)
+	}
+}
+
+func TestSnapshotWriteTo(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Inc()
+	r.Timer("t").Observe(0.5)
+	var sb strings.Builder
+	if _, err := r.Snapshot().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "a 1\n") || !strings.Contains(out, "b 2\n") {
+		t.Errorf("WriteTo = %q", out)
+	}
+	if strings.Index(out, "a 1") > strings.Index(out, "b 2") {
+		t.Errorf("counters not sorted: %q", out)
+	}
+}

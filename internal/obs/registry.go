@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is the standard Recorder: a named set of counters and timers.
+// Handle lookup takes a mutex; the handles themselves are lock-free
+// (counters) or internally locked (timers), so a Registry may be shared
+// across goroutines — though parallel planner sections prefer per-worker
+// shards (Shards) to keep recording deterministic by construction.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*counterCell
+	timers   map[string]*timerCell
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*counterCell{},
+		timers:   map[string]*timerCell{},
+	}
+}
+
+type counterCell struct{ n atomic.Int64 }
+
+func (c *counterCell) Inc()        { c.n.Add(1) }
+func (c *counterCell) Add(n int64) { c.n.Add(n) }
+
+type timerCell struct {
+	mu      sync.Mutex
+	count   int64
+	seconds float64
+}
+
+func (t *timerCell) Start() func() {
+	start := time.Now()
+	return func() { t.Observe(time.Since(start).Seconds()) }
+}
+
+func (t *timerCell) Observe(seconds float64) {
+	t.mu.Lock()
+	t.count++
+	t.seconds += seconds
+	t.mu.Unlock()
+}
+
+// Counter implements Recorder.
+func (r *Registry) Counter(name string) Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &counterCell{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer implements Recorder.
+func (r *Registry) Timer(name string) Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &timerCell{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Merge adds every count and timer total of s into r. Merging is pure
+// addition, so the final totals are independent of merge order; callers
+// still merge in worker-index order to keep the operation reproducible
+// step by step.
+func (r *Registry) Merge(s *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, c := range s.counters {
+		if n := c.n.Load(); n != 0 {
+			r.Counter(name).Add(n)
+		}
+	}
+	for name, t := range s.timers {
+		t.mu.Lock()
+		count, secs := t.count, t.seconds
+		t.mu.Unlock()
+		if count != 0 {
+			dst := r.Timer(name).(*timerCell)
+			dst.mu.Lock()
+			dst.count += count
+			dst.seconds += secs
+			dst.mu.Unlock()
+		}
+	}
+}
+
+// Reset zeroes the registry, dropping every cell. Outstanding handles keep
+// working but are detached from future snapshots.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*counterCell{}
+	r.timers = map[string]*timerCell{}
+}
+
+// TimerStat is one timer's aggregate in a Snapshot.
+type TimerStat struct {
+	// Count is the number of observations.
+	Count int64
+	// Seconds is the summed duration.
+	Seconds float64
+}
+
+// Snapshot is a point-in-time copy of a registry's totals.
+type Snapshot struct {
+	Counters map[string]int64
+	Timers   map[string]TimerStat
+}
+
+// Snapshot copies the registry's current totals.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Timers:   make(map[string]TimerStat, len(r.timers)),
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.n.Load()
+	}
+	for name, t := range r.timers {
+		t.mu.Lock()
+		snap.Timers[name] = TimerStat{Count: t.count, Seconds: t.seconds}
+		t.mu.Unlock()
+	}
+	return snap
+}
+
+// CounterNames returns the counter names in sorted order — the canonical
+// iteration order for rendering and comparison.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TimerNames returns the timer names in sorted order.
+func (s Snapshot) TimerNames() []string {
+	names := make([]string, 0, len(s.Timers))
+	for name := range s.Timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Equal reports whether two snapshots have identical counter totals
+// (timers are wall-clock and excluded from equality).
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Counters) != len(o.Counters) {
+		return false
+	}
+	for name, n := range s.Counters {
+		if o.Counters[name] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the counter differences
+// between s and o, one "name: a != b" line per mismatch, empty when Equal.
+func (s Snapshot) Diff(o Snapshot) string {
+	seen := map[string]bool{}
+	var out string
+	for _, name := range s.CounterNames() {
+		seen[name] = true
+		if a, b := s.Counters[name], o.Counters[name]; a != b {
+			out += fmt.Sprintf("%s: %d != %d\n", name, a, b)
+		}
+	}
+	for _, name := range o.CounterNames() {
+		if !seen[name] && o.Counters[name] != 0 {
+			out += fmt.Sprintf("%s: 0 != %d\n", name, o.Counters[name])
+		}
+	}
+	return out
+}
+
+// WriteTo renders the snapshot as sorted "name value" lines: counters
+// first, then timers as "name count seconds". Implements io.WriterTo.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, name := range s.CounterNames() {
+		n, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, name := range s.TimerNames() {
+		st := s.Timers[name]
+		n, err := fmt.Fprintf(w, "%s %d %.6fs\n", name, st.Count, st.Seconds)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

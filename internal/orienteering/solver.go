@@ -1,6 +1,20 @@
 package orienteering
 
-import "fmt"
+import (
+	"fmt"
+
+	"uavdc/internal/obs"
+)
+
+// Instrumentation counter names recorded by Solve: one per solver attempt,
+// so runtime panels can attribute planner cost to the solver stack.
+const (
+	CounterExactRuns       = "orienteering.exact_runs"
+	CounterGreedyRuns      = "orienteering.greedy_runs"
+	CounterTourSplitRuns   = "orienteering.toursplit_runs"
+	CounterGRASPRuns       = "orienteering.grasp_runs"
+	CounterLocalSearchRuns = "orienteering.localsearch_runs"
+)
 
 // Method selects an orienteering solver.
 type Method int
@@ -42,42 +56,55 @@ func (m Method) String() string {
 
 // Solve dispatches on method and returns a feasible solution. The returned
 // tour always contains the depot; when nothing else fits the budget the
-// depot-only tour is returned with zero reward.
-func Solve(p *Problem, method Method) (Solution, error) {
+// depot-only tour is returned with zero reward. An optional obs.Recorder
+// counts every solver attempt the dispatch makes.
+func Solve(p *Problem, method Method, rec ...obs.Recorder) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
+	r := obs.First(rec...)
+	localSearch := func(sol Solution) Solution {
+		r.Counter(CounterLocalSearchRuns).Inc()
+		return LocalSearch(p, sol, 0)
+	}
 	switch method {
 	case MethodExact:
+		r.Counter(CounterExactRuns).Inc()
 		return ExactDP(p)
 	case MethodGreedy:
+		r.Counter(CounterGreedyRuns).Inc()
 		sol, err := GreedyRatio(p)
 		if err != nil {
 			return Solution{}, err
 		}
-		return LocalSearch(p, sol, 0), nil
+		return localSearch(sol), nil
 	case MethodTourSplit:
+		r.Counter(CounterTourSplitRuns).Inc()
 		sol, err := TourSplit(p)
 		if err != nil {
 			return Solution{}, err
 		}
-		return LocalSearch(p, sol, 0), nil
+		return localSearch(sol), nil
 	case MethodGRASP:
+		r.Counter(CounterGRASPRuns).Inc()
 		return GRASP(p, GRASPOptions{})
 	case MethodAuto:
 		if p.N <= ExactMax {
+			r.Counter(CounterExactRuns).Inc()
 			return ExactDP(p)
 		}
+		r.Counter(CounterGreedyRuns).Inc()
 		g, err := GreedyRatio(p)
 		if err != nil {
 			return Solution{}, err
 		}
-		g = LocalSearch(p, g, 0)
+		g = localSearch(g)
+		r.Counter(CounterTourSplitRuns).Inc()
 		t, err := TourSplit(p)
 		if err != nil {
 			return Solution{}, err
 		}
-		t = LocalSearch(p, t, 0)
+		t = localSearch(t)
 		if t.Reward > g.Reward {
 			return t, nil
 		}

@@ -5,7 +5,12 @@ import (
 
 	"uavdc/internal/graph"
 	"uavdc/internal/matching"
+	"uavdc/internal/obs"
 )
+
+// CounterChristofidesRuns counts full Christofides constructions (tours of
+// three or more items; trivial tours return without construction work).
+const CounterChristofidesRuns = "tsp.christofides_runs"
 
 // Christofides computes a tour over items (a set of distinct indices) under
 // metric m using Christofides' heuristic: minimum spanning tree, exact
@@ -17,8 +22,10 @@ import (
 // pass in practice closes the gap).
 //
 // Tours over 0, 1 or 2 items are returned directly. The returned tour
-// begins at items[0].
-func Christofides(items []int, m Metric) (Tour, error) {
+// begins at items[0]. An optional obs.Recorder counts runs and the
+// matching solver used.
+func Christofides(items []int, m Metric, rec ...obs.Recorder) (Tour, error) {
+	r := obs.First(rec...)
 	k := len(items)
 	switch k {
 	case 0:
@@ -26,6 +33,7 @@ func Christofides(items []int, m Metric) (Tour, error) {
 	case 1, 2:
 		return Tour{Order: append([]int(nil), items...)}, nil
 	}
+	r.Counter(CounterChristofidesRuns).Inc()
 	seen := make(map[int]bool, k)
 	for _, v := range items {
 		if seen[v] {
@@ -68,7 +76,7 @@ func Christofides(items []int, m Metric) (Tour, error) {
 				}
 			}
 		}
-		mate, _, _, err := matching.PerfectAuto(cost)
+		mate, _, _, err := matching.PerfectAuto(cost, r)
 		if err != nil {
 			return Tour{}, fmt.Errorf("tsp: matching odd vertices: %w", err)
 		}

@@ -1,16 +1,33 @@
 package tsp
 
+import "uavdc/internal/obs"
+
+// Instrumentation counter names recorded by the local-search passes. A
+// "pass" is one full sweep over the tour; a "move" is one accepted
+// improving exchange or relocation.
+const (
+	CounterTwoOptPasses = "tsp.twoopt_passes"
+	CounterTwoOptMoves  = "tsp.twoopt_moves"
+	CounterOrOptPasses  = "tsp.oropt_passes"
+	CounterOrOptMoves   = "tsp.oropt_moves"
+)
+
 // TwoOpt improves t in place by repeatedly reversing segments while an
 // improving 2-exchange exists, up to maxRounds full sweeps (≤ 0 means sweep
 // until no improvement). Returns the total cost reduction. The classic
-// post-processing step after Christofides or insertion construction.
-func TwoOpt(t *Tour, m Metric, maxRounds int) float64 {
+// post-processing step after Christofides or insertion construction. An
+// optional obs.Recorder counts sweeps and accepted moves.
+func TwoOpt(t *Tour, m Metric, maxRounds int, rec ...obs.Recorder) float64 {
 	n := t.Len()
 	if n < 4 {
 		return 0
 	}
+	r := obs.First(rec...)
+	passes := r.Counter(CounterTwoOptPasses)
+	moves := r.Counter(CounterTwoOptMoves)
 	var saved float64
 	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		passes.Inc()
 		improved := false
 		for i := 0; i < n-1; i++ {
 			a := t.Order[i]
@@ -29,6 +46,7 @@ func TwoOpt(t *Tour, m Metric, maxRounds int) float64 {
 					reverse(t.Order[i+1 : j+1])
 					saved -= delta
 					improved = true
+					moves.Inc()
 					b = t.Order[i+1]
 					dAB = m(a, b)
 				}
@@ -43,14 +61,19 @@ func TwoOpt(t *Tour, m Metric, maxRounds int) float64 {
 
 // OrOpt improves t in place by relocating chains of 1–3 consecutive items
 // to better positions, complementing 2-opt (which cannot fix misplaced
-// single stops). Returns the total cost reduction.
-func OrOpt(t *Tour, m Metric, maxRounds int) float64 {
+// single stops). Returns the total cost reduction. An optional
+// obs.Recorder counts sweeps and accepted relocations.
+func OrOpt(t *Tour, m Metric, maxRounds int, rec ...obs.Recorder) float64 {
 	n := t.Len()
 	if n < 4 {
 		return 0
 	}
+	r := obs.First(rec...)
+	passes := r.Counter(CounterOrOptPasses)
+	moves := r.Counter(CounterOrOptMoves)
 	var saved float64
 	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		passes.Inc()
 		improved := false
 		for segLen := 1; segLen <= 3 && segLen < n-1; segLen++ {
 			for i := 0; i < n; i++ {
@@ -87,6 +110,7 @@ func OrOpt(t *Tour, m Metric, maxRounds int) float64 {
 						relocate(t.Order, i, segLen, j)
 						saved += removeGain - insCost
 						improved = true
+						moves.Inc()
 						// Restart scanning this segment length.
 						i = -1
 						break
@@ -135,11 +159,13 @@ func reverse(s []int) {
 
 // Improve applies TwoOpt then OrOpt until neither helps (bounded sweeps),
 // returning the total reduction. This is the standard polish the planners
-// apply after construction.
-func Improve(t *Tour, m Metric) float64 {
+// apply after construction. An optional obs.Recorder is forwarded to both
+// passes.
+func Improve(t *Tour, m Metric, rec ...obs.Recorder) float64 {
+	r := obs.First(rec...)
 	var total float64
 	for iter := 0; iter < 8; iter++ {
-		d := TwoOpt(t, m, 0) + OrOpt(t, m, 2)
+		d := TwoOpt(t, m, 0, r) + OrOpt(t, m, 2, r)
 		total += d
 		if d <= 1e-12 {
 			break
