@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz bench golden
+.PHONY: ci build vet test race fuzz bench golden adaptive
 
-ci: vet build race
+ci: vet build race adaptive
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,20 @@ fuzz:
 	$(GO) test -fuzz FuzzReadScenario -fuzztime 10s .
 	$(GO) test -fuzz FuzzPlanSmallScenarios -fuzztime 10s .
 	$(GO) test -fuzz FuzzValidatorSimulatorAgreement -fuzztime 10s .
+	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 10s ./internal/faults
+
+# Adaptive-executor gate: the reachable-depot property test over its fixed
+# seed matrix, the cross-worker determinism test, and the bit-for-bit
+# parity check against the reference simulator, all under the race
+# detector. (Also covered by `race`; kept separate so the invariant is a
+# named CI step.)
+adaptive:
+	$(GO) test -race -count=1 -run 'TestAdaptiveNeverDiesUnderFaults|TestAdaptiveCountersDeterministicAcrossWorkers|TestAdaptiveMatchesRunFaultFree' ./internal/simulate
+	$(GO) test -race -count=1 -run 'TestAdaptiveRunMatchesRunOnFigureDrivers' ./internal/experiments
 
 # Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines").
 bench:
-	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR1.json
+	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR2.json
 
 # Rewrite the golden volume panels after a deliberate behaviour change.
 golden:

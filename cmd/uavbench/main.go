@@ -13,6 +13,8 @@
 //	-instances override the number of network instances per point
 //	-seed      override the experiment seed
 //	-workers   parallel candidate-scan goroutines (counters are identical)
+//	-faults    fault spec for the adaptive-execution panel; "default" =
+//	           built-in schedule, "none" skips the panel
 //	-out       output path (default BENCH.json; "-" = stdout)
 //
 // Counter totals and volumes are deterministic for a fixed preset at any
@@ -27,6 +29,7 @@ import (
 	"strings"
 
 	"uavdc/internal/experiments"
+	"uavdc/internal/faults"
 )
 
 func main() {
@@ -44,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		instances = fs.Int("instances", 0, "override instances per point (0 = preset default)")
 		seed      = fs.Uint64("seed", 0, "override experiment seed (0 = preset default)")
 		workers   = fs.Int("workers", 0, "parallel candidate-scan goroutines")
+		faultsArg = fs.String("faults", "default", `fault spec for the adaptive panel ("default" = built-in, "none" = skip)`)
 		out       = fs.String("out", "BENCH.json", `output path ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +100,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "uavbench:", err)
 		return 1
 	}
+	if *faultsArg != "none" {
+		spec := *faultsArg
+		if spec == "default" {
+			spec = faults.DefaultSpec
+		}
+		b.FaultScenarios, err = experiments.BenchFaultScenarios(cfg, spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "uavbench:", err)
+			return 1
+		}
+	}
 
 	if *out == "-" {
 		if err := b.WriteJSON(stdout); err != nil {
@@ -121,6 +136,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, bf := range b.Figures {
 		fmt.Fprintf(stdout, "%-18s %8.3f s wall  %8.3f s plan  %6d plans\n",
 			bf.Figure, bf.WallSeconds, bf.PlanSeconds, bf.PlanCalls)
+	}
+	for _, fsn := range b.FaultScenarios {
+		fmt.Fprintf(stdout, "faults/%-11s %7.1f%% retained  %4d replans  %4d skipped\n",
+			fsn.Planner, 100*fsn.RetainedFrac, fsn.Replans, fsn.StopsSkipped)
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", *out)
 	return 0

@@ -36,6 +36,40 @@ func TestRunWritesBenchFile(t *testing.T) {
 		b.Figures[0].Counters["tsp.christofides_runs"] == 0 {
 		t.Errorf("no instrumentation counters recorded: %v", b.Figures[0].Counters)
 	}
+	if len(b.FaultScenarios) == 0 {
+		t.Fatal("no fault-scenario panel in bench document")
+	}
+	for _, row := range b.FaultScenarios {
+		// The fraction can exceed 1: a mid-flight replan (greedy) may beat
+		// a weak baseline plan even under faults.
+		if row.RetainedFrac < 0 {
+			t.Errorf("%s: negative retained fraction %v", row.Planner, row.RetainedFrac)
+		}
+		if row.FaultSpec == "" {
+			t.Errorf("%s: empty fault spec recorded", row.Planner)
+		}
+	}
+}
+
+func TestRunFaultsPanelFlag(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-preset", "tiny", "-fig", "fig3", "-faults", "none", "-out", "-"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	b, err := experiments.ReadBench(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.FaultScenarios) != 0 {
+		t.Errorf("-faults none still produced %d scenario rows", len(b.FaultScenarios))
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-preset", "tiny", "-fig", "fig3", "-faults", "wind:::", "-out", "-"}, &out, &errb); code != 1 {
+		t.Errorf("corrupt -faults spec: exit %d, want 1", code)
+	}
 }
 
 func TestRunStdout(t *testing.T) {

@@ -19,6 +19,12 @@
 //	-shannon   distance-dependent Shannon uplink instead of constant B
 //	-fleet     plan for this many UAVs (default 1)
 //	-sorties   fly repeated sorties until drained (0 = single flight)
+//	-adaptive  fly the plan with the adaptive executor (replanning, fly-home reserve)
+//	-faults    fault schedule spec, e.g. "wind:legs=0-,factor=1.3"; "default"
+//	           selects the built-in schedule; implies -adaptive
+//	-margin    replan trigger as a fraction of capacity (default 0.02)
+//	-noise     per-segment power noise spread (adaptive mode)
+//	-noiseseed noise stream seed (adaptive mode)
 //	-stops     print the individual hovering stops
 //	-svg       write the mission rendering to this file
 //	-map       print a terminal map of the mission
@@ -62,6 +68,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shannon   = fs.Bool("shannon", false, "distance-dependent Shannon uplink")
 		fleet     = fs.Int("fleet", 1, "number of UAVs")
 		sorties   = fs.Int("sorties", 0, "max sorties; 0 = single flight")
+		adaptive  = fs.Bool("adaptive", false, "fly the plan with the adaptive executor")
+		faultSpec = fs.String("faults", "", `fault schedule spec ("default" = built-in); implies -adaptive`)
+		margin    = fs.Float64("margin", 0, "replan trigger as a fraction of capacity (0 = default 2%)")
+		noise     = fs.Float64("noise", 0, "per-segment power noise spread (adaptive mode)")
+		noiseSeed = fs.Int64("noiseseed", 1, "noise stream seed (adaptive mode)")
 		stops     = fs.Bool("stops", false, "print individual stops")
 		svgPath   = fs.String("svg", "", "write mission SVG to this file")
 		asciiMap  = fs.Bool("map", false, "print a terminal map of the mission")
@@ -125,7 +136,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "uav        %.0f W hover, %.0f W travel, %.0f m/s, %.3g J battery\n",
 		uav.HoverPowerW, uav.TravelPowerW, uav.SpeedMS, uav.CapacityJ)
 
+	adaptiveMode := *adaptive || *faultSpec != ""
+	if adaptiveMode && (*fleet > 1 || *sorties > 0) {
+		return fail(fmt.Errorf("-adaptive/-faults apply to single-tour missions, not -fleet/-sorties"))
+	}
+
 	switch {
+	case adaptiveMode:
+		res, err := uavdc.Execute(sc, uav, uavdc.ExecuteOptions{
+			Options:     opts,
+			FaultSpec:   *faultSpec,
+			MarginFrac:  *margin,
+			NoiseSpread: *noise,
+			NoiseSeed:   *noiseSeed,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "adaptive   planned %.1f MB, collected %.1f MB (%.1f%% retained)\n",
+			res.PlannedMB, res.CollectedMB, 100*res.RetainedFrac())
+		fmt.Fprintf(stdout, "faults     %d applied, %d replans, %d stops skipped",
+			res.FaultsApplied, res.Replans, res.StopsSkipped)
+		if res.Diverted {
+			fmt.Fprint(stdout, ", diverted home")
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "energy     %.0f J of %.0f J; %.0f J left at depot; max deviation %.0f J\n",
+			res.EnergyJ, uav.CapacityJ, res.FinalBatteryJ, res.MaxDeviationJ)
+		fmt.Fprintf(stdout, "flight     %.0f m; hover %.0f s; mission %.0f s\n",
+			res.FlightDistanceM, res.HoverTimeS, res.MissionTimeS)
+
 	case *sorties > 0:
 		camp, err := uavdc.PlanCampaign(sc, uav, opts, *sorties)
 		if err != nil {

@@ -45,6 +45,48 @@ func TestRunFleetAndCampaign(t *testing.T) {
 	}
 }
 
+func TestRunAdaptiveMission(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(tinyArgs("-adaptive"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"adaptive", "retained", "faults", "replans", "left at depot"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Fault-free adaptive execution retains the full planned volume.
+	if !strings.Contains(got, "100.0% retained") {
+		t.Errorf("fault-free adaptive run did not retain 100%%:\n%s", got)
+	}
+}
+
+func TestRunAdaptiveWithFaults(t *testing.T) {
+	var out, errb strings.Builder
+	// -faults implies -adaptive.
+	code := run(tinyArgs("-faults", "default", "-noise", "0.1"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "adaptive") {
+		t.Errorf("adaptive summary missing:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(tinyArgs("-faults", "wind:factor=2.0:::"), &out, &errb); code != 1 {
+		t.Errorf("corrupt fault spec: exit %d, want 1", code)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(tinyArgs("-adaptive", "-fleet", "2"), &out, &errb); code != 1 {
+		t.Errorf("-adaptive with -fleet: exit %d, want 1", code)
+	}
+}
+
 func TestRunSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "sc.json")

@@ -1,0 +1,70 @@
+package uavdc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExecuteFaultFreeMatchesPlan(t *testing.T) {
+	sc := RandomScenario(15, 180, 4)
+	uav := DefaultUAV()
+	uav.CapacityJ = 6e3
+	opts := Options{Algorithm: AlgorithmGreedy}
+
+	planned, err := Plan(sc, uav, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := Execute(sc, uav, ExecuteOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.CollectedMB != planned.CollectedMB {
+		t.Errorf("fault-free execution collected %v MB, plan promised %v MB",
+			exec.CollectedMB, planned.CollectedMB)
+	}
+	if exec.Replans != 0 || exec.Diverted || exec.StopsSkipped != 0 {
+		t.Errorf("fault-free execution replanned/diverted: %+v", exec)
+	}
+	if exec.RetainedFrac() != 1 {
+		t.Errorf("retained fraction %v, want 1", exec.RetainedFrac())
+	}
+	if exec.FinalBatteryJ < 0 {
+		t.Errorf("depot battery %v < 0", exec.FinalBatteryJ)
+	}
+}
+
+func TestExecuteUnderDefaultFaults(t *testing.T) {
+	sc := RandomScenario(15, 180, 4)
+	uav := DefaultUAV()
+	uav.CapacityJ = 6e3
+	exec, err := Execute(sc, uav, ExecuteOptions{
+		Options:     Options{Algorithm: AlgorithmPartial},
+		FaultSpec:   "default",
+		NoiseSpread: 0.1,
+		NoiseSeed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.FinalBatteryJ < 0 {
+		t.Errorf("depot battery %v < 0 under faults", exec.FinalBatteryJ)
+	}
+	if exec.FaultsApplied == 0 {
+		t.Error("default schedule applied no faults")
+	}
+	if exec.EnergyJ > uav.CapacityJ+1e-6 {
+		t.Errorf("drew %v J of %v", exec.EnergyJ, uav.CapacityJ)
+	}
+}
+
+func TestExecuteRejectsCorruptFaultSpec(t *testing.T) {
+	sc := RandomScenario(8, 120, 1)
+	_, err := Execute(sc, DefaultUAV(), ExecuteOptions{FaultSpec: "wind:factor=:;"})
+	if err == nil {
+		t.Fatal("corrupt fault spec accepted")
+	}
+	if !strings.Contains(err.Error(), "uavdc:") {
+		t.Errorf("error not wrapped: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"uavdc/internal/geom"
+	"uavdc/internal/obs"
+)
+
+// residualAfter subtracts a prefix's collections from the full volumes.
+func residualAfter(in *Instance, p *Plan, executed int) []float64 {
+	res := make([]float64, len(in.Net.Sensors))
+	for v := range res {
+		res[v] = in.Net.Sensors[v].Data
+	}
+	for i := 0; i < executed && i < len(p.Stops); i++ {
+		for _, c := range p.Stops[i].Collected {
+			res[c.Sensor] -= c.Amount
+			if res[c.Sensor] < 0 {
+				res[c.Sensor] = 0
+			}
+		}
+	}
+	return res
+}
+
+func TestReplanResidualRespectsBudgetAndEndsAtDepot(t *testing.T) {
+	in := mediumInstance(t, 3, 2e4)
+	full, err := (&Algorithm3{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Stops) < 3 {
+		t.Fatalf("need a multi-stop plan, got %d stops", len(full.Stops))
+	}
+	// Pretend the mission executed two stops and is now at the second one
+	// with half the battery left.
+	pos := full.Stops[1].Pos
+	budget := in.Model.Capacity / 2
+	state := ResidualState{
+		Pos:      pos,
+		Budget:   budget,
+		Residual: residualAfter(in, full, 2),
+		K:        in.K,
+	}
+	rp, err := ReplanResidual(in, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The open path's nominal energy must fit the residual budget.
+	if got := rp.PathEnergy(in.Model, pos); got > budget+1e-6 {
+		t.Errorf("replanned path needs %.3f J, budget %.3f J", got, budget)
+	}
+	// Collections only from residual volumes.
+	per := rp.CollectedBySensor(len(in.Net.Sensors))
+	for v, amt := range per {
+		if amt > state.Residual[v]+1e-9 {
+			t.Errorf("sensor %d: replanned %v MB, residual %v MB", v, amt, state.Residual[v])
+		}
+	}
+	if rp.Collected() <= 0 {
+		t.Error("replanning with half the battery collected nothing")
+	}
+	for si := range rp.Stops {
+		if rp.Stops[si].Sojourn < 0 {
+			t.Errorf("stop %d negative sojourn", si)
+		}
+	}
+}
+
+func TestReplanResidualZeroBudget(t *testing.T) {
+	in := mediumInstance(t, 1, 1e4)
+	state := ResidualState{
+		Pos:      in.Net.Depot,
+		Budget:   0,
+		Residual: residualAfter(in, &Plan{}, 0),
+		K:        2,
+	}
+	rp, err := ReplanResidual(in, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Stops) != 0 {
+		t.Errorf("zero budget planned %d stops", len(rp.Stops))
+	}
+}
+
+func TestReplanResidualExcludePredicate(t *testing.T) {
+	in := mediumInstance(t, 5, 3e4)
+	residual := residualAfter(in, &Plan{}, 0)
+	state := ResidualState{Pos: in.Net.Depot, Budget: in.Budget(), Residual: residual, K: 1}
+	unconstrained, err := ReplanResidual(in, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unconstrained.Stops) == 0 {
+		t.Fatal("unconstrained replan planned nothing")
+	}
+	// Forbid the first chosen stop's position: it must disappear.
+	banned := unconstrained.Stops[0].Pos
+	state.Exclude = func(p geom.Point) bool { return p.Dist(banned) < 1e-9 }
+	constrained, err := ReplanResidual(in, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range constrained.Stops {
+		if constrained.Stops[si].Pos.Dist(banned) < 1e-9 {
+			t.Fatalf("excluded position still planned at stop %d", si)
+		}
+	}
+}
+
+func TestReplanResidualValidatesInput(t *testing.T) {
+	in := mediumInstance(t, 1, 1e4)
+	if _, err := ReplanResidual(in, ResidualState{Pos: in.Net.Depot, Budget: 1, Residual: []float64{1}}); err == nil {
+		t.Error("accepted residual of wrong length")
+	}
+	bad := residualAfter(in, &Plan{}, 0)
+	bad[0] = math.NaN()
+	if _, err := ReplanResidual(in, ResidualState{Pos: in.Net.Depot, Budget: 1, Residual: bad}); err == nil {
+		t.Error("accepted NaN residual")
+	}
+	good := residualAfter(in, &Plan{}, 0)
+	if _, err := ReplanResidual(in, ResidualState{Pos: in.Net.Depot, Budget: math.Inf(1), Residual: good}); err == nil {
+		t.Error("accepted infinite budget")
+	}
+}
+
+// TestReplanResidualDeterministicAcrossWorkers: the replan scan reuses the
+// planners' sharded total-order machinery, so plans and counter totals
+// must be identical at any worker count.
+func TestReplanResidualDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{2, 6} {
+		base := mediumInstance(t, seed, 2.5e4)
+		base.Delta = 12 // enough candidates to clear the parallel threshold
+		base.K = 2
+		residual := residualAfter(base, &Plan{}, 0)
+		state := ResidualState{
+			Pos:      geom.Pt(base.Net.Depot.X+40, base.Net.Depot.Y+25),
+			Budget:   2e4,
+			Residual: residual,
+			K:        2,
+		}
+		var want *Plan
+		var wantSnap obs.Snapshot
+		for _, workers := range []int{1, 2, 4, 8} {
+			in := *base
+			reg := obs.NewRegistry()
+			in.Obs = reg
+			st := state
+			st.Workers = workers
+			got, err := ReplanResidual(&in, st)
+			if err != nil {
+				t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+			}
+			snap := reg.Snapshot()
+			if want == nil {
+				want, wantSnap = got, snap
+				if snap.Counters[CounterCandidateEvals] == 0 {
+					t.Fatalf("seed=%d: replan recorded no candidate evals", seed)
+				}
+				continue
+			}
+			assertPlansIdentical(t, "replan", workers, want, got)
+			if !wantSnap.Equal(snap) {
+				t.Errorf("seed=%d: counters diverge at workers=%d:\n%s", seed, workers, wantSnap.Diff(snap))
+			}
+		}
+	}
+}

@@ -6,6 +6,10 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"uavdc/internal/core"
+	"uavdc/internal/faults"
+	"uavdc/internal/simulate"
 )
 
 // TimerPlan is the obs timer under which runSweep records every planner
@@ -40,6 +44,30 @@ type BenchFigure struct {
 	Counters map[string]int64 `json:"counters"`
 }
 
+// BenchFaultScenario is one planner's adaptive-execution column: every
+// preset network is planned fault-free, then flown by simulate.AdaptiveRun
+// under the recorded fault schedule, and the row reports how much of the
+// promised volume survived. All fields are deterministic for a fixed
+// preset at any Workers setting.
+type BenchFaultScenario struct {
+	// Planner is the planner id ("algorithm3", ...).
+	Planner string `json:"planner"`
+	// FaultSpec is the canonical schedule the missions flew under.
+	FaultSpec string `json:"fault_spec"`
+	// PlannedMB / RetainedMB sum the fault-free promise and the adaptive
+	// execution's actual collection over the preset's networks.
+	PlannedMB  float64 `json:"planned_mb"`
+	RetainedMB float64 `json:"retained_mb"`
+	// RetainedFrac is RetainedMB/PlannedMB — the volume retained under
+	// faults.
+	RetainedFrac float64 `json:"retained_frac"`
+	// Replans, FaultsApplied, StopsSkipped sum the executor's bookkeeping
+	// over the networks.
+	Replans       int64 `json:"replans"`
+	FaultsApplied int64 `json:"faults_applied"`
+	StopsSkipped  int64 `json:"stops_skipped"`
+}
+
 // Bench is the on-disk BENCH_*.json document: the perf baseline one repo
 // state leaves behind for later states to diff against.
 type Bench struct {
@@ -53,6 +81,10 @@ type Bench struct {
 	GOARCH    string        `json:"goarch"`
 	NumCPU    int           `json:"num_cpu"`
 	Figures   []BenchFigure `json:"figures"`
+	// FaultScenarios is the adaptive-execution panel (uavbench -faults);
+	// absent in documents written before it existed, so the schema tag is
+	// unchanged.
+	FaultScenarios []BenchFaultScenario `json:"fault_scenarios,omitempty"`
 }
 
 // RunBench executes the named figure drivers with instrumentation on and
@@ -111,6 +143,63 @@ func planTimerTotals(tab *Table) (seconds float64, calls int64) {
 		}
 	}
 	return seconds, calls
+}
+
+// BenchFaultScenarios computes the adaptive-execution panel: each planner
+// plans every preset network fault-free at the preset's nominal capacity,
+// the adaptive executor flies each plan under the given schedule, and the
+// per-planner row aggregates promised vs retained volume. Everything here
+// is deterministic — no timing fields — so rows diff cleanly across repo
+// states.
+func BenchFaultScenarios(cfg Config, spec string) ([]BenchFaultScenario, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, err
+	}
+	sched, err := faults.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: bench fault spec: %w", err)
+	}
+	nets, err := cfg.networks()
+	if err != nil {
+		return nil, err
+	}
+	k := 2
+	if len(cfg.Ks) > 0 {
+		k = cfg.Ks[0]
+	}
+	planners := []core.Planner{
+		&core.Algorithm1{},
+		&core.Algorithm2{Workers: cfg.Workers},
+		&core.Algorithm3{Workers: cfg.Workers},
+		&core.BenchmarkPlanner{},
+	}
+	rows := make([]BenchFaultScenario, 0, len(planners))
+	for _, pl := range planners {
+		row := BenchFaultScenario{Planner: pl.Name(), FaultSpec: sched.String()}
+		for ni, net := range nets {
+			in := &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: k}
+			plan, err := pl.Plan(in)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bench faults %s net %d: %w", pl.Name(), ni, err)
+			}
+			res := simulate.AdaptiveRun(in, plan, simulate.AdaptiveOptions{
+				Faults:  sched,
+				Workers: cfg.Workers,
+			})
+			row.PlannedMB += plan.Collected()
+			row.RetainedMB += res.Collected
+			row.Replans += int64(res.Replans)
+			row.FaultsApplied += int64(res.FaultsApplied)
+			row.StopsSkipped += int64(res.StopsSkipped)
+		}
+		if row.PlannedMB > 0 {
+			row.RetainedFrac = row.RetainedMB / row.PlannedMB
+		} else {
+			row.RetainedFrac = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // WriteJSON writes the bench document as indented JSON with a trailing

@@ -21,6 +21,17 @@ type Noise struct {
 // Enabled reports whether the noise model perturbs anything.
 func (n Noise) Enabled() bool { return n.Spread > 0 }
 
+// MaxFactor returns the upper bound of the per-segment power factor,
+// 1 + Spread (the clip at 0.1 only raises the lower tail). The adaptive
+// executor prices its fly-home reserve against this bound so the
+// reachable-depot invariant survives the worst draw.
+func (n Noise) MaxFactor() float64 {
+	if !n.Enabled() {
+		return 1
+	}
+	return 1 + n.Spread
+}
+
 // factors returns a deterministic generator of per-segment power factors.
 func (n Noise) factors() func() float64 {
 	if !n.Enabled() {

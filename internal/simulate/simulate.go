@@ -34,6 +34,12 @@ const (
 	EventReturn
 	// EventBatteryDead marks battery exhaustion mid-mission.
 	EventBatteryDead
+	// EventReplan marks a mid-flight replanning of the remaining tour
+	// (adaptive executor only).
+	EventReplan
+	// EventDivert marks the adaptive executor abandoning the remaining
+	// stops to preserve its fly-home reserve.
+	EventDivert
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +55,10 @@ func (k EventKind) String() string {
 		return "return"
 	case EventBatteryDead:
 		return "battery-dead"
+	case EventReplan:
+		return "replan"
+	case EventDivert:
+		return "divert"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
