@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz bench golden adaptive
+.PHONY: ci build vet test race fuzz bench golden golden-traces adaptive trace
 
-ci: vet build race adaptive
+ci: vet build race adaptive trace
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,22 @@ adaptive:
 	$(GO) test -race -count=1 -run 'TestAdaptiveNeverDiesUnderFaults|TestAdaptiveCountersDeterministicAcrossWorkers|TestAdaptiveMatchesRunFaultFree' ./internal/simulate
 	$(GO) test -race -count=1 -run 'TestAdaptiveRunMatchesRunOnFigureDrivers' ./internal/experiments
 
+# Flight-recorder gate: race-enabled trace-determinism tests (stripped
+# streams byte-identical across worker counts, golden trace regression,
+# tracing-on/off plan parity), then a uavtrace smoke test over a freshly
+# generated faulted-mission trace: the summary must render and two
+# identical missions must diff clean.
+trace:
+	$(GO) test -race -count=1 -run 'TestTraceStreamInvariantAcrossWorkers|TestTracingDoesNotChangePlans' ./internal/core
+	$(GO) test -race -count=1 -run 'TestGoldenTraces|TestTraceWorkerInvariance' ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestPlanUnchangedByTracing|TestExecuteUnchangedByTracing|TestTraceRepeatDeterminism' .
+	@tmp=$$(mktemp -d) && \
+		$(GO) run ./cmd/uavsim -sensors 20 -side 200 -seed 3 -capacity 8e3 -faults default -trace $$tmp/a.jsonl >/dev/null && \
+		$(GO) run ./cmd/uavsim -sensors 20 -side 200 -seed 3 -capacity 8e3 -faults default -trace $$tmp/b.jsonl >/dev/null && \
+		$(GO) run ./cmd/uavtrace -top 5 $$tmp/a.jsonl | grep -q "mission timeline:" && \
+		$(GO) run ./cmd/uavtrace $$tmp/a.jsonl $$tmp/b.jsonl && \
+		rm -rf $$tmp
+
 # Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines").
 bench:
 	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR2.json
@@ -42,3 +58,8 @@ bench:
 # Rewrite the golden volume panels after a deliberate behaviour change.
 golden:
 	$(GO) test ./internal/experiments -run TestGoldenVolumePanels -update
+
+# Rewrite the golden stripped trace streams after a deliberate change to
+# the sequence of planner phases.
+golden-traces:
+	$(GO) test ./internal/experiments -run TestGoldenTraces -update

@@ -16,6 +16,10 @@
 //	-faults    fault spec for the adaptive-execution panel; "default" =
 //	           built-in schedule, "none" skips the panel
 //	-out       output path (default BENCH.json; "-" = stdout)
+//	-trace     write a flight-recorder trace of the figure sweeps
+//	           (uavdc-trace/1 JSONL; analyze with uavtrace) to this file
+//	-cpuprofile  write a pprof CPU profile to this file
+//	-memprofile  write a pprof heap profile to this file
 //
 // Counter totals and volumes are deterministic for a fixed preset at any
 // -workers setting; only the timing fields vary run to run.
@@ -30,6 +34,8 @@ import (
 
 	"uavdc/internal/experiments"
 	"uavdc/internal/faults"
+	"uavdc/internal/prof"
+	"uavdc/internal/trace"
 )
 
 func main() {
@@ -38,7 +44,7 @@ func main() {
 
 // run is the testable entry point: it parses args with its own FlagSet,
 // writes to the given streams, and returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("uavbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -49,9 +55,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 0, "parallel candidate-scan goroutines")
 		faultsArg = fs.String("faults", "default", `fault spec for the adaptive panel ("default" = built-in, "none" = skip)`)
 		out       = fs.String("out", "BENCH.json", `output path ("-" = stdout)`)
+		tracePath = fs.String("trace", "", "write the flight-recorder trace (JSONL) to this file")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := prof.Start(*cpuProf, *memProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "uavbench:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "uavbench:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	var cfg experiments.Config
@@ -76,6 +101,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *tracePath != "" {
+		cfg.Trace = trace.NewBuffer()
 	}
 
 	var figures []string
@@ -110,6 +138,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "uavbench:", err)
 			return 1
 		}
+	}
+
+	if cfg.Trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "uavbench:", err)
+			return 1
+		}
+		if err := trace.WriteJSONL(f, cfg.Trace.Snapshot(), false); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "uavbench:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "uavbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s (%d records)\n", *tracePath, cfg.Trace.Len())
 	}
 
 	if *out == "-" {

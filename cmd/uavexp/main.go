@@ -17,6 +17,11 @@
 //	-md        render markdown tables instead of aligned text
 //	-metrics   attach the obs instrumentation layer and print a (c) panel of
 //	           per-point counter totals after each figure
+//	-trace     write a flight-recorder trace of the whole run (uavdc-trace/1
+//	           JSONL; analyze with uavtrace) to this file
+//	-tracedetail  include per-candidate scan events in the trace
+//	-cpuprofile   write a pprof CPU profile to this file
+//	-memprofile   write a pprof heap profile to this file
 //
 // The paper preset matches Section VII-A exactly (500 sensors, 1 km²,
 // 15 instances, E = 3–9×10⁵ J, δ = 5–30 m) and takes CPU-hours; reduced
@@ -30,6 +35,8 @@ import (
 	"os"
 
 	"uavdc/internal/experiments"
+	"uavdc/internal/prof"
+	"uavdc/internal/trace"
 )
 
 func main() {
@@ -38,7 +45,7 @@ func main() {
 
 // run is the testable entry point: it parses args with its own FlagSet,
 // writes to the given streams, and returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("uavexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -50,6 +57,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		markdown  = fs.Bool("md", false, "render markdown tables instead of aligned text")
 		workers   = fs.Int("workers", 0, "parallel candidate-scan goroutines (identical plans; distorts runtime panels)")
 		metrics   = fs.Bool("metrics", false, "record obs counters and print the (c) instrumentation panel")
+		tracePath = fs.String("trace", "", "write the flight-recorder trace (JSONL) to this file")
+		traceDet  = fs.Bool("tracedetail", false, "include per-candidate scan events in the trace")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +81,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Workers = *workers
 	}
 	cfg.Metrics = *metrics
+	if *tracePath != "" {
+		cfg.Trace = trace.NewBuffer()
+		cfg.Trace.SetDetail(*traceDet)
+	}
+
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := prof.Start(*cpuProf, *memProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "uavexp:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "uavexp:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
 
 	figures, err := figureList(*fig)
 	if err != nil {
@@ -118,6 +149,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+	}
+	if cfg.Trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "uavexp:", err)
+			return 1
+		}
+		if err := trace.WriteJSONL(f, cfg.Trace.Snapshot(), false); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "uavexp:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "uavexp:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\ntrace written to %s (%d records)\n", *tracePath, cfg.Trace.Len())
 	}
 	return 0
 }

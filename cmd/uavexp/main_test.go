@@ -63,6 +63,27 @@ func TestRunCSV(t *testing.T) {
 	}
 }
 
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var out, errb strings.Builder
+	code := run([]string{"-preset", "tiny", "-fig", "fig3", "-trace", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "trace written to "+path) {
+		t.Errorf("trace confirmation missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema":"uavdc-trace/1"`, "sweep/point", "sweep/plan", "plan/alg1"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-preset", "nope"},

@@ -30,6 +30,11 @@
 //	-map       print a terminal map of the mission
 //	-save      write the generated scenario as JSON and exit
 //	-load      load a scenario JSON instead of generating one
+//	-trace     write the mission flight-recorder trace (uavdc-trace/1
+//	           JSONL; analyze with uavtrace) to this file
+//	-tracedetail  include per-candidate scan events in the trace
+//	-cpuprofile   write a pprof CPU profile to this file
+//	-memprofile   write a pprof heap profile to this file
 //
 // Examples:
 //
@@ -45,6 +50,7 @@ import (
 	"os"
 
 	"uavdc"
+	"uavdc/internal/prof"
 )
 
 func main() {
@@ -53,7 +59,7 @@ func main() {
 
 // run is the testable entry point: it parses args with its own FlagSet,
 // writes to the given streams, and returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("uavsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -78,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asciiMap  = fs.Bool("map", false, "print a terminal map of the mission")
 		savePath  = fs.String("save", "", "write the generated scenario as JSON and exit")
 		loadPath  = fs.String("load", "", "load a scenario JSON instead of generating one")
+		tracePath = fs.String("trace", "", "write the flight-recorder trace (JSONL) to this file")
+		traceDet  = fs.Bool("tracedetail", false, "include per-candidate scan events in the trace")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +96,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "uavsim:", err)
 		return 1
+	}
+
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := prof.Start(*cpuProf, *memProf)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "uavsim:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	var sc uavdc.Scenario
@@ -128,6 +153,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		K:            *k,
 		AltitudeM:    *altitude,
 		ShannonRadio: *shannon,
+	}
+	var trc *uavdc.Trace
+	if *tracePath != "" {
+		trc = uavdc.NewTrace()
+		trc.SetDetail(*traceDet)
+		opts.Trace = trc
 	}
 
 	total := sc.TotalDataMB()
@@ -222,6 +253,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 		}
+	}
+	if trc != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trc.WriteJSONL(f, false); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "trace      %s (%d records)\n", *tracePath, trc.Len())
 	}
 	return 0
 }

@@ -124,6 +124,37 @@ func TestRunSVG(t *testing.T) {
 	}
 }
 
+func TestRunTraceAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "mission.jsonl")
+	cpuPath := filepath.Join(dir, "cpu.prof")
+	memPath := filepath.Join(dir, "mem.prof")
+	var out, errb strings.Builder
+	code := run(tinyArgs("-faults", "default",
+		"-trace", tracePath, "-tracedetail",
+		"-cpuprofile", cpuPath, "-memprofile", memPath), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "trace      "+tracePath) {
+		t.Errorf("trace confirmation missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema":"uavdc-trace/1"`, "mission/takeoff", "mission/return"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-load", filepath.Join(t.TempDir(), "missing.json")}, &out, &errb); code != 1 {

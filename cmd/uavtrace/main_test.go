@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uavdc"
+)
+
+// writeTrace plans (or adaptively executes) a small deterministic mission
+// and writes its trace to a temp file.
+func writeTrace(t *testing.T, dir, name, faults string, seed uint64) string {
+	t.Helper()
+	sc := uavdc.RandomScenario(15, 180, seed)
+	uav := uavdc.DefaultUAV()
+	uav.CapacityJ = 6e3
+	trc := uavdc.NewTrace()
+	if faults == "" {
+		if _, err := uavdc.Plan(sc, uav, uavdc.Options{Trace: trc}); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		opts := uavdc.ExecuteOptions{FaultSpec: faults}
+		opts.Trace = trc
+		if _, err := uavdc.Execute(sc, uav, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trc.WriteJSONL(f, false); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummary(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "a.jsonl", "default", 1)
+	var out, errb strings.Builder
+	if code := run([]string{"-top", "3", path}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"records:", "phases (by total time):", "slowest spans:", "mission timeline:", "takeoff", "return"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiffEqualAndDivergent(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.jsonl", "default", 1)
+	b := writeTrace(t, dir, "b.jsonl", "default", 1)
+	var out, errb strings.Builder
+	if code := run([]string{a, b}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("identical traces: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "identical modulo timestamps") {
+		t.Errorf("diff output: %s", out.String())
+	}
+
+	c := writeTrace(t, dir, "c.jsonl", "default", 2) // different scenario
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{a, c}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("divergent traces: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "traces differ at record") {
+		t.Errorf("diff output: %s", out.String())
+	}
+}
+
+func TestChromeConversion(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "a.jsonl", "", 1)
+	chrome := filepath.Join(dir, "a.chrome.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-chrome", chrome, path}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "[") || !strings.Contains(string(data), `"ph"`) {
+		t.Errorf("not a Chrome trace array: %.80s", data)
+	}
+}
+
+func TestStdinAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "a.jsonl", "", 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-"}, strings.NewReader(string(data)), &out, &errb); code != 0 {
+		t.Fatalf("stdin: exit %d, stderr: %s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(dir, "missing.jsonl")}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-"}, strings.NewReader("not json\n"), &out, &errb); code != 2 {
+		t.Errorf("corrupt input: exit %d, want 2", code)
+	}
+}

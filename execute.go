@@ -6,6 +6,7 @@ import (
 
 	"uavdc/internal/faults"
 	"uavdc/internal/simulate"
+	"uavdc/internal/trace"
 )
 
 // ExecuteOptions configures an adaptive mission execution: the plan is
@@ -100,9 +101,16 @@ func Execute(sc Scenario, uav UAV, opts ExecuteOptions) (*ExecuteResult, error) 
 	if opts.Parallel {
 		workers = runtime.NumCPU()
 	}
+	// The same recorder that captured the planning spans (inside Plan above)
+	// captures the adaptive mission log and any replan spans.
+	tr := opts.Trace.tracer()
+	if tr.Enabled() {
+		in.Obs = trace.With(in.Obs, tr)
+	}
 	sim := simulate.AdaptiveRun(in, planned.plan, simulate.AdaptiveOptions{
 		Options: simulate.Options{
 			Noise: simulate.Noise{Spread: opts.NoiseSpread, Seed: opts.NoiseSeed},
+			Trace: tr,
 		},
 		Faults:  sched,
 		Margin:  opts.MarginFrac,

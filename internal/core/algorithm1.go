@@ -6,6 +6,7 @@ import (
 
 	"uavdc/internal/hover"
 	"uavdc/internal/orienteering"
+	"uavdc/internal/trace"
 )
 
 // Algorithm1 solves the data-collection maximisation problem without
@@ -41,8 +42,13 @@ func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	tr := in.tracer()
+	endPlan := tr.Begin(SpanPlanAlg1)
+	endCand := tr.Begin(SpanPlanAlg1Candidates)
 	set, err := in.buildCandidates(hover.Options{})
 	if err != nil {
+		endCand()
+		endPlan()
 		return nil, err
 	}
 
@@ -56,6 +62,7 @@ func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
 	} else {
 		ids = append(ids, disjointCandidates(set)...)
 	}
+	endCand(trace.Int("candidates", set.Len()), trace.Int("nodes", len(ids)))
 
 	prob := &orienteering.Problem{
 		N:      len(ids),
@@ -64,10 +71,14 @@ func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
 		Budget: in.Budget(),
 		Depot:  0,
 	}
+	endOr := tr.Begin(SpanPlanAlg1Orienteering, trace.Int("nodes", len(ids)))
 	sol, err := orienteering.Solve(prob, a.Method, in.obsRecorder())
 	if err != nil {
+		endOr()
+		endPlan()
 		return nil, fmt.Errorf("core: algorithm1 orienteering: %w", err)
 	}
+	endOr()
 	sol.Tour.RotateTo(0)
 
 	plan := &Plan{Algorithm: a.Name(), Depot: in.Net.Depot}
@@ -86,6 +97,7 @@ func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
 		}
 		plan.Stops = append(plan.Stops, stop)
 	}
+	endPlan(trace.Int("stops", len(plan.Stops)))
 	return plan, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"uavdc/internal/hover"
 	"uavdc/internal/obs"
+	"uavdc/internal/trace"
 	"uavdc/internal/tsp"
 )
 
@@ -43,19 +44,30 @@ func (a *Algorithm2) Plan(in *Instance) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	tr := in.tracer()
+	endPlan := tr.Begin(SpanPlanAlg2)
+	endCand := tr.Begin(SpanPlanAlg2Candidates)
 	set, err := in.buildCandidates(hover.Options{})
 	if err != nil {
+		endCand()
+		endPlan()
 		return nil, err
 	}
+	endCand(trace.Int("candidates", set.Len()))
 	st := newGreedyState(in, set)
 	for {
+		endIter := tr.Begin(SpanPlanAlg2Iterate)
 		best, ok := a.pickNext(st)
 		if !ok {
+			endIter()
 			break
 		}
 		st.acceptFull(best)
+		endIter(trace.Int("loc", best.loc))
 	}
-	return st.plan(a.Name()), nil
+	p := st.plan(a.Name())
+	endPlan(trace.Int("stops", len(p.Stops)))
+	return p, nil
 }
 
 type fullCandidate struct {
@@ -70,7 +82,7 @@ type fullCandidate struct {
 // false when it is covered, drained, or over budget. so carries the
 // evaluating worker's counter handles.
 func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy float64, so scanObs) (fullCandidate, float64, bool) {
-	so.evals.Inc()
+	so.evalHit(c)
 	loc := &st.set.Locs[c]
 	so.resid.Inc()
 	sojourn, award := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, st.in.Net.Bandwidth)
@@ -139,7 +151,7 @@ func (a *Algorithm2) pickNext(st *greedyState) (fullCandidate, bool) {
 		ratio float64
 	}
 	results := make([]localBest, workers)
-	shards := obs.Shards(st.rec, workers)
+	shards := trace.ShardObs(st.rec, workers)
 	var wg sync.WaitGroup
 	chunk := (n - 1 + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -169,7 +181,7 @@ func (a *Algorithm2) pickNext(st *greedyState) (fullCandidate, bool) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	obs.MergeShards(st.rec, shards)
+	trace.MergeObs(st.rec, shards)
 	best := localBest{cand: fullCandidate{loc: -1}, ratio: -1}
 	for _, r := range results {
 		if r.cand.loc >= 0 && betterFull(r.cand, r.ratio, best.cand, best.ratio) {

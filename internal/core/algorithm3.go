@@ -5,7 +5,7 @@ import (
 	"sync"
 
 	"uavdc/internal/hover"
-	"uavdc/internal/obs"
+	"uavdc/internal/trace"
 	"uavdc/internal/tsp"
 )
 
@@ -56,19 +56,30 @@ func (a *Algorithm3) Plan(in *Instance) (*Plan, error) {
 	if k < 1 {
 		k = 1
 	}
+	tr := in.tracer()
+	endPlan := tr.Begin(SpanPlanAlg3, trace.Int("k", k))
+	endCand := tr.Begin(SpanPlanAlg3Candidates)
 	set, err := in.buildCandidates(hover.Options{})
 	if err != nil {
+		endCand()
+		endPlan()
 		return nil, err
 	}
+	endCand(trace.Int("candidates", set.Len()))
 	st := newGreedyState(in, set)
 	for {
+		endIter := tr.Begin(SpanPlanAlg3Iterate)
 		best, ok := a.pickNext(st, k)
 		if !ok {
+			endIter()
 			break
 		}
 		st.acceptPartial(best)
+		endIter(trace.Int("loc", best.loc))
 	}
-	return st.plan(a.Name()), nil
+	p := st.plan(a.Name())
+	endPlan(trace.Int("stops", len(p.Stops)))
+	return p, nil
 }
 
 // betterPartial is the strict total order used to merge candidate scans:
@@ -113,7 +124,7 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 	}
 	cur := st.energy()
 	results := make([]localBest, workers)
-	shards := obs.Shards(st.rec, workers)
+	shards := trace.ShardObs(st.rec, workers)
 	var wg sync.WaitGroup
 	chunk := (n - 1 + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -140,7 +151,7 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	obs.MergeShards(st.rec, shards)
+	trace.MergeObs(st.rec, shards)
 	best := localBest{cand: partialCandidate{loc: -1}, ratio: -1}
 	for _, r := range results {
 		if r.cand.loc >= 0 && betterPartial(r.cand, r.ratio, best.cand, best.ratio) {
@@ -154,7 +165,7 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 // candidate under the total order. so carries the evaluating worker's
 // counter handles.
 func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64, so scanObs) (partialCandidate, float64, bool) {
-	so.evals.Inc()
+	so.evalHit(c)
 	in := st.in
 	best := partialCandidate{loc: -1}
 	bestRatio := -1.0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"uavdc/internal/geom"
+	"uavdc/internal/trace"
 	"uavdc/internal/tsp"
 )
 
@@ -29,21 +30,27 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 		return nil, err
 	}
 	rec := in.obsRecorder()
+	tr := in.tracer()
 	so := newScanObs(rec)
 	removals := rec.Counter(CounterBenchRemovals)
 	net := in.Net
 	n := len(net.Sensors)
+	endPlan := tr.Begin(SpanPlanBench, trace.Int("nodes", n+1))
 	// Item ids: 0 is the depot, 1..n are sensors (sensor v is item v+1).
 	dist := func(i, j int) float64 { return pos(in, i).Dist(pos(in, j)) }
 	items := make([]int, n+1)
 	for i := range items {
 		items[i] = i
 	}
+	endCon := tr.Begin(SpanPlanBenchConstruct)
 	tour, err := tsp.Christofides(items, dist, rec)
 	if err != nil {
+		endCon()
+		endPlan()
 		return nil, fmt.Errorf("core: benchmark tsp: %w", err)
 	}
 	tsp.Improve(&tour, dist, rec)
+	endCon()
 
 	hoverTime := 0.0
 	for v := 0; v < n; v++ {
@@ -55,6 +62,7 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 		improveEvery = 1
 	}
 	removed := 0
+	endPrune := tr.Begin(SpanPlanBenchPrune)
 	for in.Model.TourEnergy(tour.Cost(dist), hoverTime) > in.Budget()+1e-9 {
 		// Find the cheapest-loss removal.
 		bestItem := -1
@@ -83,11 +91,13 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 		tour, _ = tsp.Remove(tour, bestItem, dist)
 		hoverTime -= net.UploadTime(bestItem - 1)
 		removals.Inc()
+		tr.Event(EventBenchRemove, trace.Int("item", bestItem))
 		removed++
 		if removed%improveEvery == 0 {
 			tsp.Improve(&tour, dist, rec)
 		}
 	}
+	endPrune(trace.Int("removed", removed))
 	tsp.Improve(&tour, dist, rec)
 
 	tour.RotateTo(0)
@@ -104,6 +114,7 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 			Collected: []Collection{{Sensor: v, Amount: net.Sensors[v].Data}},
 		})
 	}
+	endPlan(trace.Int("stops", len(plan.Stops)))
 	return plan, nil
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "uavdc/internal/obs"
+import (
+	"uavdc/internal/obs"
+	"uavdc/internal/trace"
+)
 
 // Instrumentation counter names recorded by the planners. All counts are
 // exactly reproducible for a fixed instance, at any Workers setting: the
@@ -35,8 +38,43 @@ const (
 	CounterLNSImprovements = "core.lns_improvements"
 )
 
+// Trace span and event names emitted by the planners. Spans nest
+// (plan/alg2 > plan/alg2/iterate > tsp/improve); the per-candidate
+// EventScanEval detail event is only emitted when the attached tracer
+// has Detail() on, because it scales with candidates × iterations. Like
+// the counters, the record stream (modulo wall times) is exactly
+// reproducible at any Workers setting: parallel scans record into
+// per-worker trace shards merged in worker-index order (trace.ShardObs),
+// which equals the serial candidate order.
+const (
+	SpanPlanAlg1             = "plan/alg1"
+	SpanPlanAlg1Candidates   = "plan/alg1/candidates"
+	SpanPlanAlg1Orienteering = "plan/alg1/orienteering"
+	SpanPlanAlg2             = "plan/alg2"
+	SpanPlanAlg2Candidates   = "plan/alg2/candidates"
+	SpanPlanAlg2Iterate      = "plan/alg2/iterate"
+	SpanPlanAlg3             = "plan/alg3"
+	SpanPlanAlg3Candidates   = "plan/alg3/candidates"
+	SpanPlanAlg3Iterate      = "plan/alg3/iterate"
+	SpanPlanBench            = "plan/benchmark"
+	SpanPlanBenchConstruct   = "plan/benchmark/construct"
+	SpanPlanBenchPrune       = "plan/benchmark/prune"
+	SpanPlanReplan           = "plan/replan"
+	SpanPlanReplanIterate    = "plan/replan/iterate"
+	// EventScanEval is the per-candidate detail event (attr loc = the
+	// hover-set id being priced).
+	EventScanEval = "scan/eval"
+	// EventBenchRemove marks one node pruned from the benchmark tour
+	// (attr item = the removed item id).
+	EventBenchRemove = "bench/remove"
+)
+
 // obsRecorder resolves the instance's optional recorder.
 func (in *Instance) obsRecorder() obs.Recorder { return obs.OrDiscard(in.Obs) }
+
+// tracer resolves the tracer riding on the instance's recorder (see
+// trace.With); trace.Discard when the run is untraced.
+func (in *Instance) tracer() trace.Tracer { return trace.Of(in.obsRecorder()) }
 
 // scanObs caches the candidate-scan counter handles so the hot evaluation
 // loop pays no per-event name lookup. Each parallel worker builds its own
@@ -45,12 +83,27 @@ type scanObs struct {
 	evals  obs.Counter
 	pruned obs.Counter
 	resid  obs.Counter
+	tr     trace.Tracer
+	detail bool
 }
 
 func newScanObs(r obs.Recorder) scanObs {
+	t := trace.Of(r)
 	return scanObs{
 		evals:  r.Counter(CounterCandidateEvals),
 		pruned: r.Counter(CounterPrunedOverBudget),
 		resid:  r.Counter(CounterResidualRecomputes),
+		tr:     t,
+		detail: t.Enabled() && t.Detail(),
+	}
+}
+
+// evalHit records one candidate evaluation: the counter always, plus a
+// scan/eval trace event when detail tracing is on. loc attributes are
+// deterministic, so the detail stream doubles as a shard-merge oracle.
+func (so scanObs) evalHit(loc int) {
+	so.evals.Inc()
+	if so.detail {
+		so.tr.Event(EventScanEval, trace.Int("loc", loc))
 	}
 }

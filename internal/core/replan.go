@@ -9,6 +9,7 @@ import (
 	"uavdc/internal/geom"
 	"uavdc/internal/hover"
 	"uavdc/internal/obs"
+	"uavdc/internal/trace"
 )
 
 // ResidualState is a mission snapshot the adaptive executor hands to the
@@ -69,8 +70,11 @@ func ReplanResidual(in *Instance, state ResidualState) (*Plan, error) {
 	if math.IsNaN(state.Budget) || math.IsInf(state.Budget, 0) {
 		return nil, fmt.Errorf("core: invalid budget %v", state.Budget)
 	}
+	tr := in.tracer()
+	endPlan := tr.Begin(SpanPlanReplan, trace.Num("budget_j", state.Budget))
 	set, err := in.buildCandidates(hover.Options{})
 	if err != nil {
+		endPlan()
 		return nil, err
 	}
 	k := state.K
@@ -79,13 +83,18 @@ func ReplanResidual(in *Instance, state ResidualState) (*Plan, error) {
 	}
 	st := newPathState(in, set, state)
 	for {
+		endIter := tr.Begin(SpanPlanReplanIterate)
 		best, ok := st.pickNext(k, state.Workers)
 		if !ok {
+			endIter()
 			break
 		}
 		st.accept(best)
+		endIter(trace.Int("loc", best.loc))
 	}
-	return st.plan(), nil
+	p := st.plan()
+	endPlan(trace.Int("stops", len(p.Stops)))
+	return p, nil
 }
 
 // pathState is the open-path analogue of greedyState: the path runs from a
@@ -216,7 +225,7 @@ func (st *pathState) evalLoc(k, c int, cur float64, so scanObs) (pathCandidate, 
 	if st.excluded[c] {
 		return best, -1, false
 	}
-	so.evals.Inc()
+	so.evalHit(c)
 	in := st.in
 	bestRatio := -1.0
 	loc := &st.set.Locs[c]
@@ -292,7 +301,7 @@ func (st *pathState) pickNext(k, workers int) (pathCandidate, bool) {
 		ratio float64
 	}
 	results := make([]localBest, workers)
-	shards := obs.Shards(st.rec, workers)
+	shards := trace.ShardObs(st.rec, workers)
 	var wg sync.WaitGroup
 	chunk := (n - 1 + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -319,7 +328,7 @@ func (st *pathState) pickNext(k, workers int) (pathCandidate, bool) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	obs.MergeShards(st.rec, shards)
+	trace.MergeObs(st.rec, shards)
 	best := localBest{cand: pathCandidate{loc: -1}, ratio: -1}
 	for _, r := range results {
 		if r.cand.loc >= 0 && betterPath(r.cand, r.ratio, best.cand, best.ratio) {

@@ -15,6 +15,7 @@ import (
 
 	"uavdc/internal/energy"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/trace"
 )
 
 // Config parameterises an experiment sweep.
@@ -54,6 +55,14 @@ type Config struct {
 	// harness. Counter totals are deterministic at any Workers setting;
 	// recording never changes plans.
 	Metrics bool
+	// Trace, when non-nil, receives a flight-recorder span stream for the
+	// whole sweep: one SpanSweepPoint per (series, x) data point and one
+	// SpanSweepPlan per planner run, with the planners' internal phase
+	// spans nested inside (uavexp -trace). Recording never changes plans
+	// or counters, and the stream strips to byte-identical output at any
+	// Workers setting. Validation simulations are not traced — a sweep
+	// trace records planner phases, not mission telemetry.
+	Trace *trace.Buffer
 }
 
 // Paper returns the full-scale configuration of Section VII-A. Running it

@@ -10,6 +10,15 @@ import (
 	"uavdc/internal/sensornet"
 	"uavdc/internal/simulate"
 	"uavdc/internal/stats"
+	"uavdc/internal/trace"
+)
+
+// Trace span names emitted by runSweep when Config.Trace is attached: one
+// SpanSweepPoint per (series, x) data point and one SpanSweepPlan per
+// planner run, the latter enclosing the planner's own phase spans.
+const (
+	SpanSweepPoint = "sweep/point"
+	SpanSweepPlan  = "sweep/plan"
 )
 
 // runSpec describes one series of a sweep: a planner plus the mapping from
@@ -45,10 +54,16 @@ func runSweep(cfg Config, xs []float64, specs []runSpec) ([]Series, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tr trace.Tracer = trace.Discard
+	if cfg.Trace != nil {
+		tr = cfg.Trace
+	}
 	series := make([]Series, len(specs))
 	for si, spec := range specs {
 		series[si].Name = spec.name
 		for _, x := range xs {
+			endPoint := tr.Begin(SpanSweepPoint,
+				trace.Str("series", spec.name), trace.Num("x", x))
 			vols := make([]float64, 0, len(nets))
 			times := make([]float64, 0, len(nets))
 			// One registry per (series, x) point: counters aggregate over
@@ -57,14 +72,19 @@ func runSweep(cfg Config, xs []float64, specs []runSpec) ([]Series, error) {
 			if cfg.Metrics {
 				reg = obs.NewRegistry()
 			}
-			for _, net := range nets {
+			for ni, net := range nets {
 				in := spec.instance(net, x)
 				if reg != nil {
 					in.Obs = reg
 				}
+				if tr.Enabled() {
+					in.Obs = trace.With(in.Obs, tr)
+				}
+				endPlan := tr.Begin(SpanSweepPlan, trace.Int("instance", ni))
 				start := time.Now()
 				plan, err := spec.planner.Plan(in)
 				elapsed := time.Since(start).Seconds()
+				endPlan()
 				if reg != nil {
 					reg.Timer(TimerPlan).Observe(elapsed)
 				}
@@ -96,6 +116,7 @@ func runSweep(cfg Config, xs []float64, specs []runSpec) ([]Series, error) {
 				p.Counters = reg.Snapshot().Counters
 			}
 			series[si].Points = append(series[si].Points, p)
+			endPoint(trace.Int("instances", len(nets)))
 		}
 	}
 	return series, nil

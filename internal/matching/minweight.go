@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"uavdc/internal/obs"
+	"uavdc/internal/trace"
 )
 
 // scaleBits controls the fixed-point precision when converting float64
@@ -138,17 +139,28 @@ const (
 	CounterGreedyRuns = "matching.greedy_runs"
 )
 
+// Trace span names emitted by PerfectAuto, one per solver choice.
+const (
+	SpanBlossom = "matching/blossom"
+	SpanGreedy  = "matching/greedy"
+)
+
 // PerfectAuto picks the exact solver for n ≤ ExactThreshold and the greedy
 // heuristic above, returning the matching, its cost, and whether it is
 // provably optimal. An optional obs.Recorder counts which solver ran.
 func PerfectAuto(cost [][]float64, rec ...obs.Recorder) (mate []int, total float64, exact bool, err error) {
 	r := obs.First(rec...)
+	tr := trace.Of(r)
 	if len(cost) <= ExactThreshold {
 		r.Counter(CounterBlossomRuns).Inc()
+		end := tr.Begin(SpanBlossom, trace.Int("n", len(cost)))
 		mate, total, err = MinWeightPerfect(cost)
+		end()
 		return mate, total, true, err
 	}
 	r.Counter(CounterGreedyRuns).Inc()
+	end := tr.Begin(SpanGreedy, trace.Int("n", len(cost)))
 	mate, total, err = GreedyPerfect(cost)
+	end()
 	return mate, total, false, err
 }

@@ -21,15 +21,37 @@
 //     their invocation counts are.
 package obs
 
-// Recorder hands out named Counter and Timer handles. Handles are stable:
-// two calls with the same name affect the same underlying cell, so hot
-// loops should fetch handles once, outside the loop.
+// Recorder hands out named Counter, Timer, and Histogram handles. Handles
+// are stable: two calls with the same name affect the same underlying cell,
+// so hot loops should fetch handles once, outside the loop.
 type Recorder interface {
 	// Counter returns the named monotonically increasing counter.
 	Counter(name string) Counter
 	// Timer returns the named wall-clock timer.
 	Timer(name string) Timer
+	// Histogram returns the named fixed-bucket histogram. The boundaries
+	// of the first call for a name win; later calls for the same name may
+	// pass nil. Histograms over deterministic values (energies, volumes,
+	// counts) share the counters' reproducibility guarantee; histograms
+	// observing wall-clock durations must use a name ending in
+	// WallSuffix and are excluded from determinism comparisons, exactly
+	// like Timers.
+	Histogram(name string, buckets []float64) Histogram
 }
+
+// Histogram is a fixed-bucket distribution: Observe(v) increments the
+// bucket of the first boundary ≥ v (the overflow bucket when v exceeds
+// every boundary) and accumulates count and sum.
+type Histogram interface {
+	// Observe records one value.
+	Observe(v float64)
+}
+
+// WallSuffix marks a histogram as holding wall-clock observations: any
+// histogram whose name ends in this suffix is excluded from
+// Snapshot.Equal and Snapshot.Diff, because wall times are inherently not
+// reproducible. Deterministic histograms must not use the suffix.
+const WallSuffix = ".seconds"
 
 // Counter is a monotonically increasing event count.
 type Counter interface {
@@ -59,13 +81,17 @@ type nopCounter struct{}
 
 type nopTimer struct{}
 
-func (nopRecorder) Counter(string) Counter { return nopCounter{} }
-func (nopRecorder) Timer(string) Timer     { return nopTimer{} }
+type nopHistogram struct{}
 
-func (nopCounter) Inc()          {}
-func (nopCounter) Add(int64)     {}
-func (nopTimer) Start() func()   { return func() {} }
-func (nopTimer) Observe(float64) {}
+func (nopRecorder) Counter(string) Counter                { return nopCounter{} }
+func (nopRecorder) Timer(string) Timer                    { return nopTimer{} }
+func (nopRecorder) Histogram(string, []float64) Histogram { return nopHistogram{} }
+
+func (nopCounter) Inc()              {}
+func (nopCounter) Add(int64)         {}
+func (nopTimer) Start() func()       { return func() {} }
+func (nopTimer) Observe(float64)     {}
+func (nopHistogram) Observe(float64) {}
 
 // OrDiscard resolves an optional recorder: nil becomes Discard.
 func OrDiscard(r Recorder) Recorder {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -127,6 +128,95 @@ func TestDiscardAndHelpers(t *testing.T) {
 	}
 	if First(nil, r) != Recorder(r) {
 		t.Error("First should return first non-nil recorder")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 1, 100}) // sorted + deduped internally
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	// Same name → same cell, boundaries of the first call win.
+	r.Histogram("h", nil).Observe(2)
+
+	st := r.Snapshot().Hists["h"]
+	if want := []float64{1, 10, 100}; len(st.Buckets) != 3 || st.Buckets[0] != want[0] || st.Buckets[2] != want[2] {
+		t.Fatalf("buckets = %v, want %v", st.Buckets, want)
+	}
+	// v ≤ bound buckets: {0.5, 1} ≤ 1; {5, 2} ≤ 10; {50} ≤ 100; {500} over.
+	if want := []int64{2, 2, 1, 1}; len(st.Counts) != 4 ||
+		st.Counts[0] != want[0] || st.Counts[1] != want[1] || st.Counts[2] != want[2] || st.Counts[3] != want[3] {
+		t.Errorf("counts = %v, want %v", st.Counts, want)
+	}
+	if st.Count != 6 || st.Sum != 558.5 {
+		t.Errorf("count/sum = %d/%g, want 6/558.5", st.Count, st.Sum)
+	}
+}
+
+func TestHistogramMergeAndEqual(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("h", []float64{1}).Observe(0.5)
+	b.Histogram("h", []float64{1}).Observe(2)
+	a.Merge(b)
+	st := a.Snapshot().Hists["h"]
+	if st.Count != 2 || st.Counts[0] != 1 || st.Counts[1] != 1 {
+		t.Errorf("merged hist = %+v", st)
+	}
+
+	// Deterministic histograms participate in Equal; WallSuffix ones do not.
+	x, y := NewRegistry(), NewRegistry()
+	x.Histogram("d", []float64{1}).Observe(0.5)
+	y.Histogram("d", []float64{1}).Observe(2)
+	if x.Snapshot().Equal(y.Snapshot()) {
+		t.Error("diverging deterministic histograms compare equal")
+	}
+	x2, y2 := NewRegistry(), NewRegistry()
+	x2.Histogram("w"+WallSuffix, []float64{1}).Observe(0.5)
+	y2.Histogram("w"+WallSuffix, []float64{1}).Observe(2)
+	if !x2.Snapshot().Equal(y2.Snapshot()) {
+		t.Error("wall-clock histograms must be excluded from Equal")
+	}
+}
+
+// TestSnapshotOrderingLock pins the diff-stability contract: every exported
+// iteration order (CounterNames, TimerNames, HistNames, WriteTo) is sorted,
+// so uavexp -metrics panels and uavbench JSON are stable across runs.
+func TestSnapshotOrderingLock(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Inc()
+		r.Timer(name + ".t").Observe(0.1)
+		r.Histogram(name+".h", []float64{1}).Observe(0.5)
+	}
+	snap := r.Snapshot()
+	assertSorted := func(kind string, names []string) {
+		t.Helper()
+		if !sort.StringsAreSorted(names) {
+			t.Errorf("%s not sorted: %v", kind, names)
+		}
+		if len(names) != 3 {
+			t.Errorf("%s has %d names, want 3", kind, len(names))
+		}
+	}
+	assertSorted("CounterNames", snap.CounterNames())
+	assertSorted("TimerNames", snap.TimerNames())
+	assertSorted("HistNames", snap.HistNames())
+
+	var sb strings.Builder
+	if _, err := snap.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("WriteTo rendered %d lines, want 9:\n%s", len(lines), sb.String())
+	}
+	// Counters, then timers, then histograms, each block sorted.
+	want := []string{"alpha", "mid", "zeta", "alpha.t", "mid.t", "zeta.t", "alpha.h", "mid.h", "zeta.h"}
+	for i, prefix := range want {
+		if !strings.HasPrefix(lines[i], prefix+" ") {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*counterCell
 	timers   map[string]*timerCell
+	hists    map[string]*histCell
 }
 
 // NewRegistry returns an empty registry.
@@ -25,6 +27,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*counterCell{},
 		timers:   map[string]*timerCell{},
+		hists:    map[string]*histCell{},
 	}
 }
 
@@ -75,6 +78,47 @@ func (r *Registry) Timer(name string) Timer {
 	return t
 }
 
+// histCell is a fixed-bucket histogram: counts[i] tallies observations
+// v ≤ bounds[i]; counts[len(bounds)] is the overflow bucket.
+type histCell struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+func (h *histCell) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Histogram implements Recorder. The bucket boundaries of the first call
+// for a name win; later calls may pass nil. Boundaries are sorted and
+// deduplicated; an empty boundary set yields a single (overflow) bucket.
+func (r *Registry) Histogram(name string, buckets []float64) Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		dedup := bounds[:0]
+		for i, b := range bounds {
+			if i == 0 || b != dedup[len(dedup)-1] {
+				dedup = append(dedup, b)
+			}
+		}
+		h = &histCell{bounds: dedup, counts: make([]int64, len(dedup)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
 // Merge adds every count and timer total of s into r. Merging is pure
 // addition, so the final totals are independent of merge order; callers
 // still merge in worker-index order to keep the operation reproducible
@@ -99,6 +143,22 @@ func (r *Registry) Merge(s *Registry) {
 			dst.mu.Unlock()
 		}
 	}
+	for name, h := range s.hists {
+		h.mu.Lock()
+		if h.count != 0 {
+			dst := r.Histogram(name, h.bounds).(*histCell)
+			dst.mu.Lock()
+			if len(dst.counts) == len(h.counts) {
+				for i, n := range h.counts {
+					dst.counts[i] += n
+				}
+				dst.count += h.count
+				dst.sum += h.sum
+			}
+			dst.mu.Unlock()
+		}
+		h.mu.Unlock()
+	}
 }
 
 // Reset zeroes the registry, dropping every cell. Outstanding handles keep
@@ -108,6 +168,7 @@ func (r *Registry) Reset() {
 	defer r.mu.Unlock()
 	r.counters = map[string]*counterCell{}
 	r.timers = map[string]*timerCell{}
+	r.hists = map[string]*histCell{}
 }
 
 // TimerStat is one timer's aggregate in a Snapshot.
@@ -118,10 +179,22 @@ type TimerStat struct {
 	Seconds float64
 }
 
+// HistStat is one histogram's aggregate in a Snapshot.
+type HistStat struct {
+	// Buckets is the sorted upper boundary of each bucket; Counts has one
+	// extra trailing entry for the overflow bucket.
+	Buckets []float64
+	Counts  []int64
+	// Count and Sum aggregate every observation.
+	Count int64
+	Sum   float64
+}
+
 // Snapshot is a point-in-time copy of a registry's totals.
 type Snapshot struct {
 	Counters map[string]int64
 	Timers   map[string]TimerStat
+	Hists    map[string]HistStat
 }
 
 // Snapshot copies the registry's current totals.
@@ -131,6 +204,7 @@ func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		Counters: make(map[string]int64, len(r.counters)),
 		Timers:   make(map[string]TimerStat, len(r.timers)),
+		Hists:    make(map[string]HistStat, len(r.hists)),
 	}
 	for name, c := range r.counters {
 		snap.Counters[name] = c.n.Load()
@@ -139,6 +213,16 @@ func (r *Registry) Snapshot() Snapshot {
 		t.mu.Lock()
 		snap.Timers[name] = TimerStat{Count: t.count, Seconds: t.seconds}
 		t.mu.Unlock()
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		snap.Hists[name] = HistStat{
+			Buckets: append([]float64(nil), h.bounds...),
+			Counts:  append([]int64(nil), h.counts...),
+			Count:   h.count,
+			Sum:     h.sum,
+		}
+		h.mu.Unlock()
 	}
 	return snap
 }
@@ -164,14 +248,62 @@ func (s Snapshot) TimerNames() []string {
 	return names
 }
 
-// Equal reports whether two snapshots have identical counter totals
-// (timers are wall-clock and excluded from equality).
+// HistNames returns the histogram names in sorted order.
+func (s Snapshot) HistNames() []string {
+	names := make([]string, 0, len(s.Hists))
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// deterministicHist reports whether the named histogram participates in
+// determinism comparisons: wall-clock histograms (WallSuffix names) are
+// excluded, exactly like Timers.
+func deterministicHist(name string) bool {
+	return !strings.HasSuffix(name, WallSuffix)
+}
+
+// histEqual compares two histograms' bucket counts.
+func histEqual(a, b HistStat) bool {
+	if a.Count != b.Count || len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i, n := range a.Counts {
+		if b.Counts[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two snapshots have identical counter totals and
+// deterministic-histogram bucket counts (timers and WallSuffix histograms
+// are wall-clock and excluded from equality).
 func (s Snapshot) Equal(o Snapshot) bool {
 	if len(s.Counters) != len(o.Counters) {
 		return false
 	}
 	for name, n := range s.Counters {
 		if o.Counters[name] != n {
+			return false
+		}
+	}
+	for name, h := range s.Hists {
+		if !deterministicHist(name) {
+			continue
+		}
+		oh, ok := o.Hists[name]
+		if !ok || !histEqual(h, oh) {
+			return false
+		}
+	}
+	for name := range o.Hists {
+		if !deterministicHist(name) {
+			continue
+		}
+		if _, ok := s.Hists[name]; !ok {
 			return false
 		}
 	}
@@ -194,11 +326,26 @@ func (s Snapshot) Diff(o Snapshot) string {
 			out += fmt.Sprintf("%s: 0 != %d\n", name, o.Counters[name])
 		}
 	}
+	for _, name := range s.HistNames() {
+		if !deterministicHist(name) {
+			continue
+		}
+		if !histEqual(s.Hists[name], o.Hists[name]) {
+			out += fmt.Sprintf("%s: %v != %v\n", name, s.Hists[name].Counts, o.Hists[name].Counts)
+		}
+	}
+	for _, name := range o.HistNames() {
+		if _, ok := s.Hists[name]; !ok && deterministicHist(name) && o.Hists[name].Count != 0 {
+			out += fmt.Sprintf("%s: absent != %v\n", name, o.Hists[name].Counts)
+		}
+	}
 	return out
 }
 
 // WriteTo renders the snapshot as sorted "name value" lines: counters
-// first, then timers as "name count seconds". Implements io.WriterTo.
+// first, then timers as "name count seconds", then histograms as
+// "name count sum ≤b:n ... >b:n". Every section iterates its names in
+// sorted order, so the rendering is diff-stable. Implements io.WriterTo.
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, name := range s.CounterNames() {
@@ -211,6 +358,28 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	for _, name := range s.TimerNames() {
 		st := s.Timers[name]
 		n, err := fmt.Fprintf(w, "%s %d %.6fs\n", name, st.Count, st.Seconds)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, name := range s.HistNames() {
+		h := s.Hists[name]
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s %d %g", name, h.Count, h.Sum)
+		for i, b := range h.Buckets {
+			fmt.Fprintf(&sb, " ≤%g:%d", b, h.Counts[i])
+		}
+		if len(h.Counts) > 0 {
+			over := h.Counts[len(h.Counts)-1]
+			if len(h.Buckets) > 0 {
+				fmt.Fprintf(&sb, " >%g:%d", h.Buckets[len(h.Buckets)-1], over)
+			} else {
+				fmt.Fprintf(&sb, " all:%d", over)
+			}
+		}
+		sb.WriteByte('\n')
+		n, err := io.WriteString(w, sb.String())
 		total += int64(n)
 		if err != nil {
 			return total, err

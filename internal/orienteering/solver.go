@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"uavdc/internal/obs"
+	"uavdc/internal/trace"
 )
 
 // Instrumentation counter names recorded by Solve: one per solver attempt,
@@ -14,6 +15,16 @@ const (
 	CounterTourSplitRuns   = "orienteering.toursplit_runs"
 	CounterGRASPRuns       = "orienteering.grasp_runs"
 	CounterLocalSearchRuns = "orienteering.localsearch_runs"
+)
+
+// Trace span names emitted by Solve, one per solver attempt
+// ("orienteering/" + the method's String()).
+const (
+	SpanExact       = "orienteering/exact"
+	SpanGreedy      = "orienteering/greedy"
+	SpanTourSplit   = "orienteering/toursplit"
+	SpanGRASP       = "orienteering/grasp"
+	SpanLocalSearch = "orienteering/localsearch"
 )
 
 // Method selects an orienteering solver.
@@ -63,44 +74,66 @@ func Solve(p *Problem, method Method, rec ...obs.Recorder) (Solution, error) {
 		return Solution{}, err
 	}
 	r := obs.First(rec...)
+	tr := trace.Of(r)
 	localSearch := func(sol Solution) Solution {
 		r.Counter(CounterLocalSearchRuns).Inc()
-		return LocalSearch(p, sol, 0)
+		end := tr.Begin(SpanLocalSearch)
+		sol = LocalSearch(p, sol, 0)
+		end(trace.Num("reward", sol.Reward))
+		return sol
+	}
+	exact := func() (Solution, error) {
+		r.Counter(CounterExactRuns).Inc()
+		end := tr.Begin(SpanExact, trace.Int("nodes", p.N))
+		sol, err := ExactDP(p)
+		end()
+		return sol, err
+	}
+	greedy := func() (Solution, error) {
+		r.Counter(CounterGreedyRuns).Inc()
+		end := tr.Begin(SpanGreedy, trace.Int("nodes", p.N))
+		sol, err := GreedyRatio(p)
+		end()
+		return sol, err
+	}
+	tourSplit := func() (Solution, error) {
+		r.Counter(CounterTourSplitRuns).Inc()
+		end := tr.Begin(SpanTourSplit, trace.Int("nodes", p.N))
+		sol, err := TourSplit(p)
+		end()
+		return sol, err
 	}
 	switch method {
 	case MethodExact:
-		r.Counter(CounterExactRuns).Inc()
-		return ExactDP(p)
+		return exact()
 	case MethodGreedy:
-		r.Counter(CounterGreedyRuns).Inc()
-		sol, err := GreedyRatio(p)
+		sol, err := greedy()
 		if err != nil {
 			return Solution{}, err
 		}
 		return localSearch(sol), nil
 	case MethodTourSplit:
-		r.Counter(CounterTourSplitRuns).Inc()
-		sol, err := TourSplit(p)
+		sol, err := tourSplit()
 		if err != nil {
 			return Solution{}, err
 		}
 		return localSearch(sol), nil
 	case MethodGRASP:
 		r.Counter(CounterGRASPRuns).Inc()
-		return GRASP(p, GRASPOptions{})
+		end := tr.Begin(SpanGRASP, trace.Int("nodes", p.N))
+		sol, err := GRASP(p, GRASPOptions{})
+		end()
+		return sol, err
 	case MethodAuto:
 		if p.N <= ExactMax {
-			r.Counter(CounterExactRuns).Inc()
-			return ExactDP(p)
+			return exact()
 		}
-		r.Counter(CounterGreedyRuns).Inc()
-		g, err := GreedyRatio(p)
+		g, err := greedy()
 		if err != nil {
 			return Solution{}, err
 		}
 		g = localSearch(g)
-		r.Counter(CounterTourSplitRuns).Inc()
-		t, err := TourSplit(p)
+		t, err := tourSplit()
 		if err != nil {
 			return Solution{}, err
 		}

@@ -1,0 +1,58 @@
+// Package prof is the shared CPU/heap profiling hook for the CLIs: each
+// command parses -cpuprofile/-memprofile into a single Start call and defers
+// the returned stop. Profiles are standard runtime/pprof output, readable
+// with `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling. cpuPath, when non-empty, receives a CPU profile
+// covering the interval until stop is called; memPath, when non-empty,
+// receives a heap profile written at stop time (after a GC, so it reflects
+// live objects). Either may be empty. The returned stop is safe to call
+// exactly once and reports the first error encountered while finishing the
+// profiles.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("prof: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // materialise up-to-date live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -7,6 +7,7 @@ import (
 	"uavdc/internal/faults"
 	"uavdc/internal/geom"
 	"uavdc/internal/obs"
+	"uavdc/internal/trace"
 )
 
 // Instrumentation counter names recorded by the adaptive executor into the
@@ -29,7 +30,15 @@ const (
 	// CounterStopsSkipped counts planned stops abandoned to preserve the
 	// fly-home reserve.
 	CounterStopsSkipped = "exec.stops_skipped"
+	// HistEnergyDeviation is the per-stop absolute energy-deviation
+	// distribution in joules. Deviations are deterministic (no WallSuffix),
+	// so the bucket counts share the counters' reproducibility guarantee.
+	HistEnergyDeviation = "exec.energy_deviation_hist"
 )
+
+// DeviationBuckets are the HistEnergyDeviation boundaries in joules:
+// decades from 1 J to 100 kJ (battery capacities are order 10⁵–10⁶ J).
+var DeviationBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5}
 
 // DefaultMargin is the replan trigger threshold as a fraction of battery
 // capacity: once the actual residual energy deviates from the plan's
@@ -128,6 +137,14 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 	cFaults := rec.Counter(CounterFaultsApplied)
 	cDev := rec.Counter(CounterEnergyDeviation)
 	cSkipped := rec.Counter(CounterStopsSkipped)
+	hDev := rec.Histogram(HistEnergyDeviation, DeviationBuckets)
+	tr := trace.OrDiscard(opts.Trace)
+	if !tr.Enabled() {
+		// Fall back to the tracer riding on the instance recorder, so a
+		// trace.With-wrapped in.Obs captures the mission log too.
+		tr = trace.Of(rec)
+	}
+	emit := tr.Enabled()
 
 	res := AdaptiveResult{Result: Result{PerSensor: make([]float64, len(net.Sensors))}}
 	countFault := func() {
@@ -147,12 +164,29 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 		return em.TravelEnergy(p.Dist(plan.Depot))*wTravel + descend
 	}
 
+	// expected tracks what the plan's own accounting says the battery
+	// should be; rebased after takeoff and on every replan. Deviation =
+	// expected − battery.
+	expected := battery
+
 	log := func(kind EventKind, stop int) {
 		if opts.RecordEvents {
 			res.Events = append(res.Events, Event{
 				Kind: kind, Time: now, Pos: pos, Stop: stop,
 				EnergyUsed: res.EnergyUsed, Collected: res.Collected,
 			})
+		}
+		if emit {
+			tr.Event(MissionEventPrefix+kind.String(),
+				trace.Num("t_sim", now),
+				trace.Int("stop", stop),
+				trace.Num("x", pos.X),
+				trace.Num("y", pos.Y),
+				trace.Num("energy_j", res.EnergyUsed),
+				trace.Num("collected_mb", res.Collected),
+				trace.Num("battery_j", battery),
+				trace.Num("deviation_j", expected-battery),
+				trace.Int("faults", res.FaultsApplied))
 		}
 	}
 
@@ -172,9 +206,7 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 		now += opts.Altitude / em.ClimbRate
 	}
 
-	// expected tracks what the plan's own accounting says the battery
-	// should be; rebased on every replan. Deviation = expected − battery.
-	expected := battery
+	expected = battery
 
 	queue := make([]queued, len(plan.Stops))
 	for i := range plan.Stops {
@@ -271,6 +303,7 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 			res.MaxDeviation = a
 		}
 		cDev.Add(int64(math.Round(math.Abs(dev))))
+		hDev.Observe(math.Abs(dev))
 		if len(queue) > 0 && math.Abs(dev) > margin*em.Capacity && replans < replanCap {
 			residual := make([]float64, len(net.Sensors))
 			for v := range residual {

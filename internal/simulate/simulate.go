@@ -18,7 +18,16 @@ import (
 	"uavdc/internal/geom"
 	"uavdc/internal/radio"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/trace"
 )
+
+// MissionEventPrefix prefixes every trace event the simulators emit; the
+// full name is the prefix plus the EventKind's String() ("mission/arrive",
+// "mission/replan", ...). Every attribute is deterministic for a fixed
+// instance, plan, fault schedule, and noise seed — t_sim is simulated
+// seconds since takeoff, not wall time — so mission event streams strip to
+// byte-identical bytes like the planner spans.
+const MissionEventPrefix = "mission/"
 
 // EventKind labels a telemetry event.
 type EventKind int
@@ -115,6 +124,10 @@ type Options struct {
 	// Noise perturbs the power draw of every flight leg and hover
 	// segment; the zero value is the deterministic nameplate model.
 	Noise Noise
+	// Trace, when non-nil and enabled, receives the mission event log as
+	// MissionEventPrefix events. Recording never changes the simulation
+	// outcome.
+	Trace trace.Tracer
 }
 
 // rateFor returns the uplink rate for a sensor at the given ground
@@ -136,12 +149,24 @@ func Run(net *sensornet.Network, em energy.Model, plan *core.Plan, opts Options)
 	pos := plan.Depot
 	now := 0.0
 
+	tr := trace.OrDiscard(opts.Trace)
+	emit := tr.Enabled()
 	log := func(kind EventKind, stop int) {
 		if opts.RecordEvents {
 			res.Events = append(res.Events, Event{
 				Kind: kind, Time: now, Pos: pos, Stop: stop,
 				EnergyUsed: res.EnergyUsed, Collected: res.Collected,
 			})
+		}
+		if emit {
+			tr.Event(MissionEventPrefix+kind.String(),
+				trace.Num("t_sim", now),
+				trace.Int("stop", stop),
+				trace.Num("x", pos.X),
+				trace.Num("y", pos.Y),
+				trace.Num("energy_j", res.EnergyUsed),
+				trace.Num("collected_mb", res.Collected),
+				trace.Num("battery_j", battery))
 		}
 	}
 	abort := func(reason string) Result {

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"time"
+
+	"uavdc/internal/obs"
+)
+
+// Kind discriminates the three record types of a trace stream.
+type Kind byte
+
+const (
+	// KindBegin opens a span.
+	KindBegin Kind = 'B'
+	// KindEnd closes the innermost open span.
+	KindEnd Kind = 'E'
+	// KindEvent is an instantaneous point event.
+	KindEvent Kind = 'I'
+)
+
+// Record is one entry of a trace stream. The stream is flat: spans are a
+// matched KindBegin/KindEnd pair at the same Depth, with their children
+// recorded in between at Depth+1.
+type Record struct {
+	// Kind is the record type.
+	Kind Kind
+	// Name identifies the span or event (slash-separated phases for
+	// planner spans, "mission/<kind>" for executor events).
+	Name string
+	// Depth is the span-nesting depth at which the record was emitted
+	// (0 = top level).
+	Depth int
+	// Wall is seconds since the buffer's epoch — the only
+	// non-deterministic field; exporters can strip it.
+	Wall float64
+	// Attrs are the record's deterministic attributes, in emission order.
+	Attrs []Attr
+}
+
+// Buffer is the standard Tracer: an in-memory, sequence-ordered record
+// stream. A Buffer is not safe for concurrent use; parallel sections get
+// per-worker shard buffers via Shards/ShardObs, merged in worker-index
+// order after the join.
+type Buffer struct {
+	epoch  time.Time
+	detail bool
+	depth  int
+	recs   []Record
+	meta   []Attr
+	// durHist, when set, receives every closed span's duration in
+	// seconds under a "trace.span_duration<WallSuffix>" histogram — the
+	// obs-side span-duration distribution.
+	durHist obs.Histogram
+}
+
+// DurationHistName is the obs histogram fed by ObserveDurations. It ends
+// in obs.WallSuffix because span durations are wall-clock observations.
+const DurationHistName = "trace.span_duration" + obs.WallSuffix
+
+// DurationBuckets are the boundaries (seconds) of the span-duration
+// histogram: 1µs … 10s in decades with a 3× midpoint.
+var DurationBuckets = []float64{
+	1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+	1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10,
+}
+
+// NewBuffer returns an empty buffer whose epoch is now.
+func NewBuffer() *Buffer {
+	return &Buffer{epoch: time.Now()}
+}
+
+// SetDetail turns high-volume recording (per-candidate scan events) on or
+// off. Shards inherit the setting.
+func (b *Buffer) SetDetail(on bool) { b.detail = on }
+
+// SetMeta sets header attributes exported with the stream (instance
+// seed, planner name, worker count, ...). Later calls replace earlier
+// values for the same key.
+func (b *Buffer) SetMeta(attrs ...Attr) {
+	for _, a := range attrs {
+		replaced := false
+		for i := range b.meta {
+			if b.meta[i].Key == a.Key {
+				b.meta[i] = a
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			b.meta = append(b.meta, a)
+		}
+	}
+}
+
+// ObserveDurations mirrors every subsequently closed span's wall duration
+// into r's DurationHistName histogram.
+func (b *Buffer) ObserveDurations(r obs.Recorder) {
+	b.durHist = obs.OrDiscard(r).Histogram(DurationHistName, DurationBuckets)
+}
+
+// Begin implements Tracer.
+func (b *Buffer) Begin(name string, attrs ...Attr) func(end ...Attr) {
+	d := b.depth
+	start := time.Since(b.epoch).Seconds()
+	b.recs = append(b.recs, Record{Kind: KindBegin, Name: name, Depth: d, Wall: start, Attrs: attrs})
+	b.depth = d + 1
+	return func(end ...Attr) {
+		wall := time.Since(b.epoch).Seconds()
+		b.recs = append(b.recs, Record{Kind: KindEnd, Name: name, Depth: d, Wall: wall, Attrs: end})
+		b.depth = d
+		if b.durHist != nil {
+			b.durHist.Observe(wall - start)
+		}
+	}
+}
+
+// Event implements Tracer.
+func (b *Buffer) Event(name string, attrs ...Attr) {
+	b.recs = append(b.recs, Record{
+		Kind: KindEvent, Name: name, Depth: b.depth,
+		Wall: time.Since(b.epoch).Seconds(), Attrs: attrs,
+	})
+}
+
+// Enabled implements Tracer.
+func (b *Buffer) Enabled() bool { return true }
+
+// Detail implements Tracer.
+func (b *Buffer) Detail() bool { return b.detail }
+
+// Len returns the number of records.
+func (b *Buffer) Len() int { return len(b.recs) }
+
+// Reset drops every record and metadata attribute, keeping the epoch and
+// detail setting.
+func (b *Buffer) Reset() {
+	b.recs = b.recs[:0]
+	b.meta = nil
+	b.depth = 0
+}
+
+// shard returns a worker-private buffer sharing b's epoch, detail flag,
+// and duration histogram, recording at b's current depth.
+func (b *Buffer) shard() *Buffer {
+	return &Buffer{epoch: b.epoch, detail: b.detail, depth: b.depth, durHist: b.durHist}
+}
+
+// merge appends s's records to b. Shard records were emitted at b's
+// depth, so no re-basing is needed.
+func (b *Buffer) merge(s *Buffer) {
+	b.recs = append(b.recs, s.recs...)
+}
+
+// Trace is an immutable snapshot of a buffer: the export and analysis
+// unit. Seq numbers are assigned at snapshot time as stream indices.
+type Trace struct {
+	// Meta are the header attributes set via SetMeta.
+	Meta []Attr
+	// Records is the full stream in sequence order.
+	Records []Record
+}
+
+// Snapshot copies the buffer's current stream.
+func (b *Buffer) Snapshot() Trace {
+	return Trace{
+		Meta:    append([]Attr(nil), b.meta...),
+		Records: append([]Record(nil), b.recs...),
+	}
+}

@@ -1,0 +1,191 @@
+// Package trace is the mission flight-recorder: a zero-dependency,
+// hierarchical span + event layer that composes with the obs counters.
+// Planners emit phase spans (plan/alg2/iterate, tsp/christofides/matching,
+// ...) and the executors emit a per-mission event log (mission/takeoff,
+// mission/replan, ...), each record carrying deterministic attributes
+// (battery, volume, deviation, active faults) next to its wall timestamp.
+//
+// Design rules, extending obs's:
+//
+//   - Recording never changes planner or executor output. The default
+//     Tracer is Discard, a shared no-op; an unattached run pays one
+//     interface call (guarded by Enabled) per potential record.
+//   - The record stream is deterministic modulo timestamps: for a fixed
+//     instance, stripping wall times yields a byte-identical exported
+//     stream at any worker count or GOMAXPROCS. Parallel sections record
+//     into per-worker shard buffers (Shards/ShardObs) that are merged in
+//     worker-index order after the join; because the planners partition
+//     candidates by index, the merged stream equals the serial one — the
+//     trace doubles as a correctness oracle for the parallel scans.
+//   - Wall timestamps are seconds since the buffer's epoch and are the
+//     only non-deterministic field; exporters can strip them.
+package trace
+
+import "uavdc/internal/obs"
+
+// Attr is one deterministic key/value attribute of a record. Exactly one
+// of the string or numeric payload is meaningful.
+type Attr struct {
+	Key string
+	// Str carries the value when IsStr; Num otherwise.
+	Str   string
+	Num   float64
+	IsStr bool
+}
+
+// Num returns a numeric attribute.
+func Num(key string, v float64) Attr { return Attr{Key: key, Num: v} }
+
+// Int returns a numeric attribute holding an integer.
+func Int(key string, v int) Attr { return Attr{Key: key, Num: float64(v)} }
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Str: v, IsStr: true} }
+
+// Tracer records hierarchical spans and point events. Implementations
+// must be safe for serial use from one goroutine; parallel sections get
+// per-worker tracers via Shards/ShardObs.
+type Tracer interface {
+	// Begin opens a span; calling the returned function closes it, with
+	// optional result attributes attached to the end record.
+	Begin(name string, attrs ...Attr) func(end ...Attr)
+	// Event records a point event at the current span depth.
+	Event(name string, attrs ...Attr)
+	// Enabled reports whether records are being kept: callers should skip
+	// attribute construction when false.
+	Enabled() bool
+	// Detail reports whether high-volume recording (per-candidate scan
+	// events) is requested.
+	Detail() bool
+}
+
+// Discard is the no-op Tracer every planner and executor defaults to.
+var Discard Tracer = nop{}
+
+type nop struct{}
+
+func (nop) Begin(string, ...Attr) func(...Attr) { return nopEnd }
+func (nop) Event(string, ...Attr)               {}
+func (nop) Enabled() bool                       { return false }
+func (nop) Detail() bool                        { return false }
+
+func nopEnd(...Attr) {}
+
+// OrDiscard resolves an optional tracer: nil becomes Discard.
+func OrDiscard(t Tracer) Tracer {
+	if t == nil {
+		return Discard
+	}
+	return t
+}
+
+// Carrier is an obs.Recorder that additionally carries a Tracer — the
+// composition point between the two instrumentation layers. Build one
+// with With; recover the tracer with Of.
+type Carrier interface {
+	obs.Recorder
+	TraceTracer() Tracer
+}
+
+type carrier struct {
+	obs.Recorder
+	t Tracer
+}
+
+func (c carrier) TraceTracer() Tracer { return c.t }
+
+// With attaches a tracer to an obs recorder, returning a Carrier that
+// records counters into r and spans/events into t. Attaching Discard (or
+// nil) returns r unchanged, so uninstrumented paths keep their original
+// dynamic type (notably *obs.Registry, which obs.Shards special-cases).
+func With(r obs.Recorder, t Tracer) obs.Recorder {
+	t = OrDiscard(t)
+	if t == Discard {
+		return obs.OrDiscard(r)
+	}
+	return carrier{obs.OrDiscard(r), t}
+}
+
+// Of recovers the tracer riding on an obs recorder, or Discard. This is
+// how instrumented packages with `rec ...obs.Recorder` signatures (tsp,
+// matching, orienteering) reach the trace layer without new parameters.
+func Of(r obs.Recorder) Tracer {
+	if c, ok := r.(Carrier); ok {
+		return OrDiscard(c.TraceTracer())
+	}
+	return Discard
+}
+
+// obsBase unwraps a carrier to the underlying obs recorder.
+func obsBase(r obs.Recorder) obs.Recorder {
+	if c, ok := r.(carrier); ok {
+		return c.Recorder
+	}
+	return r
+}
+
+// Shards returns n tracers for a parallel section with n workers. When t
+// is a *Buffer every worker gets an independent shard buffer (inheriting
+// the epoch and detail flag); merge them back with MergeShards after the
+// join. Any other tracer is returned unsharded for every worker and must
+// itself be safe for concurrent use.
+func Shards(t Tracer, n int) []Tracer {
+	out := make([]Tracer, n)
+	b, isBuf := t.(*Buffer)
+	for i := range out {
+		if isBuf {
+			out[i] = b.shard()
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}
+
+// MergeShards appends every shard buffer's records into t in ascending
+// shard order, at t's current depth. It is a no-op unless t is a *Buffer
+// and the shards came from Shards.
+func MergeShards(t Tracer, shards []Tracer) {
+	b, ok := t.(*Buffer)
+	if !ok {
+		return
+	}
+	for _, s := range shards {
+		if sb, ok := s.(*Buffer); ok && sb != b {
+			b.merge(sb)
+		}
+	}
+}
+
+// ShardObs shards both instrumentation layers of a (possibly
+// trace-carrying) obs recorder for a parallel section with n workers: the
+// counter layer via obs.Shards and the trace layer via Shards, recombined
+// per worker. Merge with MergeObs after the join. It replaces obs.Shards
+// at the planners' parallel scans.
+func ShardObs(r obs.Recorder, n int) []obs.Recorder {
+	t := Of(r)
+	obsShards := obs.Shards(obsBase(r), n)
+	if t == Discard {
+		return obsShards
+	}
+	tShards := Shards(t, n)
+	out := make([]obs.Recorder, n)
+	for i := range out {
+		out[i] = With(obsShards[i], tShards[i])
+	}
+	return out
+}
+
+// MergeObs folds both layers of the shard recorders back into r in
+// ascending shard order: counters via obs.MergeShards, trace records via
+// MergeShards.
+func MergeObs(r obs.Recorder, shards []obs.Recorder) {
+	obsShards := make([]obs.Recorder, len(shards))
+	tShards := make([]Tracer, len(shards))
+	for i, s := range shards {
+		obsShards[i] = obsBase(s)
+		tShards[i] = Of(s)
+	}
+	obs.MergeShards(obsBase(r), obsShards)
+	MergeShards(Of(r), tShards)
+}

@@ -6,11 +6,20 @@ import (
 	"uavdc/internal/graph"
 	"uavdc/internal/matching"
 	"uavdc/internal/obs"
+	"uavdc/internal/trace"
 )
 
 // CounterChristofidesRuns counts full Christofides constructions (tours of
 // three or more items; trivial tours return without construction work).
 const CounterChristofidesRuns = "tsp.christofides_runs"
+
+// Trace span names emitted by the Christofides construction phases.
+const (
+	SpanChristofides         = "tsp/christofides"
+	SpanChristofidesMST      = "tsp/christofides/mst"
+	SpanChristofidesMatching = "tsp/christofides/matching"
+	SpanChristofidesEuler    = "tsp/christofides/euler"
+)
 
 // Christofides computes a tour over items (a set of distinct indices) under
 // metric m using Christofides' heuristic: minimum spanning tree, exact
@@ -34,6 +43,9 @@ func Christofides(items []int, m Metric, rec ...obs.Recorder) (Tour, error) {
 		return Tour{Order: append([]int(nil), items...)}, nil
 	}
 	r.Counter(CounterChristofidesRuns).Inc()
+	tr := trace.Of(r)
+	end := tr.Begin(SpanChristofides, trace.Int("items", k))
+	defer end()
 	seen := make(map[int]bool, k)
 	for _, v := range items {
 		if seen[v] {
@@ -44,8 +56,10 @@ func Christofides(items []int, m Metric, rec ...obs.Recorder) (Tour, error) {
 
 	// Work in local indices 0..k-1.
 	local := func(i, j int) float64 { return m(items[i], items[j]) }
+	endMST := tr.Begin(SpanChristofidesMST)
 	g := graph.NewComplete(k, local)
 	mstEdges, ok := graph.MSTPrim(g, nil)
+	endMST()
 	if !ok {
 		return Tour{}, fmt.Errorf("tsp: metric yields disconnected graph")
 	}
@@ -67,6 +81,7 @@ func Christofides(items []int, m Metric, rec ...obs.Recorder) (Tour, error) {
 		multi.AddEdge(e.U, e.V)
 	}
 	if len(odd) > 0 {
+		endMatch := tr.Begin(SpanChristofidesMatching, trace.Int("odd", len(odd)))
 		cost := make([][]float64, len(odd))
 		for i := range cost {
 			cost[i] = make([]float64, len(odd))
@@ -78,6 +93,7 @@ func Christofides(items []int, m Metric, rec ...obs.Recorder) (Tour, error) {
 		}
 		mate, _, _, err := matching.PerfectAuto(cost, r)
 		if err != nil {
+			endMatch()
 			return Tour{}, fmt.Errorf("tsp: matching odd vertices: %w", err)
 		}
 		for u, v := range mate {
@@ -85,9 +101,12 @@ func Christofides(items []int, m Metric, rec ...obs.Recorder) (Tour, error) {
 				multi.AddEdge(odd[u], odd[v])
 			}
 		}
+		endMatch()
 	}
 
+	endEuler := tr.Begin(SpanChristofidesEuler)
 	circuit, err := multi.EulerCircuit(0)
+	endEuler()
 	if err != nil {
 		return Tour{}, fmt.Errorf("tsp: euler circuit: %w", err)
 	}

@@ -1,6 +1,13 @@
 package tsp
 
-import "uavdc/internal/obs"
+import (
+	"uavdc/internal/obs"
+	"uavdc/internal/trace"
+)
+
+// SpanImprove is the trace span wrapping one Improve polish (2-opt +
+// Or-opt to a fixed point).
+const SpanImprove = "tsp/improve"
 
 // Instrumentation counter names recorded by the local-search passes. A
 // "pass" is one full sweep over the tour; a "move" is one accepted
@@ -163,6 +170,7 @@ func reverse(s []int) {
 // passes.
 func Improve(t *Tour, m Metric, rec ...obs.Recorder) float64 {
 	r := obs.First(rec...)
+	end := trace.Of(r).Begin(SpanImprove, trace.Int("items", t.Len()))
 	var total float64
 	for iter := 0; iter < 8; iter++ {
 		d := TwoOpt(t, m, 0, r) + OrOpt(t, m, 2, r)
@@ -171,5 +179,6 @@ func Improve(t *Tour, m Metric, rec ...obs.Recorder) float64 {
 			break
 		}
 	}
+	end(trace.Num("saved_m", total))
 	return total
 }

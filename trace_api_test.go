@@ -1,0 +1,147 @@
+package uavdc
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func traceScenario() (Scenario, UAV) {
+	sc := RandomScenario(18, 200, 5)
+	uav := DefaultUAV()
+	uav.CapacityJ = 7e3
+	return sc, uav
+}
+
+// TestPlanUnchangedByTracing: attaching a flight recorder (detail on) must
+// not change the planned mission in any field.
+func TestPlanUnchangedByTracing(t *testing.T) {
+	sc, uav := traceScenario()
+	for _, alg := range []Algorithm{AlgorithmNoOverlap, AlgorithmGreedy, AlgorithmPartial, AlgorithmBaseline} {
+		bare, err := Plan(sc, uav, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		trc := NewTrace()
+		trc.SetDetail(true)
+		traced, err := Plan(sc, uav, Options{Algorithm: alg, Trace: trc})
+		if err != nil {
+			t.Fatalf("%s traced: %v", alg, err)
+		}
+		if bare.CollectedMB != traced.CollectedMB || bare.EnergyJ != traced.EnergyJ ||
+			len(bare.Stops) != len(traced.Stops) {
+			t.Errorf("%s: tracing changed the plan: %+v vs %+v", alg, bare, traced)
+		}
+		for i := range bare.Stops {
+			if bare.Stops[i] != traced.Stops[i] {
+				t.Errorf("%s: stop %d differs with tracing on", alg, i)
+			}
+		}
+		if trc.Len() == 0 {
+			t.Errorf("%s: no records captured", alg)
+		}
+	}
+}
+
+// TestExecuteUnchangedByTracing: the adaptive executor under a fault
+// schedule must also be bit-identical with tracing on vs off.
+func TestExecuteUnchangedByTracing(t *testing.T) {
+	sc, uav := traceScenario()
+	opts := ExecuteOptions{FaultSpec: "default", NoiseSpread: 0.05, NoiseSeed: 3}
+	bare, err := Execute(sc, uav, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := opts
+	traced.Trace = NewTrace()
+	got, err := Execute(sc, uav, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *bare != *got {
+		t.Errorf("tracing changed the execution:\nbare   %+v\ntraced %+v", bare, got)
+	}
+	if traced.Trace.Len() == 0 {
+		t.Error("no records captured")
+	}
+}
+
+// TestTraceExportAndSummary exercises the public Trace surface end to end:
+// a faulted adaptive mission records planner spans plus a mission event log,
+// exports to both formats, and summarizes.
+func TestTraceExportAndSummary(t *testing.T) {
+	sc, uav := traceScenario()
+	trc := NewTrace()
+	opts := ExecuteOptions{FaultSpec: "default"}
+	opts.Trace = trc
+	if _, err := Execute(sc, uav, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var jsonl bytes.Buffer
+	if err := trc.WriteJSONL(&jsonl, true); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(jsonl.String(), "\n")
+	if !strings.Contains(first, `"schema":"uavdc-trace/1"`) {
+		t.Errorf("missing schema header: %s", first)
+	}
+	if strings.Contains(jsonl.String(), `"t":`) {
+		t.Error("stripped export still contains wall times")
+	}
+	if !strings.Contains(jsonl.String(), "mission/takeoff") ||
+		!strings.Contains(jsonl.String(), "mission/return") {
+		t.Error("mission event log missing from the trace")
+	}
+
+	var chrome bytes.Buffer
+	if err := trc.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(chrome.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("chrome export is empty")
+	}
+
+	var sum strings.Builder
+	if err := trc.WriteSummary(&sum, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phases (by total time):", "mission timeline:", "takeoff"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+
+	// Reset drops the records; the recorder is reusable.
+	trc.Reset()
+	if trc.Len() != 0 {
+		t.Errorf("Len after Reset = %d", trc.Len())
+	}
+}
+
+// TestTraceRepeatDeterminism: two identical missions produce byte-identical
+// stripped exports.
+func TestTraceRepeatDeterminism(t *testing.T) {
+	sc, uav := traceScenario()
+	export := func() []byte {
+		trc := NewTrace()
+		opts := ExecuteOptions{FaultSpec: "default", NoiseSpread: 0.05, NoiseSeed: 3}
+		opts.Trace = trc
+		if _, err := Execute(sc, uav, opts); err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := trc.WriteJSONL(&b, true); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if !bytes.Equal(export(), export()) {
+		t.Error("repeated identical missions produced different stripped traces")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
 	"uavdc/internal/simulate"
+	"uavdc/internal/trace"
 )
 
 // Algorithm selects a planner.
@@ -174,6 +175,11 @@ type Options struct {
 	// across all CPUs. Plans are identical to serial runs (deterministic
 	// total-order merging); only wall time changes.
 	Parallel bool
+	// Trace attaches a mission flight recorder (see NewTrace): planner
+	// phase spans and the verification simulation's mission event log are
+	// appended to it. Recording never changes the plan; nil disables
+	// tracing.
+	Trace *Trace
 }
 
 // radioModel resolves the uplink model the options imply.
@@ -273,9 +279,20 @@ func Plan(sc Scenario, uav UAV, opts Options) (*Result, error) {
 		return nil, err
 	}
 	net, em := in.Net, in.Model
+	tr := opts.Trace.tracer()
+	if tr.Enabled() {
+		in.Obs = trace.With(in.Obs, tr)
+	}
 	plan, err := planner.Plan(in)
 	if err != nil {
 		return nil, err
+	}
+	if tr.Enabled() {
+		opts.Trace.buf.SetMeta(
+			trace.Str("algorithm", plan.Algorithm),
+			trace.Num("delta_m", in.Delta),
+			trace.Int("k", in.K),
+			trace.Int("sensors", len(net.Sensors)))
 	}
 	if opts.Refine {
 		plan = core.RefinePlan(in, plan)
@@ -283,7 +300,7 @@ func Plan(sc Scenario, uav UAV, opts Options) (*Result, error) {
 	if err := core.ValidatePlanPhysics(net, em, in.Physics(), plan); err != nil {
 		return nil, fmt.Errorf("uavdc: planner produced invalid plan: %w", err)
 	}
-	sim := simulate.Run(net, em, plan, simulate.Options{Altitude: in.Altitude, Radio: in.Radio})
+	sim := simulate.Run(net, em, plan, simulate.Options{Altitude: in.Altitude, Radio: in.Radio, Trace: tr})
 	if !sim.Completed {
 		return nil, fmt.Errorf("uavdc: simulated mission aborted: %s", sim.AbortReason)
 	}
