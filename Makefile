@@ -3,15 +3,21 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz bench golden golden-traces adaptive trace
+.PHONY: ci build vet lint test race fuzz bench golden golden-traces adaptive trace
 
-ci: vet build race adaptive trace
+ci: vet lint build race adaptive trace
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-contract analyzers (determinism, float safety, metric naming,
+# error hygiene). Exits non-zero on any non-suppressed diagnostic; see
+# CONTRIBUTING.md, "Static analysis".
+lint:
+	$(GO) run ./cmd/uavlint ./...
 
 test:
 	$(GO) test ./...
@@ -25,6 +31,7 @@ fuzz:
 	$(GO) test -fuzz FuzzPlanSmallScenarios -fuzztime 10s .
 	$(GO) test -fuzz FuzzValidatorSimulatorAgreement -fuzztime 10s .
 	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 10s ./internal/faults
+	$(GO) test -fuzz FuzzAllowDirective -fuzztime 10s ./internal/lint
 
 # Adaptive-executor gate: the reachable-depot property test over its fixed
 # seed matrix, the cross-worker determinism test, and the bit-for-bit
@@ -53,7 +60,7 @@ trace:
 
 # Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines").
 bench:
-	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR2.json
+	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR4.json
 
 # Rewrite the golden volume panels after a deliberate behaviour change.
 golden:

@@ -27,11 +27,11 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"uavdc/internal/errw"
 	"uavdc/internal/experiments"
 	"uavdc/internal/faults"
 	"uavdc/internal/prof"
@@ -62,16 +62,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	outw, errs := errw.New(stdout), errw.New(stderr)
 
 	if *cpuProf != "" || *memProf != "" {
 		stop, err := prof.Start(*cpuProf, *memProf)
 		if err != nil {
-			fmt.Fprintln(stderr, "uavbench:", err)
+			errs.Println("uavbench:", err)
 			return 1
 		}
 		defer func() {
 			if err := stop(); err != nil {
-				fmt.Fprintln(stderr, "uavbench:", err)
+				errs.Println("uavbench:", err)
 				if code == 0 {
 					code = 1
 				}
@@ -90,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	case "papertight":
 		cfg = experiments.PaperTight()
 	default:
-		fmt.Fprintf(stderr, "uavbench: unknown preset %q\n", *preset)
+		errs.Printf("uavbench: unknown preset %q\n", *preset)
 		return 2
 	}
 	if *instances > 0 {
@@ -113,19 +114,19 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			continue
 		}
 		if _, ok := experiments.Figures[name]; !ok {
-			fmt.Fprintf(stderr, "uavbench: unknown figure %q\n", name)
+			errs.Printf("uavbench: unknown figure %q\n", name)
 			return 2
 		}
 		figures = append(figures, name)
 	}
 	if len(figures) == 0 {
-		fmt.Fprintln(stderr, "uavbench: no figures selected")
+		errs.Println("uavbench: no figures selected")
 		return 2
 	}
 
 	b, err := experiments.RunBench(*preset, cfg, figures)
 	if err != nil {
-		fmt.Fprintln(stderr, "uavbench:", err)
+		errs.Println("uavbench:", err)
 		return 1
 	}
 	if *faultsArg != "none" {
@@ -135,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		b.FaultScenarios, err = experiments.BenchFaultScenarios(cfg, spec)
 		if err != nil {
-			fmt.Fprintln(stderr, "uavbench:", err)
+			errs.Println("uavbench:", err)
 			return 1
 		}
 	}
@@ -143,50 +144,56 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if cfg.Trace != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fmt.Fprintln(stderr, "uavbench:", err)
+			errs.Println("uavbench:", err)
 			return 1
 		}
 		if err := trace.WriteJSONL(f, cfg.Trace.Snapshot(), false); err != nil {
-			f.Close()
-			fmt.Fprintln(stderr, "uavbench:", err)
+			_ = f.Close() // best-effort cleanup; the write already failed
+			errs.Println("uavbench:", err)
 			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(stderr, "uavbench:", err)
+			errs.Println("uavbench:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "trace written to %s (%d records)\n", *tracePath, cfg.Trace.Len())
+		outw.Printf("trace written to %s (%d records)\n", *tracePath, cfg.Trace.Len())
 	}
 
 	if *out == "-" {
 		if err := b.WriteJSON(stdout); err != nil {
-			fmt.Fprintln(stderr, "uavbench:", err)
+			errs.Println("uavbench:", err)
+			return 1
+		}
+		if outw.Err() != nil {
 			return 1
 		}
 		return 0
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(stderr, "uavbench:", err)
+		errs.Println("uavbench:", err)
 		return 1
 	}
 	if err := b.WriteJSON(f); err != nil {
-		f.Close()
-		fmt.Fprintln(stderr, "uavbench:", err)
+		_ = f.Close() // best-effort cleanup; the write already failed
+		errs.Println("uavbench:", err)
 		return 1
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(stderr, "uavbench:", err)
+		errs.Println("uavbench:", err)
 		return 1
 	}
 	for _, bf := range b.Figures {
-		fmt.Fprintf(stdout, "%-18s %8.3f s wall  %8.3f s plan  %6d plans\n",
+		outw.Printf("%-18s %8.3f s wall  %8.3f s plan  %6d plans\n",
 			bf.Figure, bf.WallSeconds, bf.PlanSeconds, bf.PlanCalls)
 	}
 	for _, fsn := range b.FaultScenarios {
-		fmt.Fprintf(stdout, "faults/%-11s %7.1f%% retained  %4d replans  %4d skipped\n",
+		outw.Printf("faults/%-11s %7.1f%% retained  %4d replans  %4d skipped\n",
 			fsn.Planner, 100*fsn.RetainedFrac, fsn.Replans, fsn.StopsSkipped)
 	}
-	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	outw.Printf("wrote %s\n", *out)
+	if outw.Err() != nil {
+		return 1
+	}
 	return 0
 }

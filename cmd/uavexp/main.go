@@ -34,6 +34,7 @@ import (
 	"io"
 	"os"
 
+	"uavdc/internal/errw"
 	"uavdc/internal/experiments"
 	"uavdc/internal/prof"
 	"uavdc/internal/trace"
@@ -65,10 +66,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	outw, errs := errw.New(stdout), errw.New(stderr)
 
 	cfg, err := presetConfig(*preset)
 	if err != nil {
-		fmt.Fprintln(stderr, "uavexp:", err)
+		errs.Println("uavexp:", err)
 		return 2
 	}
 	if *instances > 0 {
@@ -89,12 +91,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if *cpuProf != "" || *memProf != "" {
 		stop, err := prof.Start(*cpuProf, *memProf)
 		if err != nil {
-			fmt.Fprintln(stderr, "uavexp:", err)
+			errs.Println("uavexp:", err)
 			return 1
 		}
 		defer func() {
 			if err := stop(); err != nil {
-				fmt.Fprintln(stderr, "uavexp:", err)
+				errs.Println("uavexp:", err)
 				if code == 0 {
 					code = 1
 				}
@@ -104,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	figures, err := figureList(*fig)
 	if err != nil {
-		fmt.Fprintln(stderr, "uavexp:", err)
+		errs.Println("uavexp:", err)
 		return 2
 	}
 
@@ -112,60 +114,69 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(stderr, "uavexp:", err)
+			errs.Println("uavexp:", err)
 			return 1
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // leak guard; the happy path closes with a check below
 		csvFile = f
 	}
 
 	for i, name := range figures {
 		tab, err := experiments.Run(name, cfg)
 		if err != nil {
-			fmt.Fprintln(stderr, "uavexp:", err)
+			errs.Println("uavexp:", err)
 			return 1
 		}
 		if i > 0 {
-			fmt.Fprintln(stdout)
+			outw.Println()
 		}
 		render := tab.Render
 		if *markdown {
 			render = tab.WriteMarkdown
 		}
 		if err := render(stdout); err != nil {
-			fmt.Fprintln(stderr, "uavexp:", err)
+			errs.Println("uavexp:", err)
 			return 1
 		}
 		if *metrics && tab.HasMetrics() {
-			fmt.Fprintln(stdout)
+			outw.Println()
 			if err := tab.RenderMetrics(stdout); err != nil {
-				fmt.Fprintln(stderr, "uavexp:", err)
+				errs.Println("uavexp:", err)
 				return 1
 			}
 		}
 		if csvFile != nil {
 			if err := tab.WriteCSV(csvFile); err != nil {
-				fmt.Fprintln(stderr, "uavexp:", err)
+				errs.Println("uavexp:", err)
 				return 1
 			}
+		}
+	}
+	if csvFile != nil {
+		if err := csvFile.Close(); err != nil {
+			errs.Println("uavexp:", err)
+			return 1
 		}
 	}
 	if cfg.Trace != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fmt.Fprintln(stderr, "uavexp:", err)
+			errs.Println("uavexp:", err)
 			return 1
 		}
 		if err := trace.WriteJSONL(f, cfg.Trace.Snapshot(), false); err != nil {
-			f.Close()
-			fmt.Fprintln(stderr, "uavexp:", err)
+			_ = f.Close() // best-effort cleanup; the write already failed
+			errs.Println("uavexp:", err)
 			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(stderr, "uavexp:", err)
+			errs.Println("uavexp:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "\ntrace written to %s (%d records)\n", *tracePath, cfg.Trace.Len())
+		outw.Printf("\ntrace written to %s (%d records)\n", *tracePath, cfg.Trace.Len())
+	}
+	if outw.Err() != nil {
+		return 1
 	}
 	return 0
 }

@@ -1,0 +1,122 @@
+// Command uavlint runs uavdc's static-analysis suite (internal/lint)
+// over the module: repo-specific analyzers enforcing the determinism,
+// float-safety, metric-naming, and error-handling contracts that the
+// dynamic test suite can only sample. See CONTRIBUTING.md ("Static
+// analysis") for the analyzer list and the //uavdc:allow suppression
+// grammar.
+//
+// Usage:
+//
+//	uavlint [flags] [./... | path prefixes]
+//
+//	-C dir   module root to lint (default ".")
+//	-json    emit a uavdc-lint/1 JSON report instead of text
+//	-all     also print suppressed diagnostics (text mode)
+//	-list    list the analyzers and exit
+//
+// With no arguments (or "./...") the whole module is linted. Other
+// arguments restrict output to packages whose module-relative directory
+// equals or sits under one of the given prefixes ("internal/core",
+// "cmd/...").
+//
+// Exit status: 0 when clean, 1 when any non-suppressed diagnostic was
+// reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"strings"
+
+	"uavdc/internal/errw"
+	"uavdc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uavlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("C", ".", "module root to lint")
+		jsonOut  = fs.Bool("json", false, "emit a uavdc-lint/1 JSON report")
+		showAll  = fs.Bool("all", false, "also print suppressed diagnostics")
+		listOnly = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	outw, errs := errw.New(stdout), errw.New(stderr)
+	analyzers := lint.All()
+	if *listOnly {
+		for _, a := range analyzers {
+			outw.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		if outw.Err() != nil {
+			return 2
+		}
+		return 0
+	}
+
+	mod, err := lint.Load(*dir)
+	if err != nil {
+		errs.Printf("uavlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(mod, analyzers)
+	diags = filterByPrefix(diags, fs.Args())
+
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, mod.Path, diags); err != nil {
+			errs.Printf("uavlint: %v\n", err)
+			return 2
+		}
+	} else {
+		shown := diags
+		if !*showAll {
+			shown = lint.Active(diags)
+		}
+		if err := lint.WriteText(stdout, shown); err != nil {
+			errs.Printf("uavlint: %v\n", err)
+			return 2
+		}
+	}
+	if active := lint.Active(diags); len(active) > 0 {
+		errs.Printf("uavlint: %d non-suppressed diagnostic(s)\n", len(active))
+		return 1
+	}
+	return 0
+}
+
+// filterByPrefix restricts diagnostics to the given module-relative
+// path prefixes. No arguments, ".", or "./..." mean everything; a
+// trailing "/..." on a prefix is accepted and ignored.
+func filterByPrefix(diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimPrefix(p, "./")
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" || p == "." {
+			return diags
+		}
+		prefixes = append(prefixes, p)
+	}
+	if len(prefixes) == 0 {
+		return diags
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		for _, p := range prefixes {
+			if d.Path == p || strings.HasPrefix(d.Path, p+"/") {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

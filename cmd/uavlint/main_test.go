@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "../../internal/lint/testdata/src"
+
+func TestRunFixtureText(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", fixture}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (fixture has active diagnostics); stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"floateq", "nodeterminism", "obsnames", "errdrop", "directive"} {
+		if !strings.Contains(out, want+": ") {
+			t.Errorf("text output missing %s diagnostics:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "(suppressed:") {
+		t.Error("suppressed diagnostics shown without -all")
+	}
+	if !strings.Contains(stderr.String(), "non-suppressed diagnostic") {
+		t.Errorf("stderr summary missing: %q", stderr.String())
+	}
+}
+
+func TestRunFixtureAll(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixture, "-all"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "(suppressed:") {
+		t.Error("-all did not include suppressed diagnostics")
+	}
+}
+
+func TestRunFixtureJSON(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixture, "-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Active int    `json:"active"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v", err)
+	}
+	if rep.Schema != "uavdc-lint/1" || rep.Active == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestRunFixturePathFilter(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixture, "internal/core/..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if strings.Contains(stdout.String(), "internal/app/") {
+		t.Errorf("path filter leaked internal/app diagnostics:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "internal/core/") {
+		t.Errorf("path filter dropped internal/core diagnostics:\n%s", stdout.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", filepath.Join(fixture, "no-such-dir")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("no error message on stderr")
+	}
+}

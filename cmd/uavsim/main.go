@@ -50,6 +50,7 @@ import (
 	"os"
 
 	"uavdc"
+	"uavdc/internal/errw"
 	"uavdc/internal/prof"
 )
 
@@ -92,9 +93,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	outw, errs := errw.New(stdout), errw.New(stderr)
 
 	fail := func(err error) int {
-		fmt.Fprintln(stderr, "uavsim:", err)
+		errs.Println("uavsim:", err)
 		return 1
 	}
 
@@ -105,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		defer func() {
 			if err := stop(); err != nil {
-				fmt.Fprintln(stderr, "uavsim:", err)
+				errs.Println("uavsim:", err)
 				if code == 0 {
 					code = 1
 				}
@@ -121,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		sc, err = uavdc.ReadScenario(f)
 		if err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup on the error path
 			return fail(err)
 		}
 		if err := f.Close(); err != nil {
@@ -136,13 +138,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return fail(err)
 		}
 		if err := sc.WriteJSON(f); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup on the error path
 			return fail(err)
 		}
 		if err := f.Close(); err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stdout, "saved scenario to %s (%d sensors)\n", *savePath, len(sc.Sensors))
+		outw.Printf("saved scenario to %s (%d sensors)\n", *savePath, len(sc.Sensors))
+		if outw.Err() != nil {
+			return 1
+		}
 		return 0
 	}
 	uav := uavdc.DefaultUAV()
@@ -162,9 +167,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	total := sc.TotalDataMB()
-	fmt.Fprintf(stdout, "scenario   %d sensors in %.0f×%.0f m, %.1f GB stored, depot (%.0f, %.0f)\n",
+	outw.Printf("scenario   %d sensors in %.0f×%.0f m, %.1f GB stored, depot (%.0f, %.0f)\n",
 		len(sc.Sensors), sc.RegionSideM, sc.RegionSideM, total/1024, sc.DepotX, sc.DepotY)
-	fmt.Fprintf(stdout, "uav        %.0f W hover, %.0f W travel, %.0f m/s, %.3g J battery\n",
+	outw.Printf("uav        %.0f W hover, %.0f W travel, %.0f m/s, %.3g J battery\n",
 		uav.HoverPowerW, uav.TravelPowerW, uav.SpeedMS, uav.CapacityJ)
 
 	adaptiveMode := *adaptive || *faultSpec != ""
@@ -184,17 +189,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stdout, "adaptive   planned %.1f MB, collected %.1f MB (%.1f%% retained)\n",
+		outw.Printf("adaptive   planned %.1f MB, collected %.1f MB (%.1f%% retained)\n",
 			res.PlannedMB, res.CollectedMB, 100*res.RetainedFrac())
-		fmt.Fprintf(stdout, "faults     %d applied, %d replans, %d stops skipped",
+		outw.Printf("faults     %d applied, %d replans, %d stops skipped",
 			res.FaultsApplied, res.Replans, res.StopsSkipped)
 		if res.Diverted {
-			fmt.Fprint(stdout, ", diverted home")
+			outw.Print(", diverted home")
 		}
-		fmt.Fprintln(stdout)
-		fmt.Fprintf(stdout, "energy     %.0f J of %.0f J; %.0f J left at depot; max deviation %.0f J\n",
+		outw.Println()
+		outw.Printf("energy     %.0f J of %.0f J; %.0f J left at depot; max deviation %.0f J\n",
 			res.EnergyJ, uav.CapacityJ, res.FinalBatteryJ, res.MaxDeviationJ)
-		fmt.Fprintf(stdout, "flight     %.0f m; hover %.0f s; mission %.0f s\n",
+		outw.Printf("flight     %.0f m; hover %.0f s; mission %.0f s\n",
 			res.FlightDistanceM, res.HoverTimeS, res.MissionTimeS)
 
 	case *sorties > 0:
@@ -202,15 +207,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stdout, "campaign   %d sorties, %.1f MB collected (%.1f%%)",
+		outw.Printf("campaign   %d sorties, %.1f MB collected (%.1f%%)",
 			len(camp.SortieMB), camp.CollectedMB, 100*camp.CollectedMB/total)
 		if camp.Drained {
-			fmt.Fprintln(stdout, ", field drained")
+			outw.Println(", field drained")
 		} else {
-			fmt.Fprintf(stdout, ", %.1f MB remaining\n", camp.RemainingMB)
+			outw.Printf(", %.1f MB remaining\n", camp.RemainingMB)
 		}
 		for i, v := range camp.SortieMB {
-			fmt.Fprintf(stdout, "  sortie %2d  %10.1f MB\n", i+1, v)
+			outw.Printf("  sortie %2d  %10.1f MB\n", i+1, v)
 		}
 
 	case *fleet > 1:
@@ -218,13 +223,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stdout, "fleet      %d UAVs, %.1f MB collected (%.1f%%)\n",
+		outw.Printf("fleet      %d UAVs, %.1f MB collected (%.1f%%)\n",
 			len(fr.PerUAV), fr.CollectedMB, 100*fr.CollectedMB/total)
 		for u, r := range fr.PerUAV {
-			fmt.Fprintf(stdout, "  uav %d    %8.1f MB, %2d stops, %6.0f J, %5.0f s\n",
+			outw.Printf("  uav %d    %8.1f MB, %2d stops, %6.0f J, %5.0f s\n",
 				u+1, r.CollectedMB, len(r.Stops), r.EnergyJ, r.MissionTimeS)
 		}
-		if err := writeSVG(stdout, *svgPath, func(f *os.File) error { return fr.WriteSVG(f, sc.CoverRadiusM) }); err != nil {
+		if err := writeSVG(outw, *svgPath, func(f *os.File) error { return fr.WriteSVG(f, sc.CoverRadiusM) }); err != nil {
 			return fail(err)
 		}
 
@@ -233,22 +238,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stdout, "plan       %s: %d stops\n", res.Algorithm, len(res.Stops))
-		fmt.Fprintf(stdout, "collected  %.1f MB (%.1f%% of stored)\n", res.CollectedMB, 100*res.CollectedMB/total)
-		fmt.Fprintf(stdout, "energy     %.0f J of %.0f J (%.1f%%)\n", res.EnergyJ, uav.CapacityJ, 100*res.EnergyJ/uav.CapacityJ)
-		fmt.Fprintf(stdout, "flight     %.0f m in %.0f s; hover %.0f s; mission %.0f s\n",
+		outw.Printf("plan       %s: %d stops\n", res.Algorithm, len(res.Stops))
+		outw.Printf("collected  %.1f MB (%.1f%% of stored)\n", res.CollectedMB, 100*res.CollectedMB/total)
+		outw.Printf("energy     %.0f J of %.0f J (%.1f%%)\n", res.EnergyJ, uav.CapacityJ, 100*res.EnergyJ/uav.CapacityJ)
+		outw.Printf("flight     %.0f m in %.0f s; hover %.0f s; mission %.0f s\n",
 			res.FlightDistanceM, res.FlightDistanceM/uav.SpeedMS, res.HoverTimeS, res.MissionTimeS)
 		if *stops {
-			fmt.Fprintln(stdout, "\n  #    x (m)    y (m)  sojourn (s)  collected (MB)")
+			outw.Println("\n  #    x (m)    y (m)  sojourn (s)  collected (MB)")
 			for i, st := range res.Stops {
-				fmt.Fprintf(stdout, "%3d %8.1f %8.1f %12.2f %15.1f\n", i+1, st.X, st.Y, st.SojournS, st.CollectedMB)
+				outw.Printf("%3d %8.1f %8.1f %12.2f %15.1f\n", i+1, st.X, st.Y, st.SojournS, st.CollectedMB)
 			}
 		}
-		if err := writeSVG(stdout, *svgPath, func(f *os.File) error { return res.WriteSVG(f, sc.CoverRadiusM) }); err != nil {
+		if err := writeSVG(outw, *svgPath, func(f *os.File) error { return res.WriteSVG(f, sc.CoverRadiusM) }); err != nil {
 			return fail(err)
 		}
 		if *asciiMap {
-			fmt.Fprintln(stdout)
+			outw.Println()
 			if err := res.WriteASCII(stdout, 70); err != nil {
 				return fail(err)
 			}
@@ -260,18 +265,21 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return fail(err)
 		}
 		if err := trc.WriteJSONL(f, false); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup on the error path
 			return fail(err)
 		}
 		if err := f.Close(); err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stdout, "trace      %s (%d records)\n", *tracePath, trc.Len())
+		outw.Printf("trace      %s (%d records)\n", *tracePath, trc.Len())
+	}
+	if outw.Err() != nil {
+		return 1
 	}
 	return 0
 }
 
-func writeSVG(stdout io.Writer, path string, render func(*os.File) error) error {
+func writeSVG(outw *errw.Writer, path string, render func(*os.File) error) error {
 	if path == "" {
 		return nil
 	}
@@ -280,12 +288,12 @@ func writeSVG(stdout io.Writer, path string, render func(*os.File) error) error 
 		return err
 	}
 	if err := render(f); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort cleanup on the error path
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "rendered   %s\n", path)
-	return nil
+	outw.Printf("rendered   %s\n", path)
+	return outw.Err()
 }

@@ -21,12 +21,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
 
+	"uavdc/internal/errw"
 	"uavdc/internal/trace"
 )
 
@@ -46,6 +46,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	outw, errs := errw.New(stdout), errw.New(stderr)
 
 	load := func(path string) (trace.Trace, error) {
 		if path == "-" {
@@ -55,7 +56,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err != nil {
 			return trace.Trace{}, err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only; close cannot lose data
 		return trace.ReadJSONL(f)
 	}
 
@@ -63,61 +64,64 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	case 1:
 		tr, err := load(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintln(stderr, "uavtrace:", err)
+			errs.Println("uavtrace:", err)
 			return 2
 		}
 		if *chrome != "" {
 			f, err := os.Create(*chrome)
 			if err != nil {
-				fmt.Fprintln(stderr, "uavtrace:", err)
+				errs.Println("uavtrace:", err)
 				return 2
 			}
 			if err := trace.WriteChromeTrace(f, tr); err != nil {
-				f.Close()
-				fmt.Fprintln(stderr, "uavtrace:", err)
+				_ = f.Close() // best-effort cleanup; the write already failed
+				errs.Println("uavtrace:", err)
 				return 2
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(stderr, "uavtrace:", err)
+				errs.Println("uavtrace:", err)
 				return 2
 			}
-			fmt.Fprintf(stdout, "wrote %s\n", *chrome)
+			outw.Printf("wrote %s\n", *chrome)
 		}
 		var sb strings.Builder
 		trace.Summarize(tr, *top).WriteText(&sb)
-		fmt.Fprint(stdout, sb.String())
+		outw.Print(sb.String())
+		if outw.Err() != nil {
+			return 2
+		}
 		return 0
 	case 2:
 		a, err := load(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintln(stderr, "uavtrace:", err)
+			errs.Println("uavtrace:", err)
 			return 2
 		}
 		b, err := load(fs.Arg(1))
 		if err != nil {
-			fmt.Fprintln(stderr, "uavtrace:", err)
+			errs.Println("uavtrace:", err)
 			return 2
 		}
 		d := trace.Diff(a, b)
 		if d.Equal {
-			fmt.Fprintf(stdout, "traces are identical modulo timestamps (%d records)\n", len(a.Records))
+			outw.Printf("traces are identical modulo timestamps (%d records)\n", len(a.Records))
 			return 0
 		}
-		fmt.Fprintf(stdout, "traces differ at record %d: %s\n", d.FirstDivergence, d.Detail)
+		outw.Printf("traces differ at record %d: %s\n", d.FirstDivergence, d.Detail)
 		if len(d.CountDelta) > 0 {
 			keys := make([]string, 0, len(d.CountDelta))
 			for k := range d.CountDelta {
 				keys = append(keys, k)
 			}
 			sort.Strings(keys)
-			fmt.Fprintln(stdout, "record count deltas (a - b):")
+			outw.Println("record count deltas (a - b):")
 			for _, k := range keys {
-				fmt.Fprintf(stdout, "  %-40s %+d\n", k, d.CountDelta[k])
+				outw.Printf("  %-40s %+d\n", k, d.CountDelta[k])
 			}
 		}
 		return 1
 	default:
-		fmt.Fprintln(stderr, "usage: uavtrace [-top n] [-chrome out.json] trace.jsonl [other.jsonl]")
+		errs.Println("usage: uavtrace [-top n] [-chrome out.json] trace.jsonl [other.jsonl]")
 		return 2
 	}
 }

@@ -35,9 +35,9 @@ func main() {
 				log.Fatal(err)
 			}
 			in := &core.Instance{Net: net, Model: em, Delta: 15, K: k}
-			start := time.Now()
+			start := time.Now() //uavdc:allow nodeterminism measured wall time is reported, never fed back into planning
 			plan, err := (&core.Algorithm3{}).Plan(in)
-			elapsed += time.Since(start)
+			elapsed += time.Since(start) //uavdc:allow nodeterminism measured wall time is reported, never fed back into planning
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -113,7 +113,7 @@ func disjointCandidates(set *hover.Set) []int {
 	}
 	sort.Slice(order, func(a, b int) bool {
 		la, lb := set.Locs[order[a]], set.Locs[order[b]]
-		if la.Award != lb.Award {
+		if la.Award != lb.Award { //uavdc:allow floateq exact compare keeps the tie-break order total and bit-reproducible; an epsilon would break transitivity
 			return la.Award > lb.Award
 		}
 		return order[a] < order[b] // deterministic tie-break

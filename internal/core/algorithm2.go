@@ -117,10 +117,10 @@ func betterFull(c1 fullCandidate, r1 float64, c2 fullCandidate, r2 float64) bool
 	if c2.loc < 0 {
 		return true
 	}
-	if r1 != r2 {
+	if r1 != r2 { //uavdc:allow floateq exact compare keeps the tie-break order total and bit-reproducible; an epsilon would break transitivity
 		return r1 > r2
 	}
-	if c1.award != c2.award {
+	if c1.award != c2.award { //uavdc:allow floateq exact compare keeps the tie-break order total and bit-reproducible; an epsilon would break transitivity
 		return c1.award > c2.award
 	}
 	return c1.loc < c2.loc

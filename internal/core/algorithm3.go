@@ -89,10 +89,10 @@ func betterPartial(c1 partialCandidate, r1 float64, c2 partialCandidate, r2 floa
 	if c2.loc < 0 {
 		return true
 	}
-	if r1 != r2 {
+	if r1 != r2 { //uavdc:allow floateq exact compare keeps the tie-break order total and bit-reproducible; an epsilon would break transitivity
 		return r1 > r2
 	}
-	if c1.gain != c2.gain {
+	if c1.gain != c2.gain { //uavdc:allow floateq exact compare keeps the tie-break order total and bit-reproducible; an epsilon would break transitivity
 		return c1.gain > c2.gain
 	}
 	if c1.loc != c2.loc {

@@ -108,7 +108,7 @@ func (in *Instance) Physics() Physics {
 
 // buildCandidates constructs the hovering-location set for the instance.
 func (in *Instance) buildCandidates(opts hover.Options) (*hover.Set, error) {
-	if opts.CoverRadius == 0 {
+	if opts.CoverRadius == 0 { //uavdc:allow floateq zero is the exact "unset" sentinel, never a computed value
 		opts.CoverRadius = in.EffectiveCoverRadius()
 	}
 	opts.Altitude = in.Altitude

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"testing"
 
 	"uavdc/internal/energy"
@@ -131,9 +133,9 @@ func TestValidatePlanRejections(t *testing.T) {
 			p.Stops[0].Collected = nil
 		},
 	}
-	for name, mutate := range cases {
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
 		p := validPlan()
-		mutate(p)
+		cases[name](p)
 		if err := ValidatePlan(net, em, 20, p); err == nil {
 			t.Errorf("%s: accepted", name)
 		}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"testing"
 
 	"uavdc/internal/energy"
@@ -52,9 +54,9 @@ func TestInstanceValidate(t *testing.T) {
 		"bad capacity":   func(i *Instance) { i.Model.Capacity = math.Inf(1) },
 		"broken network": func(i *Instance) { i.Net.Bandwidth = 0 },
 	}
-	for name, mutate := range cases {
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
 		in := mediumInstance(t, 1, 1e5)
-		mutate(in)
+		cases[name](in)
 		if err := in.Validate(); err == nil {
 			t.Errorf("%s: accepted", name)
 		}

@@ -1,0 +1,66 @@
+// Package errw provides an error-sticky writer for code that emits many
+// small writes — CLI output, table renderers, SVG generation — where
+// checking every fmt.Fprintf result would bury the format logic.
+//
+// The first write failure is latched and every later write becomes a
+// no-op, so the happy path stays linear and the caller checks Err once
+// at the end. The print methods deliberately return nothing: there is no
+// error result to discard, which keeps call sites clean under uavlint's
+// errdrop analyzer without a suppression comment.
+package errw
+
+import (
+	"fmt"
+	"io"
+)
+
+// Writer wraps an io.Writer with sticky error handling.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// New returns a sticky writer over w. A nil w yields a writer whose
+// first use fails with an explanatory error rather than panicking.
+func New(w io.Writer) *Writer {
+	ew := &Writer{w: w}
+	if w == nil {
+		ew.err = fmt.Errorf("errw: nil writer")
+	}
+	return ew
+}
+
+// Err returns the first write error, or nil.
+func (w *Writer) Err() error { return w.err }
+
+// Write implements io.Writer. After a failure it reports the latched
+// error without touching the underlying writer again.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.w.Write(p)
+	w.err = err
+	return n, err
+}
+
+// Printf formats like fmt.Fprintf; failures latch into Err.
+func (w *Writer) Printf(format string, args ...any) {
+	if w.err == nil {
+		_, w.err = fmt.Fprintf(w.w, format, args...)
+	}
+}
+
+// Println formats like fmt.Fprintln; failures latch into Err.
+func (w *Writer) Println(args ...any) {
+	if w.err == nil {
+		_, w.err = fmt.Fprintln(w.w, args...)
+	}
+}
+
+// Print formats like fmt.Fprint; failures latch into Err.
+func (w *Writer) Print(args ...any) {
+	if w.err == nil {
+		_, w.err = fmt.Fprint(w.w, args...)
+	}
+}

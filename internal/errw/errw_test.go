@@ -1,0 +1,65 @@
+package errw
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfter fails every write once n bytes have been accepted.
+type failAfter struct {
+	n   int
+	got strings.Builder
+}
+
+var errBoom = errors.New("boom")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.got.Len()+len(p) > f.n {
+		return 0, errBoom
+	}
+	return f.got.Write(p)
+}
+
+func TestHappyPath(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	w.Printf("a=%d ", 1)
+	w.Print("b ")
+	w.Println("c")
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+	if got := sb.String(); got != "a=1 b c\n" {
+		t.Fatalf("wrote %q", got)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	sink := &failAfter{n: 4}
+	w := New(sink)
+	w.Printf("1234")
+	if w.Err() != nil {
+		t.Fatalf("early failure: %v", w.Err())
+	}
+	w.Printf("56")
+	if !errors.Is(w.Err(), errBoom) {
+		t.Fatalf("Err() = %v, want errBoom", w.Err())
+	}
+	// Later writes are no-ops and keep the first error.
+	w.Println("more")
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, errBoom) {
+		t.Fatalf("Write after failure = %d, %v", n, err)
+	}
+	if got := sink.got.String(); got != "1234" {
+		t.Fatalf("underlying writer got %q after failure", got)
+	}
+}
+
+func TestNilWriter(t *testing.T) {
+	w := New(nil)
+	w.Printf("ignored")
+	if w.Err() == nil {
+		t.Fatal("nil writer did not latch an error")
+	}
+}

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"maps"
 	"reflect"
+	"slices"
 	"testing"
 
 	"uavdc/internal/core"
@@ -145,7 +147,7 @@ func TestAdaptiveRunMatchesRunOnFigureDrivers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for fig := range Figures {
+	for _, fig := range slices.Sorted(maps.Keys(Figures)) {
 		t.Run(fig, func(t *testing.T) {
 			for _, cell := range figureParityCells(t, fig, cfg, nets) {
 				opts := simulate.Options{

@@ -105,9 +105,9 @@ func RunBench(preset string, cfg Config, figures []string) (*Bench, error) {
 		NumCPU:    runtime.NumCPU(),
 	}
 	for _, name := range figures {
-		start := time.Now()
+		start := time.Now() //uavdc:allow nodeterminism bench wall-clock panel; documented non-deterministic in EXPERIMENTS.md
 		tab, err := Run(name, cfg)
-		wall := time.Since(start).Seconds()
+		wall := time.Since(start).Seconds() //uavdc:allow nodeterminism bench wall-clock panel; documented non-deterministic in EXPERIMENTS.md
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bench %s: %w", name, err)
 		}

@@ -1,14 +1,18 @@
 package experiments
 
 import (
+	"maps"
+	"slices"
 	"strings"
 	"testing"
 )
 
 func TestConfigPresetsValidate(t *testing.T) {
-	for name, cfg := range map[string]Config{
+	presets := map[string]Config{
 		"paper": Paper(), "papertight": PaperTight(), "reduced": Reduced(), "tiny": Tiny(),
-	} {
+	}
+	for _, name := range slices.Sorted(maps.Keys(presets)) {
+		cfg := presets[name]
 		if err := cfg.Check(); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
@@ -26,9 +30,9 @@ func TestConfigValidateRejects(t *testing.T) {
 		"bad gen":       func(c *Config) { c.Gen.Side = 0 },
 		"bad model":     func(c *Config) { c.Model.Speed = 0 },
 	}
-	for name, mutate := range cases {
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
 		cfg := Tiny()
-		mutate(&cfg)
+		cases[name](&cfg)
 		if err := cfg.Check(); err == nil {
 			t.Errorf("%s: accepted", name)
 		}

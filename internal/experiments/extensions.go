@@ -108,13 +108,13 @@ func ExtFleet(cfg Config) (*Table, error) {
 			times := make([]float64, 0, len(nets))
 			for _, net := range nets {
 				in := &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 2}
-				start := time.Now()
+				start := time.Now() //uavdc:allow nodeterminism runtime panel (b) measures wall time; volumes stay deterministic
 				fp, err := multi.PlanFleet(in, multi.Options{
 					Fleet:    int(size),
 					Strategy: strat,
 					Seed:     cfg.Seed,
 				})
-				elapsed := time.Since(start).Seconds()
+				elapsed := time.Since(start).Seconds() //uavdc:allow nodeterminism runtime panel (b) measures wall time; volumes stay deterministic
 				if err != nil {
 					return nil, fmt.Errorf("experiments: fleet %v size %d: %w", strat, int(size), err)
 				}

@@ -81,9 +81,9 @@ func runSweep(cfg Config, xs []float64, specs []runSpec) ([]Series, error) {
 					in.Obs = trace.With(in.Obs, tr)
 				}
 				endPlan := tr.Begin(SpanSweepPlan, trace.Int("instance", ni))
-				start := time.Now()
+				start := time.Now() //uavdc:allow nodeterminism runtime panel (b) measures wall time; volumes stay deterministic
 				plan, err := spec.planner.Plan(in)
-				elapsed := time.Since(start).Seconds()
+				elapsed := time.Since(start).Seconds() //uavdc:allow nodeterminism runtime panel (b) measures wall time; volumes stay deterministic
 				endPlan()
 				if reg != nil {
 					reg.Timer(TimerPlan).Observe(elapsed)

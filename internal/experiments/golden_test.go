@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"flag"
+	"maps"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -19,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite the golden files from the curre
 //
 // and justify the new numbers in the commit message.
 func TestGoldenVolumePanels(t *testing.T) {
-	for name := range Figures {
+	for _, name := range slices.Sorted(maps.Keys(Figures)) {
 		t.Run(name, func(t *testing.T) {
 			tab, err := Run(name, Tiny())
 			if err != nil {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"maps"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -102,8 +104,8 @@ func TestRunBenchTiny(t *testing.T) {
 		if len(fig.VolumeMB) == 0 {
 			t.Errorf("%s: no volumes", fig.Figure)
 		}
-		for series, v := range fig.VolumeMB {
-			if v <= 0 {
+		for _, series := range slices.Sorted(maps.Keys(fig.VolumeMB)) {
+			if v := fig.VolumeMB[series]; v <= 0 {
 				t.Errorf("%s: series %s collected %v MB", fig.Figure, series, v)
 			}
 		}
@@ -146,13 +148,13 @@ func TestBenchCountersDeterministic(t *testing.T) {
 	if len(fa.Counters) != len(fb.Counters) {
 		t.Fatalf("counter sets differ: %v vs %v", fa.Counters, fb.Counters)
 	}
-	for name, n := range fa.Counters {
-		if fb.Counters[name] != n {
+	for _, name := range slices.Sorted(maps.Keys(fa.Counters)) {
+		if n := fa.Counters[name]; fb.Counters[name] != n {
 			t.Errorf("counter %s: %d != %d", name, n, fb.Counters[name])
 		}
 	}
-	for name, v := range fa.VolumeMB {
-		if fb.VolumeMB[name] != v {
+	for _, name := range slices.Sorted(maps.Keys(fa.VolumeMB)) {
+		if v := fa.VolumeMB[name]; fb.VolumeMB[name] != v {
 			t.Errorf("volume %s: %v != %v", name, v, fb.VolumeMB[name])
 		}
 	}

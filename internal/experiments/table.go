@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+
+	"uavdc/internal/errw"
 )
 
 // Point is one (x, mean volume, mean runtime) measurement of one series.
@@ -109,54 +111,62 @@ func (t *Table) RenderMetrics(w io.Writer) error {
 	if !t.HasMetrics() {
 		return nil
 	}
-	if _, err := fmt.Fprintf(w, "%s(c): instrumentation counters — %s\n", t.Figure, t.Title); err != nil {
-		return err
-	}
+	ew := errw.New(w)
+	ew.Printf("%s(c): instrumentation counters — %s\n", t.Figure, t.Title)
 	for si := range t.Series {
 		s := &t.Series[si]
 		names := s.counterNames()
 		if len(names) == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "series %s\n", s.Name)
-		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintf(tw, "%s (%s)", t.XLabel, t.XUnit)
+		ew.Printf("series %s\n", s.Name)
+		tw := tabwriter.NewWriter(ew, 2, 4, 2, ' ', 0)
+		etw := errw.New(tw)
+		etw.Printf("%s (%s)", t.XLabel, t.XUnit)
 		for _, name := range names {
-			fmt.Fprintf(tw, "\t%s", name)
+			etw.Printf("\t%s", name)
 		}
-		fmt.Fprintln(tw)
+		etw.Println()
 		for _, p := range s.Points {
-			fmt.Fprintf(tw, "%g", p.X)
+			etw.Printf("%g", p.X)
 			for _, name := range names {
-				fmt.Fprintf(tw, "\t%d", p.Counters[name])
+				etw.Printf("\t%d", p.Counters[name])
 			}
-			fmt.Fprintln(tw)
+			etw.Println()
+		}
+		if err := etw.Err(); err != nil {
+			return err
 		}
 		if err := tw.Flush(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return ew.Err()
 }
 
 func (t *Table) renderPanel(w io.Writer, title string, cell func(Point) string) error {
-	fmt.Fprintf(w, "%s — %s\n", title, t.Title)
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "%s (%s)", t.XLabel, t.XUnit)
+	ew := errw.New(w)
+	ew.Printf("%s — %s\n", title, t.Title)
+	tw := tabwriter.NewWriter(ew, 2, 4, 2, ' ', 0)
+	etw := errw.New(tw)
+	etw.Printf("%s (%s)", t.XLabel, t.XUnit)
 	for _, s := range t.Series {
-		fmt.Fprintf(tw, "\t%s", s.Name)
+		etw.Printf("\t%s", s.Name)
 	}
-	fmt.Fprintln(tw)
+	etw.Println()
 	for i, x := range t.xValues() {
-		fmt.Fprintf(tw, "%g", x)
+		etw.Printf("%g", x)
 		for _, s := range t.Series {
 			if i < len(s.Points) {
-				fmt.Fprintf(tw, "\t%s", cell(s.Points[i]))
+				etw.Printf("\t%s", cell(s.Points[i]))
 			} else {
-				fmt.Fprint(tw, "\t-")
+				etw.Print("\t-")
 			}
 		}
-		fmt.Fprintln(tw)
+		etw.Println()
+	}
+	if err := etw.Err(); err != nil {
+		return err
 	}
 	return tw.Flush()
 }
@@ -219,30 +229,29 @@ func (t *Table) WriteMarkdown(w io.Writer) error {
 }
 
 func (t *Table) mdPanel(w io.Writer, title string, cell func(Point) string) error {
-	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", title, t.Title); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "| %s (%s) |", t.XLabel, t.XUnit)
+	ew := errw.New(w)
+	ew.Printf("### %s — %s\n\n", title, t.Title)
+	ew.Printf("| %s (%s) |", t.XLabel, t.XUnit)
 	for _, s := range t.Series {
-		fmt.Fprintf(w, " %s |", s.Name)
+		ew.Printf(" %s |", s.Name)
 	}
-	fmt.Fprint(w, "\n|---|")
+	ew.Print("\n|---|")
 	for range t.Series {
-		fmt.Fprint(w, "---|")
+		ew.Print("---|")
 	}
-	fmt.Fprintln(w)
+	ew.Println()
 	for i, x := range t.xValues() {
-		fmt.Fprintf(w, "| %g |", x)
+		ew.Printf("| %g |", x)
 		for _, s := range t.Series {
 			if i < len(s.Points) {
-				fmt.Fprintf(w, " %s |", cell(s.Points[i]))
+				ew.Printf(" %s |", cell(s.Points[i]))
 			} else {
-				fmt.Fprint(w, " - |")
+				ew.Print(" - |")
 			}
 		}
-		fmt.Fprintln(w)
+		ew.Println()
 	}
-	return nil
+	return ew.Err()
 }
 
 // SeriesByName returns the named series, or nil.

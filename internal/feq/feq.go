@@ -1,0 +1,58 @@
+// Package feq provides the canonical float-comparison helpers the
+// planner packages use instead of == / != on floating-point values.
+//
+// uavlint's floateq analyzer forbids direct float equality in
+// internal/core, internal/energy, internal/geom and internal/tsp: exact
+// comparison of computed floats is almost always a latent bug (two
+// mathematically equal energies rarely compare equal after different
+// summation orders), and when exact comparison *is* intended — sentinel
+// zeros, dedup of verbatim copies, "did the incumbent change" checks —
+// the site must say so, either by calling these helpers or by carrying
+// an //uavdc:allow floateq annotation explaining why bit-equality is
+// correct there.
+//
+// The helpers are deliberately tiny and allocation-free so hot planner
+// loops can use them without cost.
+package feq
+
+import "math"
+
+// Tol is the default absolute/relative tolerance. It matches the 1e-9
+// slack the planners already use for budget feasibility checks: small
+// enough to separate distinct candidate energies, large enough to absorb
+// summation-order noise.
+const Tol = 1e-9
+
+// Eq reports whether a and b are equal within the default tolerance,
+// absolute for small magnitudes and relative for large ones. NaNs are
+// never equal; equal infinities are.
+func Eq(a, b float64) bool { return Near(a, b, Tol) }
+
+// Near reports whether |a-b| ≤ tol·max(1, |a|, |b|). It is symmetric in
+// a and b and monotone in tol. NaNs are never near anything; equal
+// infinities are near (their difference is NaN but they compare bitwise
+// equal first).
+func Near(a, b, tol float64) bool {
+	if a == b { //uavdc:allow floateq bitwise fast path and infinity handling of the canonical helper itself
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities; tol·Inf would swallow anything
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Zero reports whether x is zero within the default absolute tolerance.
+func Zero(x float64) bool { return math.Abs(x) <= Tol }
+
+// Less reports whether a is smaller than b by more than the default
+// tolerance — a strict "definitely improves" comparison for greedy
+// incumbent updates.
+func Less(a, b float64) bool { return a < b && !Eq(a, b) }

@@ -1,0 +1,51 @@
+package feq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{1e12, 1e12 + 1, true}, // relative tolerance at large magnitude
+		{1e-12, -1e-12, true},  // absolute tolerance near zero
+		{0, 1e-6, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Eq(c.b, c.a); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(1e-12) || !Zero(-1e-12) {
+		t.Error("Zero rejects values inside the tolerance")
+	}
+	if Zero(1e-6) || Zero(math.NaN()) || Zero(math.Inf(1)) {
+		t.Error("Zero accepts values outside the tolerance")
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !Less(1, 2) {
+		t.Error("Less(1, 2) = false")
+	}
+	if Less(2, 1) || Less(1, 1) || Less(1, 1+1e-12) {
+		t.Error("Less accepts non-improvements")
+	}
+}

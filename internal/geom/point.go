@@ -138,7 +138,7 @@ func (r Rect) IntersectsCircle(c Circle) bool {
 func ClosestPointOnSegment(p, a, b Point) Point {
 	ab := b.Sub(a)
 	den := ab.Dot(ab)
-	if den == 0 {
+	if den == 0 { //uavdc:allow floateq exact degenerate-segment guard; any nonzero den divides safely
 		return a
 	}
 	t := p.Sub(a).Dot(ab) / den

@@ -1,7 +1,9 @@
 package graph
 
 import (
+	"maps"
 	"math/rand"
+	"slices"
 	"testing"
 )
 
@@ -137,8 +139,13 @@ func verifyCircuit(t *testing.T, m *Multigraph, circ []int, start int) {
 		}
 		avail[[2]int{u, v}]--
 	}
-	for k, c := range avail {
-		if c != 0 {
+	for _, k := range slices.SortedFunc(maps.Keys(avail), func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	}) {
+		if c := avail[k]; c != 0 {
 			t.Fatalf("edge %v not fully used (%d left)", k, c)
 		}
 	}

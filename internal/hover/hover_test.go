@@ -1,7 +1,9 @@
 package hover
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -225,7 +227,8 @@ func TestVirtuals(t *testing.T) {
 	for _, v := range vs {
 		byBase[v.Base] = append(byBase[v.Base], v)
 	}
-	for base, group := range byBase {
+	for _, base := range slices.Sorted(maps.Keys(byBase)) {
+		group := byBase[base]
 		loc := s.Locs[base]
 		for i, v := range group {
 			if v.Level != i+1 || v.K != K {

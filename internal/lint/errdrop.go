@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop returns the errdrop analyzer: a statement that calls a
+// function returning an error and ignores every result silently loses
+// the failure. The fix is to handle the error, assign it to _ explicitly
+// (visible intent), or annotate the site. Exemptions, documented in
+// CONTRIBUTING.md:
+//
+//   - fmt.Print/Printf/Println — CLI chatter to stdout, conventionally
+//     unchecked;
+//   - fmt.Fprint* and io.WriteString when the writer is os.Stdout,
+//     os.Stderr, a *strings.Builder, or a *bytes.Buffer — the first two
+//     by the same convention, the latter two because they are
+//     documented never to fail;
+//   - methods on *strings.Builder and *bytes.Buffer, for the same
+//     reason;
+//   - methods called on a hash.Hash (or any named type from the hash
+//     package tree) — "Write ... never returns an error" is part of the
+//     hash.Hash contract;
+//   - _test.go files.
+func ErrDrop() *Analyzer {
+	a := &Analyzer{
+		Name: "errdrop",
+		Doc:  "forbid silently discarded error results outside tests",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = stmt.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call = stmt.Call
+				case *ast.GoStmt:
+					call = stmt.Call
+				}
+				if call == nil {
+					return true
+				}
+				checkDroppedError(pass, call)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkDroppedError reports call if it returns an error that the
+// statement form necessarily discards.
+func checkDroppedError(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	t := info.TypeOf(call)
+	if t == nil || !resultHasError(t) {
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && errDropExempt(info, fn, call) {
+		return
+	}
+	label := "call"
+	if fn != nil {
+		label = callLabel(fn)
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s is silently discarded; handle it, assign it to _ explicitly, or annotate",
+		label)
+}
+
+// resultHasError reports whether a call result type includes an error.
+func resultHasError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// errDropExempt implements the documented exemptions.
+func errDropExempt(info *types.Info, fn *types.Func, call *ast.CallExpr) bool {
+	name := fn.Name()
+	if isMethod(fn) {
+		recv := fn.Type().(*types.Signature).Recv().Type()
+		if namedPtrTo(recv, "strings", "Builder") || namedPtrTo(recv, "bytes", "Buffer") {
+			return true
+		}
+		// hash.Hash embeds io.Writer, so the method object alone says
+		// "io.Writer.Write"; classify by the static type of the receiver
+		// expression instead.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if t := info.TypeOf(sel.X); t != nil && isHashType(t) {
+				return true
+			}
+		}
+		return false
+	}
+	switch funcPkgPath(fn) {
+	case "fmt":
+		if in(name, "Print", "Printf", "Println") {
+			return true
+		}
+		if in(name, "Fprint", "Fprintf", "Fprintln") && len(call.Args) > 0 {
+			return infallibleWriter(info, call.Args[0])
+		}
+	case "io":
+		if name == "WriteString" && len(call.Args) > 0 {
+			return infallibleWriter(info, call.Args[0])
+		}
+	}
+	return false
+}
+
+// isHashType reports whether t (or its pointee) is a named type
+// declared in the "hash" package tree, whose Write contractually never
+// fails.
+func isHashType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == "hash" || strings.HasPrefix(p, "hash/")
+}
+
+// infallibleWriter reports whether the writer expression is os.Stdout,
+// os.Stderr, a *strings.Builder, or a *bytes.Buffer.
+func infallibleWriter(info *types.Info, w ast.Expr) bool {
+	w = ast.Unparen(w)
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok &&
+			v.Pkg() != nil && v.Pkg().Path() == "os" && in(v.Name(), "Stdout", "Stderr") {
+			return true
+		}
+	}
+	t := info.TypeOf(w)
+	return t != nil && (namedPtrTo(t, "strings", "Builder") || namedPtrTo(t, "bytes", "Buffer"))
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/fixture.golden")
+
+// loadFixture loads the miniature module under testdata/src once per
+// test that needs it.
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	mod, err := Load(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("Load(testdata/src): %v", err)
+	}
+	return mod
+}
+
+// TestFixtureGolden locks the full diagnostic stream — positives,
+// suppressed sites, and directive errors — for the fixture module.
+// Regenerate deliberately with:
+//
+//	go test ./internal/lint -run TestFixtureGolden -update
+func TestFixtureGolden(t *testing.T) {
+	diags := Run(loadFixture(t), All())
+	var sb strings.Builder
+	if err := WriteText(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "fixture.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("fixture diagnostics drifted from golden.\n--- want (%s)\n%s--- got\n%s", path, want, got)
+	}
+}
+
+// TestFixtureCoverage asserts the acceptance-level invariant directly:
+// every analyzer has at least one active positive and at least one
+// suppressed case in the fixture, and the directive pseudo-analyzer
+// reports every malformed-directive shape.
+func TestFixtureCoverage(t *testing.T) {
+	diags := Run(loadFixture(t), All())
+	active := map[string]int{}
+	suppressed := map[string]int{}
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed[d.Analyzer]++
+		} else {
+			active[d.Analyzer]++
+		}
+	}
+	for _, a := range All() {
+		if active[a.Name] == 0 {
+			t.Errorf("analyzer %s: no active positive case in the fixture", a.Name)
+		}
+		if suppressed[a.Name] == 0 {
+			t.Errorf("analyzer %s: no suppressed case in the fixture", a.Name)
+		}
+	}
+	if active[DirectiveAnalyzer] < 5 {
+		t.Errorf("directive errors: got %d, want all 5 malformed shapes (missing reason, bad verb, bad name, unknown analyzer, block comment)", active[DirectiveAnalyzer])
+	}
+	if suppressed[DirectiveAnalyzer] != 0 {
+		t.Error("directive errors must not be suppressible")
+	}
+}
+
+// TestFixtureJSON checks the machine-readable report: schema tag, module
+// path, and agreement with Active().
+func TestFixtureJSON(t *testing.T) {
+	mod := loadFixture(t)
+	diags := Run(mod, All())
+	var sb strings.Builder
+	if err := WriteJSON(&sb, mod.Path, diags); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema      string       `json:"schema"`
+		Module      string       `json:"module"`
+		Diagnostics []Diagnostic `json:"diagnostics"`
+		Active      int          `json:"active"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != JSONSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, JSONSchema)
+	}
+	if rep.Module != "uavdc" {
+		t.Errorf("module = %q", rep.Module)
+	}
+	if len(rep.Diagnostics) != len(diags) {
+		t.Errorf("report has %d diagnostics, run produced %d", len(rep.Diagnostics), len(diags))
+	}
+	if rep.Active != len(Active(diags)) {
+		t.Errorf("active = %d, want %d", rep.Active, len(Active(diags)))
+	}
+}
+
+// TestRealModuleIsClean runs the suite over the enclosing repository —
+// the same check `make ci` enforces — so a violation introduced anywhere
+// in uavdc fails this package's tests too.
+func TestRealModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	mod, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Load(repo root): %v", err)
+	}
+	for _, d := range Active(Run(mod, All())) {
+		t.Errorf("%s", d.String())
+	}
+}

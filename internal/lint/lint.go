@@ -1,0 +1,234 @@
+// Package lint is uavdc's stdlib-only static-analysis engine. It loads
+// and type-checks the module with go/parser + go/types (no external
+// tooling), then runs a set of repo-specific analyzers that enforce the
+// contracts the test suite can only sample dynamically:
+//
+//   - nodeterminism: no wall-clock or process-global randomness sources,
+//     and no order-sensitive effects inside range-over-map loops, outside
+//     a small allowlist — the planners' byte-identical-output guarantee
+//     is enforced at the source level.
+//   - floateq: no ==/!= between floats in the numeric planner packages;
+//     exact comparisons must go through internal/feq or carry an
+//     annotation.
+//   - obsnames: every counter/timer/histogram/span/event name passed to
+//     the obs and trace APIs must be registered in internal/obs's
+//     canonical name registry (which a test cross-checks against
+//     EXPERIMENTS.md).
+//   - errdrop: no silently discarded error results outside tests.
+//
+// Deliberate violations are annotated in place:
+//
+//	//uavdc:allow <analyzer> <reason>
+//
+// either trailing the offending line or standing alone immediately above
+// it. The reason is mandatory; malformed or unknown directives are
+// themselves diagnostics and cannot be suppressed.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, as used in //uavdc:allow
+	// directives and diagnostic output.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the analyzer's diagnostics for one package.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoDeterminism(), FloatEq(), ObsNames(), ErrDrop()}
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	out      *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Path:     relTo(position.Filename, p.Pkg),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// relTo rebuilds the module-relative path of an absolute filename using
+// the package's directory (positions carry absolute paths).
+func relTo(abs string, pkg *Package) string {
+	base := abs
+	for i := len(abs) - 1; i >= 0; i-- {
+		if abs[i] == '/' || abs[i] == '\\' {
+			base = abs[i+1:]
+			break
+		}
+	}
+	if pkg.Dir == "." {
+		return base
+	}
+	return pkg.Dir + "/" + base
+}
+
+// Diagnostic is one finding, suppressed or not.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer ("directive" for malformed
+	// //uavdc: comments, which are findings of the engine itself).
+	Analyzer string `json:"analyzer"`
+	// Path is the file path relative to the module root.
+	Path string `json:"path"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message describes the violation.
+	Message string `json:"message"`
+	// Suppressed marks a diagnostic covered by an //uavdc:allow
+	// directive; Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// String formats the diagnostic as path:line:col: analyzer: message,
+// with a suppression suffix when covered by a directive.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Path, d.Line, d.Col, d.Analyzer, d.Message)
+	if d.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", d.Reason)
+	}
+	return s
+}
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed
+// //uavdc: directives are reported. It is not suppressible.
+const DirectiveAnalyzer = "directive"
+
+// Run executes the analyzers over every package of the module and
+// returns all diagnostics — suppressed ones included, marked — sorted by
+// file, line, column, analyzer. Malformed suppression directives are
+// reported under DirectiveAnalyzer.
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	suppressions := map[string]*fileSuppressions{} // by module-relative path
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			rel := pkg.RelPath(f)
+			if _, done := suppressions[rel]; done {
+				// Base files are shared between a package unit and its
+				// external-test unit's src map; scan each file once.
+				continue
+			}
+			fs, malformed := scanSuppressions(pkg, f, known)
+			suppressions[rel] = fs
+			diags = append(diags, malformed...)
+		}
+	}
+
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a, out: &diags}
+			a.Run(pass)
+		}
+	}
+
+	for i := range diags {
+		d := &diags[i]
+		if d.Analyzer == DirectiveAnalyzer {
+			continue
+		}
+		if fs := suppressions[d.Path]; fs != nil {
+			if reason, ok := fs.covers(d.Analyzer, d.Line); ok {
+				d.Suppressed = true
+				d.Reason = reason
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// Active filters diags down to the non-suppressed findings — the set CI
+// fails on.
+func Active(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteText renders one diagnostic per line.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	// Schema tags the document format.
+	Schema string `json:"schema"`
+	// Module is the linted module path.
+	Module string `json:"module"`
+	// Diagnostics holds every finding, suppressed ones marked.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Active counts the non-suppressed findings (the CI failure
+	// condition).
+	Active int `json:"active"`
+}
+
+// JSONSchema tags uavlint's -json output document.
+const JSONSchema = "uavdc-lint/1"
+
+// WriteJSON renders the diagnostics as a uavdc-lint/1 JSON document.
+func WriteJSON(w io.Writer, modPath string, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{
+		Schema:      JSONSchema,
+		Module:      modPath,
+		Diagnostics: diags,
+		Active:      len(Active(diags)),
+	})
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// directivePrefix introduces every uavdc lint directive. Anything
+// starting with it must parse as a well-formed directive; typos are
+// reported, never silently ignored.
+const directivePrefix = "//uavdc:"
+
+// allowVerb is the only directive verb: //uavdc:allow <analyzer> <reason>.
+const allowVerb = "allow"
+
+// Directive is one parsed //uavdc:allow comment.
+type Directive struct {
+	// Analyzer is the suppressed analyzer's name.
+	Analyzer string
+	// Reason is the mandatory justification.
+	Reason string
+}
+
+// ParseAllowDirective parses a raw line-comment text. It returns
+// ok=false when text is not a uavdc directive at all (an ordinary
+// comment). When the directive prefix is present, the result is either a
+// valid Directive or a non-nil error — malformed directives are never
+// silently ignored.
+func ParseAllowDirective(text string) (d Directive, ok bool, err error) {
+	rest, isDirective := strings.CutPrefix(text, directivePrefix)
+	if !isDirective {
+		return Directive{}, false, nil
+	}
+	verb := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, rest = rest[:i], rest[i+1:]
+	} else {
+		rest = ""
+	}
+	if verb != allowVerb {
+		return Directive{}, true, fmt.Errorf("unknown uavdc directive %q (only %q is defined)", verb, allowVerb)
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	name := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, rest = rest[:i], rest[i+1:]
+	} else {
+		rest = ""
+	}
+	if name == "" {
+		return Directive{}, true, fmt.Errorf("uavdc:allow: missing analyzer name")
+	}
+	if !validAnalyzerName(name) {
+		return Directive{}, true, fmt.Errorf("uavdc:allow: invalid analyzer name %q", name)
+	}
+	reason := strings.TrimSpace(rest)
+	if reason == "" {
+		return Directive{}, true, fmt.Errorf("uavdc:allow %s: missing reason — say why the violation is deliberate", name)
+	}
+	return Directive{Analyzer: name, Reason: reason}, true, nil
+}
+
+// validAnalyzerName reports whether s is a plausible analyzer
+// identifier: lower-case letters and digits, starting with a letter.
+func validAnalyzerName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// fileSuppressions indexes the allow directives of one file by the line
+// they cover.
+type fileSuppressions struct {
+	// byLine maps a covered source line to its directives.
+	byLine map[int][]Directive
+}
+
+// covers reports whether a directive for analyzer covers line, returning
+// its reason.
+func (fs *fileSuppressions) covers(analyzer string, line int) (string, bool) {
+	for _, d := range fs.byLine[line] {
+		if d.Analyzer == analyzer {
+			return d.Reason, true
+		}
+	}
+	return "", false
+}
+
+// scanSuppressions extracts the file's directives and decides which line
+// each one covers: a directive trailing code covers its own line; a
+// directive alone on its line covers the next line that is not itself a
+// comment-only line, so directives can stack. Malformed directives and
+// directives naming an unknown analyzer are returned as diagnostics
+// under DirectiveAnalyzer.
+func scanSuppressions(pkg *Package, f *ast.File, known map[string]bool) (*fileSuppressions, []Diagnostic) {
+	fs := &fileSuppressions{byLine: map[int][]Directive{}}
+	var malformed []Diagnostic
+	src := pkg.Src[pkg.Filename(f)]
+	commentLines := map[int]bool{}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			start := pkg.Fset.Position(c.Pos())
+			end := pkg.Fset.Position(c.End())
+			if !lineHasCodeBefore(src, start.Offset) {
+				for line := start.Line; line <= end.Line; line++ {
+					commentLines[line] = true
+				}
+			}
+		}
+	}
+	report := func(c *ast.Comment, err error) {
+		pos := pkg.Fset.Position(c.Pos())
+		malformed = append(malformed, Diagnostic{
+			Analyzer: DirectiveAnalyzer,
+			Path:     pkg.RelPath(f),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  err.Error(),
+		})
+	}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			if strings.HasPrefix(c.Text, "/*") && strings.HasPrefix(c.Text, "/*uavdc:") {
+				report(c, fmt.Errorf("uavdc directives must be line comments (//uavdc:...), not block comments"))
+				continue
+			}
+			d, isDirective, err := ParseAllowDirective(c.Text)
+			if !isDirective {
+				continue
+			}
+			if err != nil {
+				report(c, err)
+				continue
+			}
+			if !known[d.Analyzer] {
+				report(c, fmt.Errorf("uavdc:allow names unknown analyzer %q", d.Analyzer))
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			target := pos.Line
+			if !lineHasCodeBefore(src, pos.Offset) {
+				// Standalone directive: cover the next non-comment line.
+				target = pos.Line + 1
+				for commentLines[target] {
+					target++
+				}
+			}
+			fs.byLine[target] = append(fs.byLine[target], d)
+		}
+	}
+	return fs, malformed
+}
+
+// lineHasCodeBefore reports whether any non-whitespace byte precedes
+// offset on its line — i.e. the comment starting at offset trails code.
+func lineHasCodeBefore(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0 && i < len(src); i-- {
+		switch src[i] {
+		case '\n':
+			return false
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return true
+		}
+	}
+	return false
+}

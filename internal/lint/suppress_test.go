@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAllowDirective(t *testing.T) {
+	cases := []struct {
+		text     string
+		ok       bool
+		wantErr  bool
+		analyzer string
+		reason   string
+	}{
+		{"// ordinary comment", false, false, "", ""},
+		{"//uavdc:allow floateq exact sentinel check", true, false, "floateq", "exact sentinel check"},
+		{"//uavdc:allow errdrop   padded   reason  ", true, false, "errdrop", "padded   reason"},
+		{"//uavdc:allow\tfloateq\ttabs count as separators", true, false, "floateq", "tabs count as separators"},
+		{"//uavdc:allow floateq", true, true, "", ""},        // missing reason
+		{"//uavdc:allow", true, true, "", ""},                // missing analyzer
+		{"//uavdc:allow FloatEq casing", true, true, "", ""}, // invalid name
+		{"//uavdc:allow 2fast reason", true, true, "", ""},   // leading digit
+		{"//uavdc:deny floateq reason", true, true, "", ""},  // unknown verb
+		{"//uavdc:", true, true, "", ""},                     // bare prefix
+		{"//uavdc:allowfloateq reason", true, true, "", ""},  // verb not separated
+		{"// uavdc:allow floateq spaced prefix", false, false, "", ""},
+	}
+	for _, c := range cases {
+		d, ok, err := ParseAllowDirective(c.text)
+		if ok != c.ok || (err != nil) != c.wantErr {
+			t.Errorf("ParseAllowDirective(%q) = ok=%v err=%v, want ok=%v err=%v", c.text, ok, err, c.ok, c.wantErr)
+			continue
+		}
+		if err == nil && ok && (d.Analyzer != c.analyzer || d.Reason != c.reason) {
+			t.Errorf("ParseAllowDirective(%q) = %+v, want {%s %s}", c.text, d, c.analyzer, c.reason)
+		}
+	}
+}
+
+// FuzzAllowDirective checks the directive grammar's core safety
+// property: no comment carrying the uavdc: prefix is ever silently
+// ignored — it either parses to a complete directive or returns an
+// error. A typo in a suppression must surface as a diagnostic, not
+// silently leave the suppression inactive.
+func FuzzAllowDirective(f *testing.F) {
+	for _, seed := range []string{
+		"// ordinary comment",
+		"//uavdc:allow floateq exact sentinel check",
+		"//uavdc:allow floateq",
+		"//uavdc:allow",
+		"//uavdc:",
+		"//uavdc:deny floateq reason",
+		"//uavdc:allow FloatEq casing",
+		"//uavdc:allow errdrop \t mixed \t whitespace ",
+		"//uavdc:allow 0digit reason",
+		"//uavdc:allow nodeterminism non-breaking space",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok, err := ParseAllowDirective(text)
+		if strings.HasPrefix(text, "//uavdc:") {
+			if !ok {
+				t.Fatalf("%q carries the directive prefix but was ignored (ok=false)", text)
+			}
+			if err == nil {
+				if d.Analyzer == "" || d.Reason == "" {
+					t.Fatalf("%q parsed without error into incomplete directive %+v", text, d)
+				}
+				if !validAnalyzerName(d.Analyzer) {
+					t.Fatalf("%q produced invalid analyzer name %q without error", text, d.Analyzer)
+				}
+			}
+			return
+		}
+		// Not a directive: must be ignored without error.
+		if ok || err != nil {
+			t.Fatalf("%q lacks the prefix but parsed as ok=%v err=%v", text, ok, err)
+		}
+	})
+}

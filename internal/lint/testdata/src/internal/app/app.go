@@ -1,0 +1,56 @@
+// Package app holds the errdrop and range-over-map fixture cases, which
+// apply outside the floateq scope too.
+package app
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+)
+
+// DropErrors holds the errdrop cases.
+func DropErrors(path string) uint64 {
+	os.Remove(path) // positive: errdrop
+	os.Remove(path) //uavdc:allow errdrop fixture: deliberate discard
+	_ = os.Remove(path)
+	var sb strings.Builder
+	sb.WriteString("x")         // clean: strings.Builder never fails
+	fmt.Fprintf(os.Stdout, "x") // clean: process stdout convention
+	h := fnv.New64a()
+	h.Write([]byte(path)) // clean: hash.Hash never fails
+	return h.Sum64()
+}
+
+// GlobalRand holds the unseeded-rand cases.
+func GlobalRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10) + rand.Intn(10) // positive: global rand.Intn (the seeded r.Intn is clean)
+}
+
+// MapOrder holds the range-over-map cases.
+func MapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // clean: sorted after the loop
+	}
+	sort.Strings(keys)
+	var bad []string
+	for k := range m {
+		bad = append(bad, k) // positive: never sorted
+	}
+	for k, v := range m {
+		fmt.Println(k, v) // positive: output in map order
+	}
+	for k := range m {
+		fmt.Println(k) //uavdc:allow nodeterminism fixture: deliberate unordered print
+	}
+	for range m {
+		fresh := []string{}
+		fresh = append(fresh, "x") // clean: per-iteration slice
+		_ = fresh
+	}
+	return bad
+}

@@ -1,0 +1,16 @@
+package app
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFileRules: wall-clock and rand are exempt in _test.go files, but
+// the range-over-map rules still apply.
+func TestFileRules(t *testing.T) {
+	_ = time.Now() // clean: tests may read the wall clock
+	m := map[string]int{"a": 1}
+	for k := range m {
+		t.Log(k) // positive: test output in map order
+	}
+}

@@ -1,0 +1,16 @@
+// Malformed-directive cases: every comment carrying the uavdc: prefix
+// must parse, or it is reported under the "directive" pseudo-analyzer
+// (and the diagnostic it meant to suppress stays active).
+package app
+
+import "os"
+
+// BadDirectives exercises the directive error paths.
+func BadDirectives(path string) {
+	os.Remove(path) //uavdc:allow errdrop
+	os.Remove(path) //uavdc:permit errdrop wrong verb
+	os.Remove(path) //uavdc:allow ErrDrop bad analyzer casing
+	os.Remove(path) //uavdc:allow unknownanalyzer plausible but not an analyzer
+	/*uavdc:allow errdrop block comments are not directives*/
+	os.Remove(path)
+}

@@ -1,0 +1,48 @@
+// Package core is the fixture's floateq-scoped package, with positive
+// and suppressed cases for floateq, nodeterminism, and obsnames.
+package core
+
+import (
+	"time"
+
+	"uavdc/internal/obs"
+	"uavdc/internal/trace"
+)
+
+const missionPrefix = "mission/"
+
+// FloatCompare holds the floateq cases.
+func FloatCompare(a, b float64) int {
+	if a == b { // positive: floateq
+		return 0
+	}
+	if a != b { //uavdc:allow floateq fixture: deliberate exact check
+		return 1
+	}
+	return 2
+}
+
+// Ordering is clean: < and > are fine under floateq.
+func Ordering(a, b float64) bool { return a < b }
+
+// Clock holds the wall-clock cases.
+func Clock() time.Duration {
+	start := time.Now() // positive: nodeterminism
+	//uavdc:allow nodeterminism fixture: standalone directive covering the next line
+	stop := time.Now()
+	return stop.Sub(start)
+}
+
+// Instrument holds the obsnames cases against the real canonical
+// registry (the analyzer links it in).
+func Instrument(r obs.Rec, tr trace.Tracer, kind string) {
+	r.Counter("core.candidate_evals").Add(1) // clean: registered counter
+	r.Counter("core.bogus_counter").Add(1)   // positive: unregistered
+	r.Counter("plan/alg1").Add(1)            // positive: registered as a span
+	r.Counter(kind).Add(1)                   // positive: non-constant
+	r.Counter(kind).Add(1)                   //uavdc:allow obsnames fixture: generic plumbing
+	end := tr.Begin("plan/alg1")             // clean: registered span
+	end()
+	tr.Event(missionPrefix + kind) // clean: mission/* wildcard
+	tr.Event("bogus/" + kind)      // positive: no bogus/* wildcard
+}

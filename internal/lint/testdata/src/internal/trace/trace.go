@@ -1,0 +1,18 @@
+// Package trace is a miniature stand-in for the real internal/trace.
+// It sits on the nodeterminism wall-clock allowlist, which the fixture
+// exercises below.
+package trace
+
+import "time"
+
+// Tracer records spans and events.
+type Tracer struct{}
+
+// Begin opens a span; internal/trace may read the wall clock.
+func (Tracer) Begin(name string) func() {
+	start := time.Now() // allowed: internal/trace is on the wall-clock allowlist
+	return func() { _ = time.Since(start) }
+}
+
+// Event records a point event.
+func (Tracer) Event(name string) {}

@@ -43,8 +43,8 @@ type timerCell struct {
 }
 
 func (t *timerCell) Start() func() {
-	start := time.Now()
-	return func() { t.Observe(time.Since(start).Seconds()) }
+	start := time.Now()                                      //uavdc:allow nodeterminism Timer exists to measure wall time; readers must treat it as non-deterministic
+	return func() { t.Observe(time.Since(start).Seconds()) } //uavdc:allow nodeterminism Timer exists to measure wall time; readers must treat it as non-deterministic
 }
 
 func (t *timerCell) Observe(seconds float64) {
@@ -128,6 +128,8 @@ func (r *Registry) Merge(s *Registry) {
 	defer s.mu.Unlock()
 	for name, c := range s.counters {
 		if n := c.n.Load(); n != 0 {
+			//uavdc:allow nodeterminism merge is pure addition, commutative across iteration orders
+			//uavdc:allow obsnames generic plumbing; names were validated at their recording sites
 			r.Counter(name).Add(n)
 		}
 	}
@@ -136,6 +138,8 @@ func (r *Registry) Merge(s *Registry) {
 		count, secs := t.count, t.seconds
 		t.mu.Unlock()
 		if count != 0 {
+			//uavdc:allow nodeterminism merge is pure addition, commutative across iteration orders
+			//uavdc:allow obsnames generic plumbing; names were validated at their recording sites
 			dst := r.Timer(name).(*timerCell)
 			dst.mu.Lock()
 			dst.count += count
@@ -146,6 +150,8 @@ func (r *Registry) Merge(s *Registry) {
 	for name, h := range s.hists {
 		h.mu.Lock()
 		if h.count != 0 {
+			//uavdc:allow nodeterminism merge is pure addition, commutative across iteration orders
+			//uavdc:allow obsnames generic plumbing; names were validated at their recording sites
 			dst := r.Histogram(name, h.bounds).(*histCell)
 			dst.mu.Lock()
 			if len(dst.counts) == len(h.counts) {

@@ -25,7 +25,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close() // best-effort cleanup; the profile already failed
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}

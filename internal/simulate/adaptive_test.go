@@ -1,8 +1,10 @@
 package simulate
 
 import (
+	"maps"
 	"math"
 	"reflect"
+	"slices"
 	"testing"
 
 	"uavdc/internal/core"
@@ -122,7 +124,8 @@ func TestAdaptiveNeverDiesUnderFaults(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", pl.Name(), err)
 				}
-				for name, sched := range schedules {
+				for _, name := range slices.Sorted(maps.Keys(schedules)) {
+					sched := schedules[name]
 					for _, noise := range []Noise{{}, {Spread: 0.25, Seed: int64(seed)}} {
 						res := AdaptiveRun(in, plan, AdaptiveOptions{
 							Options: Options{RecordEvents: true, Noise: noise},

@@ -61,7 +61,7 @@ func OneTreeBound(items []int, m Metric, iterations int) (float64, error) {
 			d := float64(deg[i] - 2)
 			norm += d * d
 		}
-		if norm == 0 {
+		if norm == 0 { //uavdc:allow floateq norm sums squared integer degree deviations; exact zero means every degree is 2
 			break // the 1-tree is a tour: the bound is tight
 		}
 		gap := ub - lb

@@ -1,8 +1,10 @@
 package tsp
 
 import (
+	"maps"
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"uavdc/internal/geom"
@@ -362,10 +364,12 @@ func TestHeldKarpIsLowerBoundForHeuristics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for name, tour := range map[string]Tour{
+		heuristics := map[string]Tour{
 			"nn": NearestNeighbor(items, m),
 			"ci": CheapestInsertion(items, m),
-		} {
+		}
+		for _, name := range slices.Sorted(maps.Keys(heuristics)) {
+			tour := heuristics[name]
 			if tour.Cost(m) < opt-1e-6 {
 				t.Errorf("seed %d: %s beat the optimum: %v < %v", seed, name, tour.Cost(m), opt)
 			}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"uavdc/internal/core"
+	"uavdc/internal/errw"
 	"uavdc/internal/sensornet"
 )
 
@@ -54,63 +55,58 @@ func WriteSVG(w io.Writer, net *sensornet.Network, plans []*core.Plan, opts Opti
 		maxData = 1
 	}
 
-	// Error-sticky printf: the first write failure wins and later calls
+	// Error-sticky writer: the first write failure wins and later calls
 	// become no-ops, so the happy path stays linear.
-	var werr error
-	pf := func(format string, args ...interface{}) error {
-		if werr == nil {
-			_, werr = fmt.Fprintf(w, format, args...)
-		}
-		return werr
-	}
-	pf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+	ew := errw.New(w)
+	ew.Printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
 		width, height, width, height)
-	pf(`<rect width="%d" height="%d" fill="#fbfbf8" stroke="#888"/>`+"\n", width, height)
+	ew.Printf(`<rect width="%d" height="%d" fill="#fbfbf8" stroke="#888"/>`+"\n", width, height)
 
 	// Sensors.
-	pf("<g fill=\"#555\" fill-opacity=\"0.75\">\n")
+	ew.Printf("<g fill=\"#555\" fill-opacity=\"0.75\">\n")
 	for _, s := range net.Sensors {
 		r := 1.5 + 4*math.Sqrt(s.Data/maxData)
-		pf(`<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x(s.Pos.X), y(s.Pos.Y), r)
+		ew.Printf(`<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x(s.Pos.X), y(s.Pos.Y), r)
 	}
-	pf("</g>\n")
+	ew.Printf("</g>\n")
 
 	// Tours.
 	for pi, plan := range plans {
 		color := palette[pi%len(palette)]
 		if len(plan.Stops) > 0 {
-			pf(`<polyline fill="none" stroke="%s" stroke-width="2" stroke-opacity="0.9" points="`, color)
-			pf("%.1f,%.1f ", x(plan.Depot.X), y(plan.Depot.Y))
+			ew.Printf(`<polyline fill="none" stroke="%s" stroke-width="2" stroke-opacity="0.9" points="`, color)
+			ew.Printf("%.1f,%.1f ", x(plan.Depot.X), y(plan.Depot.Y))
 			for i := range plan.Stops {
-				pf("%.1f,%.1f ", x(plan.Stops[i].Pos.X), y(plan.Stops[i].Pos.Y))
+				ew.Printf("%.1f,%.1f ", x(plan.Stops[i].Pos.X), y(plan.Stops[i].Pos.Y))
 			}
-			pf("%.1f,%.1f", x(plan.Depot.X), y(plan.Depot.Y))
-			pf("\"/>\n")
+			ew.Printf("%.1f,%.1f", x(plan.Depot.X), y(plan.Depot.Y))
+			ew.Printf("\"/>\n")
 		}
 		if opts.CoverRadius > 0 {
-			pf(`<g fill="%s" fill-opacity="0.08" stroke="%s" stroke-opacity="0.35">`+"\n", color, color)
+			ew.Printf(`<g fill="%s" fill-opacity="0.08" stroke="%s" stroke-opacity="0.35">`+"\n", color, color)
 			for i := range plan.Stops {
-				pf(`<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n",
+				ew.Printf(`<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n",
 					x(plan.Stops[i].Pos.X), y(plan.Stops[i].Pos.Y), opts.CoverRadius*scale)
 			}
-			pf("</g>\n")
+			ew.Printf("</g>\n")
 		}
 		// Stop markers.
-		pf(`<g fill="%s">`+"\n", color)
+		ew.Printf(`<g fill="%s">`+"\n", color)
 		for i := range plan.Stops {
-			pf(`<circle cx="%.1f" cy="%.1f" r="3"/>`+"\n", x(plan.Stops[i].Pos.X), y(plan.Stops[i].Pos.Y))
+			ew.Printf(`<circle cx="%.1f" cy="%.1f" r="3"/>`+"\n", x(plan.Stops[i].Pos.X), y(plan.Stops[i].Pos.Y))
 		}
-		pf("</g>\n")
+		ew.Printf("</g>\n")
 	}
 
 	// Depot.
-	pf(`<rect x="%.1f" y="%.1f" width="10" height="10" fill="#000"/>`+"\n",
+	ew.Printf(`<rect x="%.1f" y="%.1f" width="10" height="10" fill="#000"/>`+"\n",
 		x(net.Depot.X)-5, y(net.Depot.Y)-5)
 
 	if opts.Title != "" {
-		pf(`<text x="10" y="22" font-family="sans-serif" font-size="16">%s</text>`+"\n", xmlEscape(opts.Title))
+		ew.Printf(`<text x="10" y="22" font-family="sans-serif" font-size="16">%s</text>`+"\n", xmlEscape(opts.Title))
 	}
-	return pf("</svg>\n")
+	ew.Printf("</svg>\n")
+	return ew.Err()
 }
 
 func xmlEscape(s string) string {
