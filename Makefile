@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race fuzz bench golden golden-traces adaptive trace
+.PHONY: ci build vet lint test race fuzz bench benchparity golden golden-traces adaptive trace
 
-ci: vet lint build race adaptive trace
+ci: vet lint build race adaptive trace benchparity
 
 build:
 	$(GO) build ./...
@@ -60,7 +60,14 @@ trace:
 
 # Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines").
 bench:
-	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR4.json
+	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR5.json
+
+# Baseline-parity gate: the deterministic panels of BENCH_PR5.json
+# (counters, volumes, plan calls, fault scenarios) must be bit-identical
+# to BENCH_PR4.json — the internal/units adoption changed types, not
+# arithmetic. Timing fields are excluded.
+benchparity:
+	$(GO) test -count=1 -run TestBenchPanelsParity ./internal/experiments
 
 # Rewrite the golden volume panels after a deliberate behaviour change.
 golden:

@@ -9,10 +9,11 @@
 //
 //	uavlint [flags] [./... | path prefixes]
 //
-//	-C dir   module root to lint (default ".")
-//	-json    emit a uavdc-lint/1 JSON report instead of text
-//	-all     also print suppressed diagnostics (text mode)
-//	-list    list the analyzers and exit
+//	-C dir     module root to lint (default ".")
+//	-json      emit a uavdc-lint/2 JSON report instead of text
+//	-all       also print suppressed diagnostics (text mode)
+//	-summary   append a one-line finding/timing summary (text mode)
+//	-list      list the analyzers (name order) and exit
 //
 // With no arguments (or "./...") the whole module is linted. Other
 // arguments restrict output to packages whose module-relative directory
@@ -27,7 +28,9 @@ import (
 	"flag"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"uavdc/internal/errw"
 	"uavdc/internal/lint"
@@ -43,15 +46,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		dir      = fs.String("C", ".", "module root to lint")
-		jsonOut  = fs.Bool("json", false, "emit a uavdc-lint/1 JSON report")
+		jsonOut  = fs.Bool("json", false, "emit a uavdc-lint/2 JSON report")
 		showAll  = fs.Bool("all", false, "also print suppressed diagnostics")
-		listOnly = fs.Bool("list", false, "list the analyzers and exit")
+		summary  = fs.Bool("summary", false, "append a one-line finding/timing summary")
+		listOnly = fs.Bool("list", false, "list the analyzers (name order) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	outw, errs := errw.New(stdout), errw.New(stderr)
 	analyzers := lint.All()
+	sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
 	if *listOnly {
 		for _, a := range analyzers {
 			outw.Printf("%-16s %s\n", a.Name, a.Doc)
@@ -62,16 +67,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	start := time.Now() //uavdc:allow nodeterminism wall time only feeds the lint report's elapsed field, never planner output
 	mod, err := lint.Load(*dir)
 	if err != nil {
 		errs.Printf("uavlint: %v\n", err)
 		return 2
 	}
 	diags := lint.Run(mod, analyzers)
+	elapsed := time.Since(start) //uavdc:allow nodeterminism wall time only feeds the lint report's elapsed field, never planner output
 	diags = filterByPrefix(diags, fs.Args())
 
 	if *jsonOut {
-		if err := lint.WriteJSON(stdout, mod.Path, diags); err != nil {
+		if err := lint.WriteJSON(stdout, mod.Path, diags, elapsed); err != nil {
 			errs.Printf("uavlint: %v\n", err)
 			return 2
 		}
@@ -83,6 +90,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := lint.WriteText(stdout, shown); err != nil {
 			errs.Printf("uavlint: %v\n", err)
 			return 2
+		}
+		if *summary {
+			if err := lint.WriteSummary(stdout, diags, elapsed); err != nil {
+				errs.Printf("uavlint: %v\n", err)
+				return 2
+			}
 		}
 	}
 	if active := lint.Active(diags); len(active) > 0 {

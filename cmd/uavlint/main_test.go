@@ -2,12 +2,44 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
+	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
 
 const fixture = "../../internal/lint/testdata/src"
+
+var update = flag.Bool("update", false, "rewrite testdata/*.golden")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting it
+// under -update. Wall-time is the one nondeterministic field in uavlint
+// output, so callers normalise it first.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from golden.\n--- want (%s)\n%s--- got\n%s", path, want, got)
+	}
+}
+
+var (
+	elapsedJSON    = regexp.MustCompile(`"elapsed_ms": [0-9.eE+-]+`)
+	elapsedSummary = regexp.MustCompile(`in [0-9]+ms`)
+)
 
 func TestRunFixtureText(t *testing.T) {
 	var stdout, stderr strings.Builder
@@ -16,7 +48,7 @@ func TestRunFixtureText(t *testing.T) {
 		t.Fatalf("exit %d, want 1 (fixture has active diagnostics); stderr: %s", code, stderr.String())
 	}
 	out := stdout.String()
-	for _, want := range []string{"floateq", "nodeterminism", "obsnames", "errdrop", "directive"} {
+	for _, want := range []string{"floateq", "nodeterminism", "obsnames", "errdrop", "unitsafety", "directive"} {
 		if !strings.Contains(out, want+": ") {
 			t.Errorf("text output missing %s diagnostics:\n%s", want, out)
 		}
@@ -45,15 +77,39 @@ func TestRunFixtureJSON(t *testing.T) {
 		t.Fatalf("exit %d, want 1", code)
 	}
 	var rep struct {
-		Schema string `json:"schema"`
-		Active int    `json:"active"`
+		Schema    string         `json:"schema"`
+		Active    int            `json:"active"`
+		Counts    map[string]int `json:"counts"`
+		ElapsedMS float64        `json:"elapsed_ms"`
 	}
 	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
 		t.Fatalf("-json output is not JSON: %v", err)
 	}
-	if rep.Schema != "uavdc-lint/1" || rep.Active == 0 {
+	if rep.Schema != "uavdc-lint/2" || rep.Active == 0 {
 		t.Errorf("report = %+v", rep)
 	}
+	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop", "unitsafety", "directive"} {
+		if rep.Counts[name] == 0 {
+			t.Errorf("counts missing %s: %v", name, rep.Counts)
+		}
+	}
+	if rep.ElapsedMS <= 0 {
+		t.Errorf("elapsed_ms = %v, want > 0", rep.ElapsedMS)
+	}
+	checkGolden(t, "json", elapsedJSON.ReplaceAllString(stdout.String(), `"elapsed_ms": 0`))
+}
+
+func TestRunFixtureSummary(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixture, "-summary"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "uavlint: ") || !elapsedSummary.MatchString(last) {
+		t.Fatalf("summary line malformed: %q", last)
+	}
+	checkGolden(t, "summary", elapsedSummary.ReplaceAllString(last, "in 0ms")+"\n")
 }
 
 func TestRunFixturePathFilter(t *testing.T) {
@@ -74,11 +130,19 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop"} {
+	var names []string
+	for _, line := range strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n") {
+		names = append(names, strings.Fields(line)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list not sorted by name: %v", names)
+	}
+	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop", "unitsafety"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout.String())
 		}
 	}
+	checkGolden(t, "list", stdout.String())
 }
 
 func TestRunBadFlag(t *testing.T) {

@@ -128,7 +128,7 @@ func FuzzValidatorSimulatorAgreement(f *testing.F) {
 		if d := math.Abs(sim.Collected - wantVol); d > 1e-6+1e-9*wantVol {
 			t.Fatalf("%s: simulator collected %.9f MB, plan accounts %.9f MB", opts.Algorithm, sim.Collected, wantVol)
 		}
-		wantEnergy := plan.Energy(in.Model) + in.Model.VerticalOverhead(in.Altitude)
+		wantEnergy := plan.Energy(in.Model) + in.Model.VerticalOverhead(in.Altitude).F()
 		if d := math.Abs(sim.EnergyUsed - wantEnergy); d > 1e-6+1e-9*wantEnergy {
 			t.Fatalf("%s: simulator drew %.9f J, plan accounts %.9f J", opts.Algorithm, sim.EnergyUsed, wantEnergy)
 		}

@@ -66,9 +66,9 @@ func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
 
 	prob := &orienteering.Problem{
 		N:      len(ids),
-		Cost:   func(i, j int) float64 { return set.AuxiliaryWeight(ids[i], ids[j]) },
-		Reward: func(i int) float64 { return set.Locs[ids[i]].Award },
-		Budget: in.Budget(),
+		Cost:   func(i, j int) float64 { return set.AuxiliaryWeight(ids[i], ids[j]).F() },
+		Reward: func(i int) float64 { return set.Locs[ids[i]].Award.F() },
+		Budget: in.Budget().F(),
 		Depot:  0,
 	}
 	endOr := tr.Begin(SpanPlanAlg1Orienteering, trace.Int("nodes", len(ids)))
@@ -88,7 +88,7 @@ func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
 			continue
 		}
 		loc := set.Locs[ids[k]]
-		stop := Stop{Pos: loc.Pos, LocID: ids[k], Sojourn: loc.Sojourn}
+		stop := Stop{Pos: loc.Pos, LocID: ids[k], Sojourn: loc.Sojourn.F()}
 		for _, v := range loc.Covered {
 			if !claimed[v] {
 				claimed[v] = true

@@ -8,6 +8,7 @@ import (
 	"uavdc/internal/obs"
 	"uavdc/internal/trace"
 	"uavdc/internal/tsp"
+	"uavdc/internal/units"
 )
 
 // Algorithm2 is the ratio-greedy heuristic for the data-collection
@@ -71,21 +72,21 @@ func (a *Algorithm2) Plan(in *Instance) (*Plan, error) {
 }
 
 type fullCandidate struct {
-	loc     int     // hover-set id
-	pos     int     // insertion position in the tour
-	sojourn float64 // t′
-	award   float64 // P′
-	travelD float64 // tour-length increase in metres
+	loc     int           // hover-set id
+	pos     int           // insertion position in the tour
+	sojourn units.Seconds // t′
+	award   units.Bits    // P′
+	travelD float64       // tour-length increase in metres
 }
 
 // evalFull prices candidate c against the current state, returning ok =
 // false when it is covered, drained, or over budget. so carries the
 // evaluating worker's counter handles.
-func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy float64, so scanObs) (fullCandidate, float64, bool) {
+func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy units.Joules, so scanObs) (fullCandidate, float64, bool) {
 	so.evalHit(c)
 	loc := &st.set.Locs[c]
 	so.resid.Inc()
-	sojourn, award := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, st.in.Net.Bandwidth)
+	sojourn, award := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, units.BitsPerSecond(st.in.Net.Bandwidth))
 	if award <= 0 {
 		return fullCandidate{}, 0, false
 	}
@@ -97,7 +98,7 @@ func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy float64, so scan
 		pos, travelD = tsp.BestInsertion(st.tour, c, st.dist)
 	}
 	hoverE := st.in.Model.HoverEnergy(sojourn)
-	travelE := st.in.Model.TravelEnergy(travelD)
+	travelE := st.in.Model.TravelEnergy(units.Meters(travelD))
 	if curEnergy+hoverE+travelE > st.in.Budget()+1e-9 {
 		so.pruned.Inc()
 		return fullCandidate{}, 0, false
@@ -105,7 +106,7 @@ func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy float64, so scan
 	denom := hoverE + travelE
 	ratio := math.Inf(1)
 	if denom > 1e-12 {
-		ratio = award / denom
+		ratio = award.F() / denom.F()
 	}
 	return fullCandidate{loc: c, pos: pos, sojourn: sojourn, award: award, travelD: travelD}, ratio, true
 }
@@ -198,11 +199,11 @@ type greedyState struct {
 	tour     tsp.Tour // over hover-set ids, depot always present
 	dist     tsp.Metric
 	inTour   []bool
-	residual []float64 // remaining volume per sensor, MB
+	residual []units.Bits // remaining volume per sensor, MB
 	// stops accumulates accepted stops keyed by hover-set id.
-	sojourns  map[int]float64
-	collected map[int]map[int]float64 // loc → sensor → MB
-	hoverTime float64
+	sojourns  map[int]units.Seconds
+	collected map[int]map[int]units.Bits // loc → sensor → MB
+	hoverTime units.Seconds
 	// rec is the instance's recorder (obs.Discard when uninstrumented);
 	// cAccepted/cUpgraded are its cached accept-path counter handles.
 	rec       obs.Recorder
@@ -217,9 +218,9 @@ func newGreedyState(in *Instance, set *hover.Set) *greedyState {
 		set:       set,
 		tour:      tsp.Tour{Order: []int{hover.DepotID}},
 		inTour:    make([]bool, set.Len()),
-		residual:  make([]float64, len(in.Net.Sensors)),
-		sojourns:  map[int]float64{},
-		collected: map[int]map[int]float64{},
+		residual:  make([]units.Bits, len(in.Net.Sensors)),
+		sojourns:  map[int]units.Seconds{},
+		collected: map[int]map[int]units.Bits{},
 		rec:       rec,
 		cAccepted: rec.Counter(CounterAcceptedStops),
 		cUpgraded: rec.Counter(CounterUpgradedStops),
@@ -227,14 +228,14 @@ func newGreedyState(in *Instance, set *hover.Set) *greedyState {
 	st.dist = func(i, j int) float64 { return set.Dist(i, j) }
 	st.inTour[hover.DepotID] = true
 	for v := range st.residual {
-		st.residual[v] = in.Net.Sensors[v].Data
+		st.residual[v] = units.Bits(in.Net.Sensors[v].Data)
 	}
 	return st
 }
 
 // energy returns the actual energy of the current tour plus hover time.
-func (st *greedyState) energy() float64 {
-	return st.in.Model.TourEnergy(st.tour.Cost(st.dist), st.hoverTime)
+func (st *greedyState) energy() units.Joules {
+	return st.in.Model.TourEnergy(units.Meters(st.tour.Cost(st.dist)), st.hoverTime)
 }
 
 // acceptFull inserts the candidate, drains every still-loaded covered
@@ -245,7 +246,7 @@ func (st *greedyState) acceptFull(c fullCandidate) {
 	st.inTour[c.loc] = true
 	st.sojourns[c.loc] = c.sojourn
 	st.hoverTime += c.sojourn
-	m := map[int]float64{}
+	m := map[int]units.Bits{}
 	for _, v := range st.set.Locs[c.loc].Covered {
 		if st.residual[v] > 0 {
 			m[v] = st.residual[v]
@@ -287,10 +288,10 @@ func (st *greedyState) plan(name string) *Plan {
 		stop := Stop{
 			Pos:     st.set.Locs[id].Pos,
 			LocID:   id,
-			Sojourn: st.sojourns[id],
+			Sojourn: st.sojourns[id].F(),
 		}
 		for v, amt := range st.collected[id] {
-			stop.Collected = append(stop.Collected, Collection{Sensor: v, Amount: amt})
+			stop.Collected = append(stop.Collected, Collection{Sensor: v, Amount: amt.F()})
 		}
 		sortCollections(stop.Collected)
 		p.Stops = append(p.Stops, stop)

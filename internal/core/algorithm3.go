@@ -7,6 +7,7 @@ import (
 	"uavdc/internal/hover"
 	"uavdc/internal/trace"
 	"uavdc/internal/tsp"
+	"uavdc/internal/units"
 )
 
 // Algorithm3 is the heuristic for the partial data-collection maximisation
@@ -37,14 +38,14 @@ type Algorithm3 struct {
 func (a *Algorithm3) Name() string { return "algorithm3" }
 
 type partialCandidate struct {
-	loc     int     // hover-set id
-	pos     int     // insertion position (new bases only)
-	upgrade bool    // true when loc is already in the tour
-	sojourn float64 // new total sojourn at the stop
-	gain    float64 // extra MB collected
-	hoverE  float64 // extra hover energy, J
-	travelE float64 // extra travel energy, J
-	take    map[int]float64
+	loc     int           // hover-set id
+	pos     int           // insertion position (new bases only)
+	upgrade bool          // true when loc is already in the tour
+	sojourn units.Seconds // new total sojourn at the stop
+	gain    units.Bits    // extra MB collected
+	hoverE  units.Joules  // extra hover energy, J
+	travelE units.Joules  // extra travel energy, J
+	take    map[int]units.Bits
 }
 
 // Plan implements Planner.
@@ -164,7 +165,7 @@ func (a *Algorithm3) pickNext(st *greedyState, k int) (partialCandidate, bool) {
 // evalLoc prices every level of one location and returns its best
 // candidate under the total order. so carries the evaluating worker's
 // counter handles.
-func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64, so scanObs) (partialCandidate, float64, bool) {
+func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur units.Joules, so scanObs) (partialCandidate, float64, bool) {
 	so.evalHit(c)
 	in := st.in
 	best := partialCandidate{loc: -1}
@@ -173,7 +174,7 @@ func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64, so scanObs)
 	loc := &st.set.Locs[c]
 	// Residual full-drain time defines this location's level ladder.
 	so.resid.Inc()
-	fullSojourn, fullAward := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, in.Net.Bandwidth)
+	fullSojourn, fullAward := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, units.BitsPerSecond(in.Net.Bandwidth))
 	prevSojourn := st.sojourns[c] // 0 when not in tour
 	already := st.collected[c]
 	if fullAward <= 0 && !st.inTour[c] {
@@ -185,18 +186,18 @@ func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64, so scanObs)
 		pos, travelD = tsp.BestInsertion(st.tour, c, st.dist)
 	}
 	for level := 1; level <= k; level++ {
-		sojourn := float64(level) * fullSojourn / float64(k)
+		sojourn := units.Seconds(float64(level) * fullSojourn.F() / float64(k))
 		if sojourn <= prevSojourn+1e-12 {
 			continue // not an upgrade; paper discards dominated levels
 		}
-		gain, take := partialTake(loc.Covered, st.residual, already, loc.Rates, in.Net.Bandwidth, sojourn)
+		gain, take := partialTake(loc.Covered, st.residual, already, loc.Rates, units.BitsPerSecond(in.Net.Bandwidth), sojourn)
 		if gain <= 1e-12 {
 			continue
 		}
 		hoverE := in.Model.HoverEnergy(sojourn - prevSojourn)
-		travelE := 0.0
+		var travelE units.Joules
 		if !st.inTour[c] {
-			travelE = in.Model.TravelEnergy(travelD)
+			travelE = in.Model.TravelEnergy(units.Meters(travelD))
 		}
 		if cur+hoverE+travelE > budget+1e-9 {
 			so.pruned.Inc()
@@ -205,7 +206,7 @@ func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64, so scanObs)
 		denom := hoverE + travelE
 		ratio := math.Inf(1)
 		if denom > 1e-12 {
-			ratio = gain / denom
+			ratio = gain.F() / denom.F()
 		}
 		cand := partialCandidate{
 			loc:     c,
@@ -229,9 +230,9 @@ func (a *Algorithm3) evalLoc(st *greedyState, k, c int, cur float64, so scanObs)
 // rate_v·sojourn for the whole stay, minus what this stop already took,
 // bounded by the sensor's residual volume. rates is parallel to covered;
 // nil means the constant bandwidth.
-func partialTake(covered []int, residual []float64, already map[int]float64, rates []float64, bandwidth, sojourn float64) (float64, map[int]float64) {
-	var gain float64
-	take := make(map[int]float64, len(covered))
+func partialTake(covered []int, residual []units.Bits, already map[int]units.Bits, rates []units.BitsPerSecond, bandwidth units.BitsPerSecond, sojourn units.Seconds) (units.Bits, map[int]units.Bits) {
+	var gain units.Bits
+	take := make(map[int]units.Bits, len(covered))
 	for i, v := range covered {
 		if residual[v] <= 0 {
 			continue
@@ -240,11 +241,11 @@ func partialTake(covered []int, residual []float64, already map[int]float64, rat
 		if rates != nil {
 			r = rates[i]
 		}
-		room := r*sojourn - already[v]
+		room := units.Transfer(r, sojourn) - already[v]
 		if room <= 0 {
 			continue
 		}
-		amt := math.Min(residual[v], room)
+		amt := units.Min(residual[v], room)
 		if amt > 0 {
 			take[v] = amt
 			gain += amt
@@ -263,7 +264,7 @@ func (st *greedyState) acceptPartial(c partialCandidate) {
 		st.cAccepted.Inc()
 		st.tour = tsp.Insert(st.tour, c.loc, c.pos)
 		st.inTour[c.loc] = true
-		st.collected[c.loc] = map[int]float64{}
+		st.collected[c.loc] = map[int]units.Bits{}
 	}
 	st.hoverTime += c.sojourn - st.sojourns[c.loc]
 	st.sojourns[c.loc] = c.sojourn

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"uavdc/internal/tsp"
+	"uavdc/internal/units"
 )
 
 // BenchmarkCoverage is an ablation baseline that isolates *where* the
@@ -52,7 +53,7 @@ func (b *BenchmarkCoverage) Plan(in *Instance) (*Plan, error) {
 	// removal.
 	for {
 		plan := b.realize(in, tour, r0)
-		if plan.Energy(in.Model) <= in.Budget()+1e-9 {
+		if plan.Energy(in.Model) <= in.Budget().F()+1e-9 {
 			return plan, nil
 		}
 		// Score stops by loss/saving; plan.Stops parallels tour.Order[1:].
@@ -61,12 +62,12 @@ func (b *BenchmarkCoverage) Plan(in *Instance) (*Plan, error) {
 			so.evals.Inc()
 			stop := &plan.Stops[si]
 			_, travelD := tsp.Remove(tour, tour.Order[si+1], dist)
-			saved := in.Model.TravelEnergy(travelD) + in.Model.HoverEnergy(stop.Sojourn)
+			saved := in.Model.TravelEnergy(units.Meters(travelD)) + in.Model.HoverEnergy(units.Seconds(stop.Sojourn))
 			if saved <= 1e-12 {
 				bestIdx = si
 				break
 			}
-			score := stop.CollectedTotal() / saved
+			score := stop.CollectedTotal() / saved.F()
 			if bestIdx < 0 || score < bestScore {
 				bestIdx, bestScore = si, score
 			}
@@ -84,7 +85,7 @@ func (b *BenchmarkCoverage) Plan(in *Instance) (*Plan, error) {
 // realize walks the tour and assigns each sensor to the first stop whose
 // coverage reaches it; sojourns are the residual drain of the assigned
 // sensors.
-func (b *BenchmarkCoverage) realize(in *Instance, tour tsp.Tour, r0 float64) *Plan {
+func (b *BenchmarkCoverage) realize(in *Instance, tour tsp.Tour, r0 units.Meters) *Plan {
 	net := in.Net
 	plan := &Plan{Algorithm: b.Name(), Depot: net.Depot}
 	claimed := make([]bool, len(net.Sensors))
@@ -94,7 +95,7 @@ func (b *BenchmarkCoverage) realize(in *Instance, tour tsp.Tour, r0 float64) *Pl
 		}
 		center := net.Sensors[it-1].Pos
 		stop := Stop{Pos: center, LocID: -1}
-		for _, v := range net.CoveredBy(center, r0) {
+		for _, v := range net.CoveredBy(center, r0.F()) {
 			if claimed[v] {
 				continue
 			}

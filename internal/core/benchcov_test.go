@@ -1,9 +1,13 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"uavdc/internal/units"
+)
 
 func TestBenchmarkCoverageValid(t *testing.T) {
-	for _, capacity := range []float64{5e3, 1.5e4, 1e9} {
+	for _, capacity := range []units.Joules{5e3, 1.5e4, 1e9} {
 		in := mediumInstance(t, 3, capacity)
 		plan, err := (&BenchmarkCoverage{}).Plan(in)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"uavdc/internal/geom"
 	"uavdc/internal/trace"
 	"uavdc/internal/tsp"
+	"uavdc/internal/units"
 )
 
 // BenchmarkPlanner is the evaluation baseline of Section VII-A: build a
@@ -52,9 +53,9 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 	tsp.Improve(&tour, dist, rec)
 	endCon()
 
-	hoverTime := 0.0
+	var hoverTime units.Seconds
 	for v := 0; v < n; v++ {
-		hoverTime += net.UploadTime(v)
+		hoverTime += units.Seconds(net.UploadTime(v))
 	}
 
 	improveEvery := b.ImproveEvery
@@ -63,7 +64,7 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 	}
 	removed := 0
 	endPrune := tr.Begin(SpanPlanBenchPrune)
-	for in.Model.TourEnergy(tour.Cost(dist), hoverTime) > in.Budget()+1e-9 {
+	for in.Model.TourEnergy(units.Meters(tour.Cost(dist)), hoverTime) > in.Budget()+1e-9 {
 		// Find the cheapest-loss removal.
 		bestItem := -1
 		bestScore := 0.0
@@ -74,13 +75,13 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 			so.evals.Inc()
 			v := it - 1
 			_, travelD := tsp.Remove(tour, it, dist)
-			saved := in.Model.TravelEnergy(travelD) + in.Model.HoverEnergy(net.UploadTime(v))
+			saved := in.Model.TravelEnergy(units.Meters(travelD)) + in.Model.HoverEnergy(units.Seconds(net.UploadTime(v)))
 			if saved <= 1e-12 {
 				// Removing frees no energy (duplicate position); always take it.
 				bestItem = it
 				break
 			}
-			score := net.Sensors[v].Data / saved
+			score := net.Sensors[v].Data / saved.F()
 			if bestItem < 0 || score < bestScore {
 				bestItem, bestScore = it, score
 			}
@@ -89,7 +90,7 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 			break // only the depot remains
 		}
 		tour, _ = tsp.Remove(tour, bestItem, dist)
-		hoverTime -= net.UploadTime(bestItem - 1)
+		hoverTime -= units.Seconds(net.UploadTime(bestItem - 1))
 		removals.Inc()
 		tr.Event(EventBenchRemove, trace.Int("item", bestItem))
 		removed++

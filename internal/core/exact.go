@@ -5,6 +5,7 @@ import (
 
 	"uavdc/internal/hover"
 	"uavdc/internal/tsp"
+	"uavdc/internal/units"
 )
 
 // ExactMaxCandidates bounds the instances ExactPlanner accepts: the search
@@ -87,7 +88,7 @@ func (e *ExactPlanner) Plan(in *Instance) (*Plan, error) {
 				claimed[v] = true
 				d := in.Net.Sensors[v].Data
 				stop.Collected = append(stop.Collected, Collection{Sensor: v, Amount: d})
-				if t := d / set.RateAt(id, ci); t > stop.Sojourn {
+				if t := units.TransferTime(units.Bits(d), set.RateAt(id, ci)).F(); t > stop.Sojourn {
 					stop.Sojourn = t
 				}
 				volume += d
@@ -95,7 +96,7 @@ func (e *ExactPlanner) Plan(in *Instance) (*Plan, error) {
 			hoverTime += stop.Sojourn
 			plan.Stops = append(plan.Stops, stop)
 		}
-		energy := in.Model.TourEnergy(tourLen, hoverTime)
+		energy := in.Model.TourEnergy(units.Meters(tourLen), units.Seconds(hoverTime))
 		if energy > in.Budget()+1e-9 {
 			continue
 		}

@@ -6,11 +6,12 @@ import (
 	"uavdc/internal/energy"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 // oracleInstance is small enough for ExactPlanner: few sensors, coarse
 // grid, so the candidate count stays under ExactMaxCandidates.
-func oracleInstance(t testing.TB, seed uint64, capacity float64) *Instance {
+func oracleInstance(t testing.TB, seed uint64, capacity units.Joules) *Instance {
 	t.Helper()
 	p := sensornet.DefaultGenParams()
 	p.NumSensors = 10
@@ -23,7 +24,7 @@ func oracleInstance(t testing.TB, seed uint64, capacity float64) *Instance {
 }
 
 func TestExactPlannerValid(t *testing.T) {
-	for _, capacity := range []float64{2e3, 5e3, 2e4} {
+	for _, capacity := range []units.Joules{2e3, 5e3, 2e4} {
 		in := oracleInstance(t, 1, capacity)
 		plan, err := (&ExactPlanner{}).Plan(in)
 		if err != nil {
@@ -48,7 +49,7 @@ func TestExactPlannerRejectsLargeInstances(t *testing.T) {
 func TestHeuristicsNearOptimal(t *testing.T) {
 	var optSum, a1Sum, a2Sum, a3Sum float64
 	for seed := uint64(1); seed <= 6; seed++ {
-		for _, capacity := range []float64{4e3, 8e3} {
+		for _, capacity := range []units.Joules{4e3, 8e3} {
 			in := oracleInstance(t, seed, capacity)
 			opt, err := (&ExactPlanner{}).Plan(in)
 			if err != nil {

@@ -8,6 +8,7 @@ import (
 	"uavdc/internal/obs"
 	"uavdc/internal/radio"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 // Instance bundles everything a planner needs: the network, the UAV energy
@@ -18,11 +19,11 @@ type Instance struct {
 	// Model is the UAV energy model; Model.Capacity is the budget E.
 	Model energy.Model
 	// Delta is the grid square edge length δ in metres.
-	Delta float64
+	Delta units.Meters
 	// CoverRadius is R0 in metres; 0 means "use Net.CommRange" (the
 	// paper's experiments set R0 directly to the node range, i.e. an
 	// altitude-0 abstraction).
-	CoverRadius float64
+	CoverRadius units.Meters
 	// K is the sojourn partition granularity for Algorithm 3 (≥ 1).
 	// Planners that do not support partial collection ignore it.
 	K int
@@ -30,7 +31,7 @@ type Instance struct {
 	// paper's ground-level abstraction; a positive value shrinks the
 	// effective coverage radius to sqrt(R²−H²) when CoverRadius is 0 and
 	// lengthens the uplink slant paths when Radio is set.
-	Altitude float64
+	Altitude units.Meters
 	// Radio is the uplink rate model; nil is the paper's constant
 	// bandwidth B.
 	Radio radio.Model
@@ -65,7 +66,7 @@ func (in *Instance) Validate() error {
 	if in.Altitude < 0 {
 		return fmt.Errorf("core: negative altitude %v", in.Altitude)
 	}
-	if in.Altitude > in.Net.CommRange {
+	if in.Altitude.F() > in.Net.CommRange {
 		return fmt.Errorf("core: altitude %v exceeds transmission range %v", in.Altitude, in.Net.CommRange)
 	}
 	if v := in.Model.VerticalOverhead(in.Altitude); v > in.Model.Capacity {
@@ -78,22 +79,22 @@ func (in *Instance) Validate() error {
 // battery capacity minus the fixed ascent/descent overhead at the
 // instance's altitude (zero under the paper's free-altitude model). All
 // planners budget against this value.
-func (in *Instance) Budget() float64 {
+func (in *Instance) Budget() units.Joules {
 	return in.Model.Capacity - in.Model.VerticalOverhead(in.Altitude)
 }
 
 // EffectiveCoverRadius resolves the R0 actually used.
-func (in *Instance) EffectiveCoverRadius() float64 {
+func (in *Instance) EffectiveCoverRadius() units.Meters {
 	if in.CoverRadius > 0 {
 		return in.CoverRadius
 	}
 	if in.Altitude > 0 {
-		r0, err := hover.CoverageRadius(in.Net.CommRange, in.Altitude)
+		r0, err := hover.CoverageRadius(units.Meters(in.Net.CommRange), in.Altitude)
 		if err == nil {
 			return r0
 		}
 	}
-	return in.Net.CommRange
+	return units.Meters(in.Net.CommRange)
 }
 
 // Physics bundles the coverage and uplink model a plan is validated

@@ -5,6 +5,7 @@ import (
 
 	"uavdc/internal/hover"
 	"uavdc/internal/tsp"
+	"uavdc/internal/units"
 )
 
 // LNSPlanner wraps a base planner (Algorithm 3 by default) in a
@@ -127,12 +128,12 @@ func rebuildState(in *Instance, set *hover.Set, p *Plan, frac float64, rng *rand
 		pos, _ := tsp.BestInsertion(st.tour, id, st.dist)
 		st.tour = tsp.Insert(st.tour, id, pos)
 		st.inTour[id] = true
-		st.sojourns[id] = stop.Sojourn
-		st.hoverTime += stop.Sojourn
-		ledger := map[int]float64{}
+		st.sojourns[id] = units.Seconds(stop.Sojourn)
+		st.hoverTime += units.Seconds(stop.Sojourn)
+		ledger := map[int]units.Bits{}
 		for _, c := range stop.Collected {
-			ledger[c.Sensor] += c.Amount
-			st.residual[c.Sensor] -= c.Amount
+			ledger[c.Sensor] += units.Bits(c.Amount)
+			st.residual[c.Sensor] -= units.Bits(c.Amount)
 			if st.residual[c.Sensor] < 0 {
 				st.residual[c.Sensor] = 0
 			}

@@ -20,6 +20,7 @@ import (
 	"uavdc/internal/geom"
 	"uavdc/internal/radio"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 // Collection records data taken from one sensor at one stop.
@@ -84,14 +85,16 @@ func (p *Plan) HoverTime() float64 {
 	return sum
 }
 
-// Energy returns the plan's total energy demand under em, in J.
+// Energy returns the plan's total energy demand under em, in J. Plan and
+// its methods are a typed-world boundary: they speak plain float64 for
+// the exporters, validators, and simulators that consume plans.
 func (p *Plan) Energy(em energy.Model) float64 {
-	return em.TourEnergy(p.FlightDistance(), p.HoverTime())
+	return em.TourEnergy(units.Meters(p.FlightDistance()), units.Seconds(p.HoverTime())).F()
 }
 
 // Duration returns the mission time T = T_t + T_h in seconds.
 func (p *Plan) Duration(em energy.Model) float64 {
-	return em.TravelTime(p.FlightDistance()) + p.HoverTime()
+	return em.TravelTime(units.Meters(p.FlightDistance())).F() + p.HoverTime()
 }
 
 // Collected returns the total gathered volume in MB, summed over stops.
@@ -127,23 +130,23 @@ const energyTolerance = 1e-6
 // the projected coverage radius R0, the hovering altitude H, and the
 // uplink rate model (nil = the network's constant bandwidth B).
 type Physics struct {
-	CoverRadius float64
-	Altitude    float64
+	CoverRadius units.Meters
+	Altitude    units.Meters
 	Radio       radio.Model
 }
 
 // rateFor returns the uplink rate for a sensor at ground distance d from
 // the hovering position.
-func (ph Physics) rateFor(net *sensornet.Network, groundDist float64) float64 {
+func (ph Physics) rateFor(net *sensornet.Network, groundDist units.Meters) units.BitsPerSecond {
 	if ph.Radio == nil {
-		return net.Bandwidth
+		return units.BitsPerSecond(net.Bandwidth)
 	}
 	return ph.Radio.Rate(radio.SlantDist(groundDist, ph.Altitude))
 }
 
 // ValidatePlan independently re-checks a plan against the paper's constant-
 // bandwidth physical model; see ValidatePlanPhysics for the general form.
-func ValidatePlan(net *sensornet.Network, em energy.Model, coverRadius float64, p *Plan) error {
+func ValidatePlan(net *sensornet.Network, em energy.Model, coverRadius units.Meters, p *Plan) error {
 	return ValidatePlanPhysics(net, em, Physics{CoverRadius: coverRadius}, p)
 }
 
@@ -171,7 +174,7 @@ func ValidatePlanPhysics(net *sensornet.Network, em energy.Model, ph Physics, p 
 	if coverRadius <= 0 {
 		return fmt.Errorf("core: cover radius must be positive, got %v", coverRadius)
 	}
-	if got := p.Energy(em) + em.VerticalOverhead(ph.Altitude); got > em.Capacity+energyTolerance+1e-9*em.Capacity {
+	if got := p.Energy(em) + em.VerticalOverhead(ph.Altitude).F(); got > em.Capacity.F()+energyTolerance+1e-9*em.Capacity.F() {
 		return fmt.Errorf("core: plan energy %.3f J (incl. vertical overhead) exceeds capacity %.3f J", got, em.Capacity)
 	}
 	perSensor := make([]float64, len(net.Sensors))
@@ -195,11 +198,11 @@ func ValidatePlanPhysics(net *sensornet.Network, em energy.Model, ph Physics, p 
 			if c.Amount < 0 || math.IsNaN(c.Amount) {
 				return fmt.Errorf("core: stop %d sensor %d invalid amount %v", si, c.Sensor, c.Amount)
 			}
-			d := net.Sensors[c.Sensor].Pos.Dist(stop.Pos)
+			d := units.Meters(net.Sensors[c.Sensor].Pos.Dist(stop.Pos))
 			if d > coverRadius+1e-9 {
 				return fmt.Errorf("core: stop %d collects from sensor %d at distance %.3f > R0 %.3f", si, c.Sensor, d, coverRadius)
 			}
-			if limit := ph.rateFor(net, d) * stop.Sojourn; c.Amount > limit+volumeTolerance {
+			if limit := units.Transfer(ph.rateFor(net, d), units.Seconds(stop.Sojourn)).F(); c.Amount > limit+volumeTolerance {
 				return fmt.Errorf("core: stop %d sensor %d amount %.6f exceeds rate×sojourn %.6f", si, c.Sensor, c.Amount, limit)
 			}
 			perSensor[c.Sensor] += c.Amount

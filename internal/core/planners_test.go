@@ -10,11 +10,12 @@ import (
 	"uavdc/internal/orienteering"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 // mediumInstance builds a reduced-scale version of the paper's setting:
 // same densities and data distribution, smaller region so tests stay fast.
-func mediumInstance(t testing.TB, seed uint64, capacity float64) *Instance {
+func mediumInstance(t testing.TB, seed uint64, capacity units.Joules) *Instance {
 	t.Helper()
 	p := sensornet.DefaultGenParams()
 	p.NumSensors = 60
@@ -51,7 +52,7 @@ func TestInstanceValidate(t *testing.T) {
 		"bad radius":     func(i *Instance) { i.CoverRadius = -1 },
 		"negative K":     func(i *Instance) { i.K = -1 },
 		"bad model":      func(i *Instance) { i.Model = energy.Model{} },
-		"bad capacity":   func(i *Instance) { i.Model.Capacity = math.Inf(1) },
+		"bad capacity":   func(i *Instance) { i.Model.Capacity = units.Joules(math.Inf(1)) },
 		"broken network": func(i *Instance) { i.Net.Bandwidth = 0 },
 	}
 	for _, name := range slices.Sorted(maps.Keys(cases)) {
@@ -76,7 +77,7 @@ func TestInstanceValidate(t *testing.T) {
 // independent validator.
 func TestAllPlannersProduceValidPlans(t *testing.T) {
 	for _, seed := range []uint64{1, 2, 3} {
-		for _, capacity := range []float64{3e4, 1e5, 3e5} {
+		for _, capacity := range []units.Joules{3e4, 1e5, 3e5} {
 			in := mediumInstance(t, seed, capacity)
 			for _, pl := range allPlanners() {
 				plan, err := pl.Plan(in)
@@ -99,7 +100,7 @@ func TestPlannersCollectMoreWithMoreEnergy(t *testing.T) {
 	// Greedy heuristics are not theoretically monotone; allow 2% slack.
 	for _, pl := range allPlanners() {
 		prev := -1.0
-		for _, capacity := range []float64{5e4, 1.5e5, 4e5} {
+		for _, capacity := range []units.Joules{5e4, 1.5e5, 4e5} {
 			in := mediumInstance(t, 7, capacity)
 			plan, err := pl.Plan(in)
 			if err != nil {
@@ -320,7 +321,7 @@ func TestBenchmarkPrunesToBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := plan.Energy(in.Model); got > in.Model.Capacity+1e-6 {
+	if got := plan.Energy(in.Model); got > in.Model.Capacity.F()+1e-6 {
 		t.Errorf("benchmark plan energy %v exceeds capacity %v", got, in.Model.Capacity)
 	}
 	// Each benchmark stop collects exactly its own sensor.

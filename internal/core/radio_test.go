@@ -4,16 +4,17 @@ import (
 	"testing"
 
 	"uavdc/internal/radio"
+	"uavdc/internal/units"
 )
 
 // radioInstance is mediumInstance with the constant-rate assumption
 // removed: the UAV hovers at 30 m and rates follow Shannon capacity over
 // free-space loss.
-func radioInstance(t testing.TB, seed uint64, capacity float64) *Instance {
+func radioInstance(t testing.TB, seed uint64, capacity units.Joules) *Instance {
 	t.Helper()
 	in := mediumInstance(t, seed, capacity)
 	in.Altitude = 30
-	in.Radio = radio.Shannon{RefRate: in.Net.Bandwidth, RefDist: 30, RefSNR: 100, PathLossExp: 2.7}
+	in.Radio = radio.Shannon{RefRate: units.BitsPerSecond(in.Net.Bandwidth), RefDist: 30, RefSNR: 100, PathLossExp: 2.7}
 	return in
 }
 
@@ -66,7 +67,7 @@ func TestRadioModelCostsVolume(t *testing.T) {
 func TestConstantRadioMatchesNoRadio(t *testing.T) {
 	plain := mediumInstance(t, 8, 3e4)
 	constant := mediumInstance(t, 8, 3e4)
-	constant.Radio = radio.Constant{B: constant.Net.Bandwidth}
+	constant.Radio = radio.Constant{B: units.BitsPerSecond(constant.Net.Bandwidth)}
 	p1, err := (&Algorithm3{}).Plan(plain)
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +89,7 @@ func TestInstanceAltitudeValidation(t *testing.T) {
 		t.Error("negative altitude accepted")
 	}
 	in = mediumInstance(t, 1, 1e4)
-	in.Altitude = in.Net.CommRange + 1
+	in.Altitude = units.Meters(in.Net.CommRange + 1)
 	if in.Validate() == nil {
 		t.Error("altitude above range accepted")
 	}

@@ -47,7 +47,7 @@ func RefinePlan(in *Instance, plan *Plan) *Plan {
 			return false
 		}
 		for _, c := range collected {
-			if in.Net.Sensors[c.Sensor].Pos.Dist(p) > r0 {
+			if in.Net.Sensors[c.Sensor].Pos.Dist(p) > r0.F() {
 				return false
 			}
 		}

@@ -10,6 +10,7 @@ import (
 	"uavdc/internal/hover"
 	"uavdc/internal/obs"
 	"uavdc/internal/trace"
+	"uavdc/internal/units"
 )
 
 // ResidualState is a mission snapshot the adaptive executor hands to the
@@ -24,10 +25,10 @@ type ResidualState struct {
 	// flight along the replanned path plus hovers. The caller is
 	// responsible for already having reserved any fixed overhead
 	// (descent, safety margin) before passing the budget.
-	Budget float64
+	Budget units.Joules
 	// Residual is the remaining volume per sensor in MB, indexed like the
 	// network's sensor slice. Sensors at 0 are skipped.
-	Residual []float64
+	Residual []units.Bits
 	// K is the sojourn partition granularity (Algorithm 3's virtual
 	// levels); K ≤ 1 plans full drains only (Algorithm 2 behaviour).
 	K int
@@ -63,15 +64,15 @@ func ReplanResidual(in *Instance, state ResidualState) (*Plan, error) {
 		return nil, fmt.Errorf("core: residual has %d entries for %d sensors", len(state.Residual), len(in.Net.Sensors))
 	}
 	for v, r := range state.Residual {
-		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		if r < 0 || math.IsNaN(r.F()) || math.IsInf(r.F(), 0) {
 			return nil, fmt.Errorf("core: invalid residual %v for sensor %d", r, v)
 		}
 	}
-	if math.IsNaN(state.Budget) || math.IsInf(state.Budget, 0) {
+	if math.IsNaN(state.Budget.F()) || math.IsInf(state.Budget.F(), 0) {
 		return nil, fmt.Errorf("core: invalid budget %v", state.Budget)
 	}
 	tr := in.tracer()
-	endPlan := tr.Begin(SpanPlanReplan, trace.Num("budget_j", state.Budget))
+	endPlan := tr.Begin(SpanPlanReplan, trace.Num("budget_j", state.Budget.F()))
 	set, err := in.buildCandidates(hover.Options{})
 	if err != nil {
 		endPlan()
@@ -112,12 +113,12 @@ type pathState struct {
 	pathLen  float64
 	inPath   []bool
 	excluded []bool
-	residual []float64
-	budget   float64
+	residual []units.Bits
+	budget   units.Joules
 	// per-location ledgers, keyed by hover-set id.
-	sojourns  map[int]float64
-	collected map[int]map[int]float64
-	hoverTime float64
+	sojourns  map[int]units.Seconds
+	collected map[int]map[int]units.Bits
+	hoverTime units.Seconds
 	rec       obs.Recorder
 	cAccepted obs.Counter
 	cUpgraded obs.Counter
@@ -133,10 +134,10 @@ func newPathState(in *Instance, set *hover.Set, state ResidualState) *pathState 
 		pathLen:   state.Pos.Dist(in.Net.Depot),
 		inPath:    make([]bool, set.Len()),
 		excluded:  make([]bool, set.Len()),
-		residual:  append([]float64(nil), state.Residual...),
+		residual:  append([]units.Bits(nil), state.Residual...),
 		budget:    state.Budget,
-		sojourns:  map[int]float64{},
-		collected: map[int]map[int]float64{},
+		sojourns:  map[int]units.Seconds{},
+		collected: map[int]map[int]units.Bits{},
 		rec:       rec,
 		cAccepted: rec.Counter(CounterAcceptedStops),
 		cUpgraded: rec.Counter(CounterUpgradedStops),
@@ -164,8 +165,8 @@ func (st *pathState) node(i int) geom.Point {
 }
 
 // energy returns the nominal energy of the current path plus hovers.
-func (st *pathState) energy() float64 {
-	return st.in.Model.TourEnergy(st.pathLen, st.hoverTime)
+func (st *pathState) energy() units.Joules {
+	return st.in.Model.TourEnergy(units.Meters(st.pathLen), st.hoverTime)
 }
 
 // bestInsertion returns the cheapest insertion slot for location c: the
@@ -193,10 +194,10 @@ type pathCandidate struct {
 	loc     int
 	pos     int
 	upgrade bool
-	sojourn float64
-	gain    float64
+	sojourn units.Seconds
+	gain    units.Bits
 	travelD float64
-	take    map[int]float64
+	take    map[int]units.Bits
 }
 
 // betterPath is the strict total order merging parallel scans: higher
@@ -220,7 +221,7 @@ func betterPath(c1 pathCandidate, r1 float64, c2 pathCandidate, r2 float64) bool
 
 // evalLoc prices every level of one location against the path, returning
 // its best candidate under the total order.
-func (st *pathState) evalLoc(k, c int, cur float64, so scanObs) (pathCandidate, float64, bool) {
+func (st *pathState) evalLoc(k, c int, cur units.Joules, so scanObs) (pathCandidate, float64, bool) {
 	best := pathCandidate{loc: -1}
 	if st.excluded[c] {
 		return best, -1, false
@@ -230,7 +231,7 @@ func (st *pathState) evalLoc(k, c int, cur float64, so scanObs) (pathCandidate, 
 	bestRatio := -1.0
 	loc := &st.set.Locs[c]
 	so.resid.Inc()
-	fullSojourn, fullAward := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, in.Net.Bandwidth)
+	fullSojourn, fullAward := hover.ResidualDrain(loc.Covered, st.residual, loc.Rates, units.BitsPerSecond(in.Net.Bandwidth))
 	prevSojourn := st.sojourns[c]
 	already := st.collected[c]
 	if fullAward <= 0 && !st.inPath[c] {
@@ -242,18 +243,18 @@ func (st *pathState) evalLoc(k, c int, cur float64, so scanObs) (pathCandidate, 
 		pos, travelD = st.bestInsertion(c)
 	}
 	for level := 1; level <= k; level++ {
-		sojourn := float64(level) * fullSojourn / float64(k)
+		sojourn := units.Seconds(float64(level) * fullSojourn.F() / float64(k))
 		if sojourn <= prevSojourn+1e-12 {
 			continue
 		}
-		gain, take := partialTake(loc.Covered, st.residual, already, loc.Rates, in.Net.Bandwidth, sojourn)
+		gain, take := partialTake(loc.Covered, st.residual, already, loc.Rates, units.BitsPerSecond(in.Net.Bandwidth), sojourn)
 		if gain <= 1e-12 {
 			continue
 		}
 		hoverE := in.Model.HoverEnergy(sojourn - prevSojourn)
-		travelE := 0.0
+		var travelE units.Joules
 		if !st.inPath[c] {
-			travelE = in.Model.TravelEnergy(travelD)
+			travelE = in.Model.TravelEnergy(units.Meters(travelD))
 		}
 		if cur+hoverE+travelE > st.budget+1e-9 {
 			so.pruned.Inc()
@@ -262,7 +263,7 @@ func (st *pathState) evalLoc(k, c int, cur float64, so scanObs) (pathCandidate, 
 		denom := hoverE + travelE
 		ratio := math.Inf(1)
 		if denom > 1e-12 {
-			ratio = gain / denom
+			ratio = gain.F() / denom.F()
 		}
 		cand := pathCandidate{
 			loc:     c,
@@ -351,7 +352,7 @@ func (st *pathState) accept(c pathCandidate) {
 		st.order[c.pos] = c.loc
 		st.inPath[c.loc] = true
 		st.pathLen += c.travelD
-		st.collected[c.loc] = map[int]float64{}
+		st.collected[c.loc] = map[int]units.Bits{}
 	}
 	st.hoverTime += c.sojourn - st.sojourns[c.loc]
 	st.sojourns[c.loc] = c.sojourn
@@ -407,10 +408,10 @@ func (st *pathState) plan() *Plan {
 		stop := Stop{
 			Pos:     st.set.Locs[id].Pos,
 			LocID:   id,
-			Sojourn: st.sojourns[id],
+			Sojourn: st.sojourns[id].F(),
 		}
 		for v, amt := range st.collected[id] {
-			stop.Collected = append(stop.Collected, Collection{Sensor: v, Amount: amt})
+			stop.Collected = append(stop.Collected, Collection{Sensor: v, Amount: amt.F()})
 		}
 		sortCollections(stop.Collected)
 		p.Stops = append(p.Stops, stop)
@@ -422,12 +423,12 @@ func (st *pathState) plan() *Plan {
 // open path from `from` to the plan's depot: travel along
 // from → stops → depot plus every hover. It is the accounting AdaptiveRun
 // rebases its deviation margin against after a replan.
-func (p *Plan) PathEnergy(em energy.Model, from geom.Point) float64 {
-	e := 0.0
+func (p *Plan) PathEnergy(em energy.Model, from geom.Point) units.Joules {
+	var e units.Joules
 	pos := from
 	for i := range p.Stops {
-		e += em.TravelEnergy(pos.Dist(p.Stops[i].Pos)) + em.HoverEnergy(p.Stops[i].Sojourn)
+		e += em.TravelEnergy(units.Meters(pos.Dist(p.Stops[i].Pos))) + em.HoverEnergy(units.Seconds(p.Stops[i].Sojourn))
 		pos = p.Stops[i].Pos
 	}
-	return e + em.TravelEnergy(pos.Dist(p.Depot))
+	return e + em.TravelEnergy(units.Meters(pos.Dist(p.Depot)))
 }

@@ -6,17 +6,18 @@ import (
 
 	"uavdc/internal/geom"
 	"uavdc/internal/obs"
+	"uavdc/internal/units"
 )
 
 // residualAfter subtracts a prefix's collections from the full volumes.
-func residualAfter(in *Instance, p *Plan, executed int) []float64 {
-	res := make([]float64, len(in.Net.Sensors))
+func residualAfter(in *Instance, p *Plan, executed int) []units.Bits {
+	res := make([]units.Bits, len(in.Net.Sensors))
 	for v := range res {
-		res[v] = in.Net.Sensors[v].Data
+		res[v] = units.Bits(in.Net.Sensors[v].Data)
 	}
 	for i := 0; i < executed && i < len(p.Stops); i++ {
 		for _, c := range p.Stops[i].Collected {
-			res[c.Sensor] -= c.Amount
+			res[c.Sensor] -= units.Bits(c.Amount)
 			if res[c.Sensor] < 0 {
 				res[c.Sensor] = 0
 			}
@@ -50,12 +51,12 @@ func TestReplanResidualRespectsBudgetAndEndsAtDepot(t *testing.T) {
 	}
 	// The open path's nominal energy must fit the residual budget.
 	if got := rp.PathEnergy(in.Model, pos); got > budget+1e-6 {
-		t.Errorf("replanned path needs %.3f J, budget %.3f J", got, budget)
+		t.Errorf("replanned path needs %.3f J, budget %.3f J", got.F(), budget.F())
 	}
 	// Collections only from residual volumes.
 	per := rp.CollectedBySensor(len(in.Net.Sensors))
 	for v, amt := range per {
-		if amt > state.Residual[v]+1e-9 {
+		if units.Bits(amt) > state.Residual[v]+1e-9 {
 			t.Errorf("sensor %d: replanned %v MB, residual %v MB", v, amt, state.Residual[v])
 		}
 	}
@@ -113,16 +114,16 @@ func TestReplanResidualExcludePredicate(t *testing.T) {
 
 func TestReplanResidualValidatesInput(t *testing.T) {
 	in := mediumInstance(t, 1, 1e4)
-	if _, err := ReplanResidual(in, ResidualState{Pos: in.Net.Depot, Budget: 1, Residual: []float64{1}}); err == nil {
+	if _, err := ReplanResidual(in, ResidualState{Pos: in.Net.Depot, Budget: 1, Residual: []units.Bits{1}}); err == nil {
 		t.Error("accepted residual of wrong length")
 	}
 	bad := residualAfter(in, &Plan{}, 0)
-	bad[0] = math.NaN()
+	bad[0] = units.Bits(math.NaN())
 	if _, err := ReplanResidual(in, ResidualState{Pos: in.Net.Depot, Budget: 1, Residual: bad}); err == nil {
 		t.Error("accepted NaN residual")
 	}
 	good := residualAfter(in, &Plan{}, 0)
-	if _, err := ReplanResidual(in, ResidualState{Pos: in.Net.Depot, Budget: math.Inf(1), Residual: good}); err == nil {
+	if _, err := ReplanResidual(in, ResidualState{Pos: in.Net.Depot, Budget: units.Joules(math.Inf(1)), Residual: good}); err == nil {
 		t.Error("accepted infinite budget")
 	}
 }

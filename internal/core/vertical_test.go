@@ -4,10 +4,11 @@ import (
 	"testing"
 
 	"uavdc/internal/energy"
+	"uavdc/internal/units"
 )
 
 // verticalModel is the paper's UAV with a 200 W / 3 m/s vertical component.
-func verticalModel(capacity float64) energy.Model {
+func verticalModel(capacity units.Joules) energy.Model {
 	m := energy.Default().WithCapacity(capacity)
 	m.ClimbPower = 200
 	m.ClimbRate = 3

@@ -3,6 +3,8 @@ package energy
 import (
 	"math"
 	"testing"
+
+	"uavdc/internal/units"
 )
 
 func TestDefaultMatchesPaper(t *testing.T) {
@@ -15,27 +17,51 @@ func TestDefaultMatchesPaper(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsBadModels is the table-driven sweep over every way a
+// model can be unphysical: zero or negative powers and speeds, NaN in any
+// field, ±Inf in any field, and the ClimbPower/ClimbRate must-be-set-
+// together pairing.
 func TestValidateRejectsBadModels(t *testing.T) {
-	good := Default()
-	cases := []func(Model) Model{
-		func(m Model) Model { m.HoverPower = 0; return m },
-		func(m Model) Model { m.HoverPower = -1; return m },
-		func(m Model) Model { m.HoverPower = math.Inf(1); return m },
-		func(m Model) Model { m.TravelPower = 0; return m },
-		func(m Model) Model { m.Speed = 0; return m },
-		func(m Model) Model { m.Speed = math.NaN(); return m },
-		func(m Model) Model { m.Capacity = -5; return m },
-		func(m Model) Model { m.Capacity = math.Inf(1); return m },
+	cases := []struct {
+		name string
+		mut  func(Model) Model
+	}{
+		{"zero hover power", func(m Model) Model { m.HoverPower = 0; return m }},
+		{"negative hover power", func(m Model) Model { m.HoverPower = -1; return m }},
+		{"+Inf hover power", func(m Model) Model { m.HoverPower = units.Watts(math.Inf(1)); return m }},
+		{"NaN hover power", func(m Model) Model { m.HoverPower = units.Watts(math.NaN()); return m }},
+		{"zero travel power", func(m Model) Model { m.TravelPower = 0; return m }},
+		{"-Inf travel power", func(m Model) Model { m.TravelPower = units.Watts(math.Inf(-1)); return m }},
+		{"NaN travel power", func(m Model) Model { m.TravelPower = units.Watts(math.NaN()); return m }},
+		{"zero speed", func(m Model) Model { m.Speed = 0; return m }},
+		{"NaN speed", func(m Model) Model { m.Speed = units.MetersPerSecond(math.NaN()); return m }},
+		{"+Inf speed", func(m Model) Model { m.Speed = units.MetersPerSecond(math.Inf(1)); return m }},
+		{"negative capacity", func(m Model) Model { m.Capacity = -5; return m }},
+		{"+Inf capacity", func(m Model) Model { m.Capacity = units.Joules(math.Inf(1)); return m }},
+		{"NaN capacity", func(m Model) Model { m.Capacity = units.Joules(math.NaN()); return m }},
+		{"negative climb power", func(m Model) Model { m.ClimbPower = -1; return m }},
+		{"negative climb rate", func(m Model) Model { m.ClimbRate = -1; return m }},
+		{"climb power without rate", func(m Model) Model { m.ClimbPower = 100; return m }},
+		{"climb rate without power", func(m Model) Model { m.ClimbRate = 3; return m }},
+		{"NaN climb power", func(m Model) Model { m.ClimbPower = units.Watts(math.NaN()); return m }},
+		{"+Inf climb rate", func(m Model) Model { m.ClimbRate = units.MetersPerSecond(math.Inf(1)); return m }},
+		{"NaN climb rate", func(m Model) Model { m.ClimbRate = units.MetersPerSecond(math.NaN()); return m }},
 	}
-	for i, mut := range cases {
-		if err := mut(good).Validate(); err == nil {
-			t.Errorf("case %d: bad model accepted", i)
+	for _, c := range cases {
+		if err := c.mut(Default()).Validate(); err == nil {
+			t.Errorf("%s: bad model accepted", c.name)
 		}
 	}
-	zero := good
+	zero := Default()
 	zero.Capacity = 0 // an empty battery is a valid (if sad) state
 	if err := zero.Validate(); err != nil {
 		t.Errorf("zero capacity rejected: %v", err)
+	}
+	climbing := Default()
+	climbing.ClimbPower = 200
+	climbing.ClimbRate = 4
+	if err := climbing.Validate(); err != nil {
+		t.Errorf("paired climb model rejected: %v", err)
 	}
 }
 
@@ -102,18 +128,25 @@ func TestClimbEnergy(t *testing.T) {
 	}
 }
 
-func TestClimbValidation(t *testing.T) {
-	cases := []func(Model) Model{
-		func(m Model) Model { m.ClimbPower = -1; return m },
-		func(m Model) Model { m.ClimbRate = -1; return m },
-		func(m Model) Model { m.ClimbPower = 100; return m },        // rate missing
-		func(m Model) Model { m.ClimbRate = 3; return m },           // power missing
-		func(m Model) Model { m.ClimbPower = math.NaN(); return m }, // NaN
-		func(m Model) Model { m.ClimbRate = math.Inf(1); return m }, // Inf
+// TestClimbEnergySymmetry pins the documented modelling choice: the descent
+// is priced by the same ClimbPower·h/ClimbRate expression as the ascent, so
+// VerticalOverhead is exactly twice one transition at any altitude —
+// including awkward ones where the division is inexact.
+func TestClimbEnergySymmetry(t *testing.T) {
+	m := Default()
+	m.ClimbPower = 137.7
+	m.ClimbRate = 2.3
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
 	}
-	for i, mut := range cases {
-		if err := mut(Default()).Validate(); err == nil {
-			t.Errorf("case %d accepted", i)
+	for _, h := range []units.Meters{0.1, 7.77, 20, 33.3, 151.5} {
+		up := m.ClimbEnergy(h)
+		down := m.ClimbEnergy(h) // simulate prices the descent with this same call
+		if math.Float64bits(up.F()) != math.Float64bits(down.F()) {
+			t.Errorf("ClimbEnergy(%v) not symmetric: %v vs %v", h, up, down)
+		}
+		if got, want := m.VerticalOverhead(h), up+down; math.Float64bits(got.F()) != math.Float64bits(want.F()) {
+			t.Errorf("VerticalOverhead(%v) = %v, want up+down = %v", h, got, want)
 		}
 	}
 }

@@ -12,13 +12,14 @@ import (
 	"uavdc/internal/radio"
 	"uavdc/internal/sensornet"
 	"uavdc/internal/simulate"
+	"uavdc/internal/units"
 )
 
 // shannonInstance mirrors ExtAltitude's Shannon series instance.
 func shannonInstance(cfg Config, net *sensornet.Network, altitude float64) *core.Instance {
 	return &core.Instance{
-		Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 1, Altitude: altitude,
-		Radio: radio.Shannon{RefRate: net.Bandwidth, RefDist: 10, RefSNR: 100, PathLossExp: 2.7},
+		Net: net, Model: cfg.Model, Delta: units.Meters(cfg.Delta), K: 1, Altitude: units.Meters(altitude),
+		Radio: radio.Shannon{RefRate: units.BitsPerSecond(net.Bandwidth), RefDist: 10, RefSNR: 100, PathLossExp: 2.7},
 	}
 }
 
@@ -68,7 +69,7 @@ func figureParityCells(t *testing.T, fig string, cfg Config, nets []*sensornet.N
 	case "ext-altitude":
 		altitudes := []float64{0, 10, 20, 30, 40}
 		add("constant-B", &core.Algorithm2{}, func(net *sensornet.Network, x float64) *core.Instance {
-			return &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 1, Altitude: x}
+			return &core.Instance{Net: net, Model: cfg.Model, Delta: units.Meters(cfg.Delta), K: 1, Altitude: units.Meters(x)}
 		}, altitudes)
 		// The driver's Shannon series uses a per-network radio model; build
 		// it the same way.
@@ -93,7 +94,7 @@ func figureParityCells(t *testing.T, fig string, cfg Config, nets []*sensornet.N
 		for _, strat := range []multi.Strategy{multi.StrategyKMeans, multi.StrategySweep} {
 			for _, size := range []int{1, 2, 3, 4} {
 				for ni, net := range nets {
-					in := &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 2}
+					in := &core.Instance{Net: net, Model: cfg.Model, Delta: units.Meters(cfg.Delta), K: 2}
 					fp, err := multi.PlanFleet(in, multi.Options{
 						Fleet: size, Strategy: strat, Seed: cfg.Seed,
 					})
@@ -116,15 +117,15 @@ func figureParityCells(t *testing.T, fig string, cfg Config, nets []*sensornet.N
 			for ni, net := range nets {
 				in := &core.Instance{
 					Net:   net,
-					Model: cfg.Model.WithCapacity(cfg.Model.Capacity * (1 - margin)),
-					Delta: cfg.Delta,
+					Model: cfg.Model.WithCapacity(units.Scale(cfg.Model.Capacity, 1-margin)),
+					Delta: units.Meters(cfg.Delta),
 					K:     2,
 				}
 				plan, err := (&core.Algorithm3{}).Plan(in)
 				if err != nil {
 					t.Fatalf("%s margin=%v net=%d: %v", fig, margin, ni, err)
 				}
-				exec := &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 2}
+				exec := &core.Instance{Net: net, Model: cfg.Model, Delta: units.Meters(cfg.Delta), K: 2}
 				cells = append(cells, parityCell{
 					label: fmt.Sprintf("%s margin=%v net=%d", fig, margin, ni),
 					in:    exec, plan: plan,

@@ -10,6 +10,7 @@ import (
 	"uavdc/internal/core"
 	"uavdc/internal/faults"
 	"uavdc/internal/simulate"
+	"uavdc/internal/units"
 )
 
 // TimerPlan is the obs timer under which runSweep records every planner
@@ -177,7 +178,7 @@ func BenchFaultScenarios(cfg Config, spec string) ([]BenchFaultScenario, error) 
 	for _, pl := range planners {
 		row := BenchFaultScenario{Planner: pl.Name(), FaultSpec: sched.String()}
 		for ni, net := range nets {
-			in := &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: k}
+			in := &core.Instance{Net: net, Model: cfg.Model, Delta: units.Meters(cfg.Delta), K: k}
 			plan, err := pl.Plan(in)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: bench faults %s net %d: %w", pl.Name(), ni, err)

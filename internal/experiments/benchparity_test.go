@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/json"
+	"maps"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+// loadBench reads a BENCH_*.json baseline from the repo root.
+func loadBench(t *testing.T, name string) *Bench {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", name))
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	var b Bench
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return &b
+}
+
+// TestBenchPanelsParity asserts that the deterministic panels of the
+// current baseline (BENCH_PR5.json, regenerated after the internal/units
+// adoption) are bit-identical to the previous one (BENCH_PR4.json):
+// per-figure collected volumes, counter totals and plan-call counts, and
+// the whole fault-scenario panel. Defined float64 types change no
+// arithmetic, so any drift here means the refactor changed behaviour,
+// not just types. Timing fields (wall/plan seconds) are machine noise
+// and deliberately not compared. `make ci` runs this as the benchparity
+// step.
+func TestBenchPanelsParity(t *testing.T) {
+	prev := loadBench(t, "BENCH_PR4.json")
+	cur := loadBench(t, "BENCH_PR5.json")
+	if len(cur.Figures) != len(prev.Figures) {
+		t.Fatalf("figure count %d, baseline %d", len(cur.Figures), len(prev.Figures))
+	}
+	for i, pf := range prev.Figures {
+		cf := cur.Figures[i]
+		if cf.Figure != pf.Figure {
+			t.Fatalf("figure[%d] = %s, baseline %s", i, cf.Figure, pf.Figure)
+		}
+		if cf.PlanCalls != pf.PlanCalls {
+			t.Errorf("%s: plan_calls %d, baseline %d", cf.Figure, cf.PlanCalls, pf.PlanCalls)
+		}
+		if len(cf.VolumeMB) != len(pf.VolumeMB) {
+			t.Errorf("%s: volume panel has %d series, baseline %d", cf.Figure, len(cf.VolumeMB), len(pf.VolumeMB))
+		}
+		for _, series := range slices.Sorted(maps.Keys(pf.VolumeMB)) {
+			want := pf.VolumeMB[series]
+			if got, ok := cf.VolumeMB[series]; !ok || got != want {
+				t.Errorf("%s/%s: volume_mb %v, baseline %v", cf.Figure, series, got, want)
+			}
+		}
+		if len(cf.Counters) != len(pf.Counters) {
+			t.Errorf("%s: counter panel has %d entries, baseline %d", cf.Figure, len(cf.Counters), len(pf.Counters))
+		}
+		for _, cname := range slices.Sorted(maps.Keys(pf.Counters)) {
+			want := pf.Counters[cname]
+			if got, ok := cf.Counters[cname]; !ok || got != want {
+				t.Errorf("%s/%s: counter %d, baseline %d", cf.Figure, cname, got, want)
+			}
+		}
+	}
+	if len(cur.FaultScenarios) != len(prev.FaultScenarios) {
+		t.Fatalf("fault panel has %d rows, baseline %d", len(cur.FaultScenarios), len(prev.FaultScenarios))
+	}
+	for i, pr := range prev.FaultScenarios {
+		cr := cur.FaultScenarios[i]
+		if cr.Planner != pr.Planner || cr.FaultSpec != pr.FaultSpec {
+			t.Errorf("fault row %d: %s/%s, baseline %s/%s", i, cr.Planner, cr.FaultSpec, pr.Planner, pr.FaultSpec)
+			continue
+		}
+		if cr.PlannedMB != pr.PlannedMB || cr.RetainedMB != pr.RetainedMB || cr.RetainedFrac != pr.RetainedFrac {
+			t.Errorf("%s: volumes (%v, %v, %v), baseline (%v, %v, %v)", cr.Planner,
+				cr.PlannedMB, cr.RetainedMB, cr.RetainedFrac, pr.PlannedMB, pr.RetainedMB, pr.RetainedFrac)
+		}
+		if cr.Replans != pr.Replans || cr.FaultsApplied != pr.FaultsApplied || cr.StopsSkipped != pr.StopsSkipped {
+			t.Errorf("%s: bookkeeping (%d, %d, %d), baseline (%d, %d, %d)", cr.Planner,
+				cr.Replans, cr.FaultsApplied, cr.StopsSkipped, pr.Replans, pr.FaultsApplied, pr.StopsSkipped)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"uavdc/internal/sensornet"
 	"uavdc/internal/simulate"
 	"uavdc/internal/stats"
+	"uavdc/internal/units"
 )
 
 // ExtAltitude is an extension experiment the paper motivates but does not
@@ -29,7 +30,7 @@ func ExtAltitude(cfg Config) (*Table, error) {
 			name:    "constant-B",
 			planner: &core.Algorithm2{},
 			instance: func(net *sensornet.Network, x float64) *core.Instance {
-				return &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 1, Altitude: x}
+				return &core.Instance{Net: net, Model: cfg.Model, Delta: units.Meters(cfg.Delta), K: 1, Altitude: units.Meters(x)}
 			},
 		},
 		{
@@ -37,8 +38,8 @@ func ExtAltitude(cfg Config) (*Table, error) {
 			planner: &core.Algorithm2{},
 			instance: func(net *sensornet.Network, x float64) *core.Instance {
 				return &core.Instance{
-					Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 1, Altitude: x,
-					Radio: radio.Shannon{RefRate: net.Bandwidth, RefDist: 10, RefSNR: 100, PathLossExp: 2.7},
+					Net: net, Model: cfg.Model, Delta: units.Meters(cfg.Delta), K: 1, Altitude: units.Meters(x),
+					Radio: radio.Shannon{RefRate: units.BitsPerSecond(net.Bandwidth), RefDist: 10, RefSNR: 100, PathLossExp: 2.7},
 				}
 			},
 		},
@@ -107,7 +108,7 @@ func ExtFleet(cfg Config) (*Table, error) {
 			vols := make([]float64, 0, len(nets))
 			times := make([]float64, 0, len(nets))
 			for _, net := range nets {
-				in := &core.Instance{Net: net, Model: cfg.Model, Delta: cfg.Delta, K: 2}
+				in := &core.Instance{Net: net, Model: cfg.Model, Delta: units.Meters(cfg.Delta), K: 2}
 				start := time.Now() //uavdc:allow nodeterminism runtime panel (b) measures wall time; volumes stay deterministic
 				fp, err := multi.PlanFleet(in, multi.Options{
 					Fleet:    int(size),

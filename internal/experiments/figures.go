@@ -11,6 +11,7 @@ import (
 	"uavdc/internal/simulate"
 	"uavdc/internal/stats"
 	"uavdc/internal/trace"
+	"uavdc/internal/units"
 )
 
 // Trace span names emitted by runSweep when Config.Trace is attached: one
@@ -126,8 +127,8 @@ func capacityInstance(cfg Config, delta float64, k int) func(*sensornet.Network,
 	return func(net *sensornet.Network, x float64) *core.Instance {
 		return &core.Instance{
 			Net:   net,
-			Model: cfg.Model.WithCapacity(x),
-			Delta: delta,
+			Model: cfg.Model.WithCapacity(units.Joules(x)),
+			Delta: units.Meters(delta),
 			K:     k,
 		}
 	}
@@ -138,7 +139,7 @@ func deltaInstance(cfg Config, k int) func(*sensornet.Network, float64) *core.In
 		return &core.Instance{
 			Net:   net,
 			Model: cfg.Model,
-			Delta: x,
+			Delta: units.Meters(x),
 			K:     k,
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"uavdc/internal/core"
 	"uavdc/internal/simulate"
 	"uavdc/internal/stats"
+	"uavdc/internal/units"
 )
 
 // ExtRobustness is an extension experiment: mission completion probability
@@ -42,8 +43,8 @@ func ExtRobustness(cfg Config) (*Table, error) {
 		for ni, net := range nets {
 			in := &core.Instance{
 				Net:   net,
-				Model: cfg.Model.WithCapacity(cfg.Model.Capacity * (1 - margin)),
-				Delta: cfg.Delta,
+				Model: cfg.Model.WithCapacity(units.Scale(cfg.Model.Capacity, 1-margin)),
+				Delta: units.Meters(cfg.Delta),
 				K:     2,
 			}
 			start := time.Now() //uavdc:allow nodeterminism runtime column measures wall time; volumes stay deterministic

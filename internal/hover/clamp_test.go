@@ -6,6 +6,7 @@ import (
 	"uavdc/internal/energy"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 // TestBuildClampsOverhangingCentres reproduces the bug where a region whose
@@ -20,7 +21,7 @@ func TestBuildClampsOverhangingCentres(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, delta := range []float64{15, 22, 37} {
+	for _, delta := range []units.Meters{15, 22, 37} {
 		s, err := Build(net, energy.Default(), delta, Options{})
 		if err != nil {
 			t.Fatal(err)

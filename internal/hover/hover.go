@@ -21,6 +21,7 @@ import (
 	"uavdc/internal/geom"
 	"uavdc/internal/radio"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 // DepotID is the index of the depot in every Set.
@@ -39,15 +40,15 @@ type Location struct {
 	// bandwidth B (the paper's constant-rate assumption); it is populated
 	// when the candidate set is built with a distance-dependent radio
 	// model.
-	Rates []float64
+	Rates []units.BitsPerSecond
 	// Sojourn is t(s_j) in seconds: the time to fully drain every
 	// covered sensor at its uplink rate (the slowest sensor dominates
 	// since uploads are simultaneous).
-	Sojourn float64
+	Sojourn units.Seconds
 	// Award is P(s_j) in MB: total data available at this location.
-	Award float64
+	Award units.Bits
 	// HoverEnergy is w1(s_j) = Sojourn · η_h in J.
-	HoverEnergy float64
+	HoverEnergy units.Joules
 	// SquareIdx is the grid square index this location is the centre of,
 	// or -1 for the depot.
 	SquareIdx int
@@ -59,9 +60,9 @@ type Set struct {
 	Model energy.Model
 	// CoverRadius is R0, the projected coverage radius used to build the
 	// coverage sets.
-	CoverRadius float64
+	CoverRadius units.Meters
 	// Altitude is the hovering altitude H the set was built with.
-	Altitude float64
+	Altitude units.Meters
 	// Radio is the rate model the set was built with (nil = constant B).
 	Radio radio.Model
 	Grid  *geom.Grid
@@ -77,14 +78,15 @@ type Set struct {
 // radius of a UAV hovering at altitude H with node transmission range R
 // (Fig. 1(b) of the paper). It returns an error when H > R, where coverage
 // is impossible.
-func CoverageRadius(r, h float64) (float64, error) {
+func CoverageRadius(r, h units.Meters) (units.Meters, error) {
 	if h < 0 || r <= 0 {
 		return 0, fmt.Errorf("hover: invalid range R=%v altitude H=%v", r, h)
 	}
 	if h > r {
 		return 0, fmt.Errorf("hover: altitude %v exceeds transmission range %v", h, r)
 	}
-	return math.Sqrt(r*r - h*h), nil
+	//uavdc:allow unitsafety Pythagoras on distances: sqrt(R²−H²) is again a distance, re-wrapped at the return
+	return units.Meters(math.Sqrt(r.F()*r.F() - h.F()*h.F())), nil
 }
 
 // Options controls candidate construction.
@@ -92,7 +94,7 @@ type Options struct {
 	// CoverRadius is R0 in metres. If zero, the network's CommRange is
 	// used (altitude 0 abstraction, matching the paper's experiments
 	// which set R0 = 50 m directly).
-	CoverRadius float64
+	CoverRadius units.Meters
 	// KeepEmpty retains squares with empty coverage sets. The paper
 	// assigns them zero award/sojourn; they can never help a tour under
 	// a metric, so the default drops them.
@@ -107,21 +109,21 @@ type Options struct {
 	// coverage to sqrt(R²−H²), and when Radio is set it lengthens the
 	// slant path to every sensor. Zero reproduces the paper's
 	// ground-level abstraction.
-	Altitude float64
+	Altitude units.Meters
 	// Radio is the uplink rate model; nil means the paper's constant
 	// bandwidth B taken from the network.
 	Radio radio.Model
 }
 
 // Build constructs the candidate set for net with grid resolution delta.
-func Build(net *sensornet.Network, em energy.Model, delta float64, opts Options) (*Set, error) {
+func Build(net *sensornet.Network, em energy.Model, delta units.Meters, opts Options) (*Set, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
 	if err := em.Validate(); err != nil {
 		return nil, err
 	}
-	grid, err := geom.NewGrid(net.Region, delta)
+	grid, err := geom.NewGrid(net.Region, delta.F())
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +134,7 @@ func Build(net *sensornet.Network, em energy.Model, delta float64, opts Options)
 	if r0 == 0 {
 		if opts.Altitude > 0 {
 			var err error
-			r0, err = CoverageRadius(net.CommRange, opts.Altitude)
+			r0, err = CoverageRadius(units.Meters(net.CommRange), opts.Altitude)
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +142,7 @@ func Build(net *sensornet.Network, em energy.Model, delta float64, opts Options)
 				return nil, fmt.Errorf("hover: altitude %v leaves zero coverage at range %v", opts.Altitude, net.CommRange)
 			}
 		} else {
-			r0 = net.CommRange
+			r0 = units.Meters(net.CommRange)
 		}
 	}
 	if r0 < 0 {
@@ -168,7 +170,7 @@ func Build(net *sensornet.Network, em energy.Model, delta float64, opts Options)
 		// extent is not a multiple of δ; clamp those centres back onto
 		// the boundary so every candidate is a legal hovering position.
 		center := net.Region.Clamp(grid.Center(sq))
-		buf = idx.WithinAppend(buf[:0], center, r0)
+		buf = idx.WithinAppend(buf[:0], center, r0.F())
 		if len(buf) == 0 {
 			if !opts.KeepEmpty {
 				s.PrunedEmpty++
@@ -180,9 +182,9 @@ func Build(net *sensornet.Network, em energy.Model, delta float64, opts Options)
 		covered := append([]int(nil), buf...)
 		loc := Location{Pos: center, Covered: covered, SquareIdx: sq}
 		if opts.Radio != nil {
-			loc.Rates = make([]float64, len(covered))
+			loc.Rates = make([]units.BitsPerSecond, len(covered))
 			for i, v := range covered {
-				slant := radio.SlantDist(net.Sensors[v].Pos.Dist(center), opts.Altitude)
+				slant := radio.SlantDist(units.Meters(net.Sensors[v].Pos.Dist(center)), opts.Altitude)
 				loc.Rates[i] = opts.Radio.Rate(slant)
 				if !(loc.Rates[i] > 0) {
 					return nil, fmt.Errorf("hover: radio model yields non-positive rate %v at slant %v", loc.Rates[i], slant)
@@ -212,21 +214,21 @@ func Build(net *sensornet.Network, em energy.Model, delta float64, opts Options)
 // Drain returns the sojourn time and total award for fully draining the
 // given sensors at the network's constant bandwidth: t = max D_v/B,
 // P = Σ D_v.
-func Drain(net *sensornet.Network, covered []int) (sojourn, award float64) {
+func Drain(net *sensornet.Network, covered []int) (sojourn units.Seconds, award units.Bits) {
 	return DrainRates(net, covered, nil)
 }
 
 // DrainRates is Drain with per-sensor uplink rates (parallel to covered);
 // nil rates means the constant network bandwidth.
-func DrainRates(net *sensornet.Network, covered []int, rates []float64) (sojourn, award float64) {
+func DrainRates(net *sensornet.Network, covered []int, rates []units.BitsPerSecond) (sojourn units.Seconds, award units.Bits) {
 	for i, v := range covered {
-		d := net.Sensors[v].Data
+		d := units.Bits(net.Sensors[v].Data)
 		award += d
-		r := net.Bandwidth
+		r := units.BitsPerSecond(net.Bandwidth)
 		if rates != nil {
 			r = rates[i]
 		}
-		if t := d / r; t > sojourn {
+		if t := units.TransferTime(d, r); t > sojourn {
 			sojourn = t
 		}
 	}
@@ -260,15 +262,15 @@ func (s *Set) Dist(i, j int) float64 { return s.Locs[i].Pos.Dist(s.Locs[j].Pos) 
 
 // TravelEnergy returns the flight energy between locations i and j:
 // l(s_i, s_j) · η_t / v.
-func (s *Set) TravelEnergy(i, j int) float64 {
-	return s.Model.TravelEnergy(s.Dist(i, j))
+func (s *Set) TravelEnergy(i, j int) units.Joules {
+	return s.Model.TravelEnergy(units.Meters(s.Dist(i, j)))
 }
 
 // AuxiliaryWeight returns w2(s_i, s_j) of Eq. 9: half the hover energies of
 // both endpoints plus the travel energy of the edge. Lemma 1 proves the
 // resulting complete graph is metric; TestAuxiliaryWeightIsMetric verifies
 // it empirically.
-func (s *Set) AuxiliaryWeight(i, j int) float64 {
+func (s *Set) AuxiliaryWeight(i, j int) units.Joules {
 	if i == j {
 		return 0
 	}

@@ -11,6 +11,7 @@ import (
 	"uavdc/internal/geom"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 func smallNet() *sensornet.Network {
@@ -29,7 +30,7 @@ func smallNet() *sensornet.Network {
 
 func TestCoverageRadius(t *testing.T) {
 	r0, err := CoverageRadius(50, 30)
-	if err != nil || math.Abs(r0-40) > 1e-12 {
+	if err != nil || math.Abs(r0.F()-40) > 1e-12 {
 		t.Errorf("CoverageRadius(50,30) = %v, %v", r0, err)
 	}
 	if r0, err := CoverageRadius(50, 0); err != nil || r0 != 50 {
@@ -82,10 +83,10 @@ func TestBuildBasics(t *testing.T) {
 				t.Fatalf("location %d covers out-of-range sensor %d", i, v)
 			}
 		}
-		if math.Abs(loc.Sojourn-wantSojourn) > 1e-9 || math.Abs(loc.Award-wantAward) > 1e-9 {
+		if math.Abs(loc.Sojourn.F()-wantSojourn) > 1e-9 || math.Abs(loc.Award.F()-wantAward) > 1e-9 {
 			t.Fatalf("location %d: sojourn/award %v/%v, want %v/%v", i, loc.Sojourn, loc.Award, wantSojourn, wantAward)
 		}
-		if math.Abs(loc.HoverEnergy-150*loc.Sojourn) > 1e-9 {
+		if math.Abs(loc.HoverEnergy.F()-150*loc.Sojourn.F()) > 1e-9 {
 			t.Fatalf("location %d hover energy inconsistent", i)
 		}
 	}
@@ -168,7 +169,7 @@ func TestDistAndEnergyMetrics(t *testing.T) {
 				t.Fatal("Dist asymmetric")
 			}
 			wantTE := 10 * s.Dist(i, j) // η_t/v = 10 J/m
-			if math.Abs(s.TravelEnergy(i, j)-wantTE) > 1e-9 {
+			if math.Abs(s.TravelEnergy(i, j).F()-wantTE) > 1e-9 {
 				t.Fatalf("TravelEnergy(%d,%d) = %v, want %v", i, j, s.TravelEnergy(i, j), wantTE)
 			}
 		}
@@ -234,8 +235,8 @@ func TestVirtuals(t *testing.T) {
 			if v.Level != i+1 || v.K != K {
 				t.Fatalf("base %d: bad levels %+v", base, group)
 			}
-			wantSojourn := float64(v.Level) * loc.Sojourn / K
-			if math.Abs(v.Sojourn-wantSojourn) > 1e-9 {
+			wantSojourn := float64(v.Level) * loc.Sojourn.F() / K
+			if math.Abs(v.Sojourn.F()-wantSojourn) > 1e-9 {
 				t.Fatalf("base %d level %d: sojourn %v, want %v", base, v.Level, v.Sojourn, wantSojourn)
 			}
 			if i > 0 {
@@ -245,7 +246,7 @@ func TestVirtuals(t *testing.T) {
 			}
 		}
 		last := group[K-1]
-		if math.Abs(last.Award-loc.Award) > 1e-9 || math.Abs(last.Sojourn-loc.Sojourn) > 1e-9 {
+		if math.Abs((last.Award-loc.Award).F()) > 1e-9 || math.Abs((last.Sojourn-loc.Sojourn).F()) > 1e-9 {
 			t.Fatalf("base %d: level K (%v, %v) != full drain (%v, %v)", base, last.Award, last.Sojourn, loc.Award, loc.Sojourn)
 		}
 	}
@@ -260,7 +261,7 @@ func TestVirtualsK1EqualsFull(t *testing.T) {
 	}
 	for _, v := range vs {
 		loc := s.Locs[v.Base]
-		if math.Abs(v.Award-loc.Award) > 1e-9 || math.Abs(v.Sojourn-loc.Sojourn) > 1e-9 {
+		if math.Abs((v.Award-loc.Award).F()) > 1e-9 || math.Abs((v.Sojourn-loc.Sojourn).F()) > 1e-9 {
 			t.Fatalf("K=1 virtual %d differs from full drain", v.Base)
 		}
 	}
@@ -277,7 +278,7 @@ func TestPartialAwardEquation4(t *testing.T) {
 			for _, v := range s.Locs[base].Covered {
 				want += math.Min(net.Sensors[v].Data, net.Bandwidth*sojourn)
 			}
-			if math.Abs(s.PartialAward(base, sojourn)-want) > 1e-9 {
+			if math.Abs(s.PartialAward(base, units.Seconds(sojourn)).F()-want) > 1e-9 {
 				return false
 			}
 		}
@@ -289,7 +290,7 @@ func TestPartialAwardEquation4(t *testing.T) {
 }
 
 func TestResidualDrain(t *testing.T) {
-	residual := []float64{100, 0, 40}
+	residual := []units.Bits{100, 0, 40}
 	sojourn, award := ResidualDrain([]int{0, 1, 2}, residual, nil, 10)
 	if award != 140 || sojourn != 10 {
 		t.Errorf("ResidualDrain = %v, %v", sojourn, award)
@@ -301,7 +302,7 @@ func TestResidualDrain(t *testing.T) {
 }
 
 func TestResidualPartialAward(t *testing.T) {
-	residual := []float64{100, 0, 40}
+	residual := []units.Bits{100, 0, 40}
 	// 3 s at 10 MB/s caps each sensor at 30 MB.
 	if got := ResidualPartialAward([]int{0, 1, 2}, residual, nil, 10, 3); got != 60 {
 		t.Errorf("ResidualPartialAward = %v, want 60", got)

@@ -6,6 +6,7 @@ import (
 
 	"uavdc/internal/energy"
 	"uavdc/internal/radio"
+	"uavdc/internal/units"
 )
 
 func TestBuildWithAltitudeShrinksCoverage(t *testing.T) {
@@ -21,7 +22,7 @@ func TestBuildWithAltitudeShrinksCoverage(t *testing.T) {
 	if high.CoverRadius >= ground.CoverRadius {
 		t.Errorf("altitude should shrink R0: %v vs %v", high.CoverRadius, ground.CoverRadius)
 	}
-	if want := math.Sqrt(15*15 - 12*12); math.Abs(high.CoverRadius-want) > 1e-9 {
+	if want := math.Sqrt(15*15 - 12*12); math.Abs(high.CoverRadius.F()-want) > 1e-9 {
 		t.Errorf("R0 = %v, want %v", high.CoverRadius, want)
 	}
 	if _, err := Build(net, energy.Default(), 5, Options{Altitude: -1}); err == nil {
@@ -41,8 +42,8 @@ func TestBuildWithRadioSlowsFarSensors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shannon := radio.Shannon{RefRate: net.Bandwidth, RefDist: 1, RefSNR: 100, PathLossExp: 2}
-	radios, err := Build(net, energy.Default(), 5, Options{Altitude: 10, CoverRadius: net.CommRange, Radio: shannon})
+	shannon := radio.Shannon{RefRate: units.BitsPerSecond(net.Bandwidth), RefDist: 1, RefSNR: 100, PathLossExp: 2}
+	radios, err := Build(net, energy.Default(), 5, Options{Altitude: 10, CoverRadius: units.Meters(net.CommRange), Radio: shannon})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestBuildWithRadioSlowsFarSensors(t *testing.T) {
 			t.Fatal("radio build must populate Rates")
 		}
 		for j := range rl.Covered {
-			if rl.Rates[j] > net.Bandwidth+1e-9 {
+			if rl.Rates[j].F() > net.Bandwidth+1e-9 {
 				t.Fatalf("rate above calibration bandwidth: %v", rl.Rates[j])
 			}
 		}
@@ -68,7 +69,7 @@ func TestBuildWithRadioSlowsFarSensors(t *testing.T) {
 			slower++
 		}
 		// Award (full volumes) is unchanged.
-		if math.Abs(rl.Award-cl.Award) > 1e-9 {
+		if math.Abs((rl.Award - cl.Award).F()) > 1e-9 {
 			t.Fatalf("award changed under radio model")
 		}
 	}
@@ -79,8 +80,8 @@ func TestBuildWithRadioSlowsFarSensors(t *testing.T) {
 
 func TestPartialAwardUsesRates(t *testing.T) {
 	net := smallNet()
-	shannon := radio.Shannon{RefRate: net.Bandwidth, RefDist: 1, RefSNR: 100, PathLossExp: 3}
-	s, err := Build(net, energy.Default(), 5, Options{Altitude: 10, CoverRadius: net.CommRange, Radio: shannon})
+	shannon := radio.Shannon{RefRate: units.BitsPerSecond(net.Bandwidth), RefDist: 1, RefSNR: 100, PathLossExp: 3}
+	s, err := Build(net, energy.Default(), 5, Options{Altitude: 10, CoverRadius: units.Meters(net.CommRange), Radio: shannon})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,9 +90,9 @@ func TestPartialAwardUsesRates(t *testing.T) {
 		const sojourn = 3.0
 		want := 0.0
 		for i, v := range loc.Covered {
-			want += math.Min(net.Sensors[v].Data, loc.Rates[i]*sojourn)
+			want += math.Min(net.Sensors[v].Data, loc.Rates[i].F()*sojourn)
 		}
-		if got := s.PartialAward(base, sojourn); math.Abs(got-want) > 1e-9 {
+		if got := s.PartialAward(base, sojourn).F(); math.Abs(got-want) > 1e-9 {
 			t.Fatalf("base %d: PartialAward %v, want %v", base, got, want)
 		}
 		for i := range loc.Covered {
@@ -103,8 +104,8 @@ func TestPartialAwardUsesRates(t *testing.T) {
 }
 
 func TestResidualDrainWithRates(t *testing.T) {
-	residual := []float64{100, 0, 40}
-	rates := []float64{5, 10, 20}
+	residual := []units.Bits{100, 0, 40}
+	rates := []units.BitsPerSecond{5, 10, 20}
 	sojourn, award := ResidualDrain([]int{0, 1, 2}, residual, rates, 999)
 	if award != 140 {
 		t.Errorf("award = %v", award)
@@ -115,8 +116,8 @@ func TestResidualDrainWithRates(t *testing.T) {
 }
 
 func TestResidualPartialAwardWithRates(t *testing.T) {
-	residual := []float64{100, 0, 40}
-	rates := []float64{5, 10, 20}
+	residual := []units.Bits{100, 0, 40}
+	rates := []units.BitsPerSecond{5, 10, 20}
 	// 2 s: sensor0 min(100, 10) + sensor2 min(40, 40) = 50.
 	if got := ResidualPartialAward([]int{0, 1, 2}, residual, rates, 999, 2); got != 50 {
 		t.Errorf("got %v, want 50", got)

@@ -2,7 +2,8 @@ package hover
 
 import (
 	"fmt"
-	"math"
+
+	"uavdc/internal/units"
 )
 
 // Virtual is a virtual hovering location s_{j,k} (Section III-C): the real
@@ -15,10 +16,10 @@ type Virtual struct {
 	// K is the partition granularity.
 	K int
 	// Sojourn is t(s_{j,k}) = k·t(s_j)/K (Eq. 5).
-	Sojourn float64
+	Sojourn units.Seconds
 	// Award is P(s_{j,k}) per Eq. 4: every covered sensor contributes
 	// min(D_v, rate_v·Sojourn).
-	Award float64
+	Award units.Bits
 }
 
 // Virtuals materialises the K virtual locations of every non-depot
@@ -31,7 +32,7 @@ func (s *Set) Virtuals(k int) ([]Virtual, error) {
 	for base := 1; base < s.Len(); base++ {
 		loc := &s.Locs[base]
 		for level := 1; level <= k; level++ {
-			sojourn := float64(level) * loc.Sojourn / float64(k)
+			sojourn := units.Seconds(float64(level) * loc.Sojourn.F() / float64(k))
 			out = append(out, Virtual{
 				Base:    base,
 				Level:   level,
@@ -48,27 +49,27 @@ func (s *Set) Virtuals(k int) ([]Virtual, error) {
 // for the given duration with every covered sensor at full volume:
 // Σ_v min(D_v, rate_v·sojourn) (Eq. 4 in closed form, generalised to
 // per-sensor rates).
-func (s *Set) PartialAward(base int, sojourn float64) float64 {
-	var award float64
+func (s *Set) PartialAward(base int, sojourn units.Seconds) units.Bits {
+	var award units.Bits
 	loc := &s.Locs[base]
 	for i, v := range loc.Covered {
-		award += math.Min(s.Net.Sensors[v].Data, s.rate(loc, i)*sojourn)
+		award += units.Min(units.Bits(s.Net.Sensors[v].Data), units.Transfer(s.rate(loc, i), sojourn))
 	}
 	return award
 }
 
 // rate returns the uplink rate of the i-th covered sensor of loc.
-func (s *Set) rate(loc *Location, i int) float64 {
+func (s *Set) rate(loc *Location, i int) units.BitsPerSecond {
 	if loc.Rates != nil {
 		return loc.Rates[i]
 	}
-	return s.Net.Bandwidth
+	return units.BitsPerSecond(s.Net.Bandwidth)
 }
 
 // RateAt returns the uplink rate of the i-th covered sensor of location
 // base (the constant bandwidth when the set was built without a radio
 // model).
-func (s *Set) RateAt(base, i int) float64 {
+func (s *Set) RateAt(base, i int) units.BitsPerSecond {
 	return s.rate(&s.Locs[base], i)
 }
 
@@ -77,7 +78,7 @@ func (s *Set) RateAt(base, i int) float64 {
 // recomputation step: after partial collection elsewhere, both t' and P'
 // shrink). rates is parallel to covered; nil means every sensor uploads at
 // bandwidth. Sensors with zero residual contribute nothing.
-func ResidualDrain(covered []int, residual []float64, rates []float64, bandwidth float64) (sojourn, award float64) {
+func ResidualDrain(covered []int, residual []units.Bits, rates []units.BitsPerSecond, bandwidth units.BitsPerSecond) (sojourn units.Seconds, award units.Bits) {
 	for i, v := range covered {
 		d := residual[v]
 		if d <= 0 {
@@ -88,7 +89,7 @@ func ResidualDrain(covered []int, residual []float64, rates []float64, bandwidth
 		if rates != nil {
 			r = rates[i]
 		}
-		if t := d / r; t > sojourn {
+		if t := units.TransferTime(d, r); t > sojourn {
 			sojourn = t
 		}
 	}
@@ -98,15 +99,15 @@ func ResidualDrain(covered []int, residual []float64, rates []float64, bandwidth
 // ResidualPartialAward returns Σ_v min(residual_v, rate_v·sojourn) over
 // covered: the award of a virtual location against current residual
 // volumes. rates is parallel to covered; nil means bandwidth for all.
-func ResidualPartialAward(covered []int, residual, rates []float64, bandwidth, sojourn float64) float64 {
-	var award float64
+func ResidualPartialAward(covered []int, residual []units.Bits, rates []units.BitsPerSecond, bandwidth units.BitsPerSecond, sojourn units.Seconds) units.Bits {
+	var award units.Bits
 	for i, v := range covered {
 		if d := residual[v]; d > 0 {
 			r := bandwidth
 			if rates != nil {
 				r = rates[i]
 			}
-			award += math.Min(d, r*sojourn)
+			award += units.Min(d, units.Transfer(r, sojourn))
 		}
 	}
 	return award

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/fixture.golden")
@@ -83,19 +84,22 @@ func TestFixtureCoverage(t *testing.T) {
 }
 
 // TestFixtureJSON checks the machine-readable report: schema tag, module
-// path, and agreement with Active().
+// path, per-analyzer counts, elapsed passthrough, and agreement with
+// Active().
 func TestFixtureJSON(t *testing.T) {
 	mod := loadFixture(t)
 	diags := Run(mod, All())
 	var sb strings.Builder
-	if err := WriteJSON(&sb, mod.Path, diags); err != nil {
+	if err := WriteJSON(&sb, mod.Path, diags, 1500*time.Microsecond); err != nil {
 		t.Fatal(err)
 	}
 	var rep struct {
-		Schema      string       `json:"schema"`
-		Module      string       `json:"module"`
-		Diagnostics []Diagnostic `json:"diagnostics"`
-		Active      int          `json:"active"`
+		Schema      string         `json:"schema"`
+		Module      string         `json:"module"`
+		Diagnostics []Diagnostic   `json:"diagnostics"`
+		Active      int            `json:"active"`
+		Counts      map[string]int `json:"counts"`
+		ElapsedMS   float64        `json:"elapsed_ms"`
 	}
 	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
@@ -111,6 +115,21 @@ func TestFixtureJSON(t *testing.T) {
 	}
 	if rep.Active != len(Active(diags)) {
 		t.Errorf("active = %d, want %d", rep.Active, len(Active(diags)))
+	}
+	if rep.ElapsedMS != 1.5 {
+		t.Errorf("elapsed_ms = %v, want 1.5", rep.ElapsedMS)
+	}
+	total := 0
+	for _, a := range All() {
+		if rep.Counts[a.Name] == 0 {
+			t.Errorf("counts missing analyzer %s (fixture has cases for all)", a.Name)
+		}
+	}
+	for _, n := range rep.Counts {
+		total += n
+	}
+	if total != len(diags) {
+		t.Errorf("counts sum to %d, want %d", total, len(diags))
 	}
 }
 

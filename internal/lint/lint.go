@@ -15,6 +15,10 @@
 //     canonical name registry (which a test cross-checks against
 //     EXPERIMENTS.md).
 //   - errdrop: no silently discarded error results outside tests.
+//   - unitsafety: no conversions or math.* calls that launder physical
+//     dimensions past the internal/units typed quantities — cross-unit
+//     casts, unit→float64 casts outside boundary packages, magnitude
+//     literals cast into unit types, and math.* over unit expressions.
 //
 // Deliberate violations are annotated in place:
 //
@@ -31,6 +35,7 @@ import (
 	"go/token"
 	"io"
 	"sort"
+	"time"
 )
 
 // An Analyzer is one named check over a type-checked package.
@@ -46,7 +51,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterminism(), FloatEq(), ObsNames(), ErrDrop()}
+	return []*Analyzer{NoDeterminism(), FloatEq(), ObsNames(), ErrDrop(), UnitSafety()}
 }
 
 // Pass carries one analyzer's run over one package.
@@ -213,13 +218,30 @@ type jsonReport struct {
 	// Active counts the non-suppressed findings (the CI failure
 	// condition).
 	Active int `json:"active"`
+	// Counts maps each analyzer that reported at least one finding to
+	// its total finding count, suppressed ones included (new in /2).
+	Counts map[string]int `json:"counts"`
+	// ElapsedMS is the load+run wall time in milliseconds, as measured
+	// by the caller (new in /2). Golden tests normalise it to 0.
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// JSONSchema tags uavlint's -json output document.
-const JSONSchema = "uavdc-lint/1"
+// JSONSchema tags uavlint's -json output document. /2 added the
+// per-analyzer counts map and the elapsed_ms wall-time field.
+const JSONSchema = "uavdc-lint/2"
 
-// WriteJSON renders the diagnostics as a uavdc-lint/1 JSON document.
-func WriteJSON(w io.Writer, modPath string, diags []Diagnostic) error {
+// Counts tallies diags per analyzer, suppressed findings included.
+func Counts(diags []Diagnostic) map[string]int {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	return counts
+}
+
+// WriteJSON renders the diagnostics as a uavdc-lint/2 JSON document.
+// elapsed is the caller-measured load+run wall time.
+func WriteJSON(w io.Writer, modPath string, diags []Diagnostic, elapsed time.Duration) error {
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
@@ -230,5 +252,32 @@ func WriteJSON(w io.Writer, modPath string, diags []Diagnostic) error {
 		Module:      modPath,
 		Diagnostics: diags,
 		Active:      len(Active(diags)),
+		Counts:      Counts(diags),
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
 	})
+}
+
+// WriteSummary renders the one-line human summary: total and active
+// finding counts, the per-analyzer breakdown in name order, and the
+// load+run wall time.
+func WriteSummary(w io.Writer, diags []Diagnostic, elapsed time.Duration) error {
+	counts := Counts(diags)
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var breakdown string
+	for i, name := range names {
+		if i > 0 {
+			breakdown += ", "
+		}
+		breakdown += fmt.Sprintf("%s %d", name, counts[name])
+	}
+	if breakdown == "" {
+		breakdown = "none"
+	}
+	_, err := fmt.Fprintf(w, "uavlint: %d finding(s), %d active [%s] in %dms\n",
+		len(diags), len(Active(diags)), breakdown, elapsed.Milliseconds())
+	return err
 }

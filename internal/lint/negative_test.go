@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInjectedCrossUnitCastFailsLint verifies the unitsafety gate end to
+// end on the real codebase, not just the fixture: a copy of the module's
+// internal tree with a units.Joules(m.Speed) cross-unit cast injected
+// into internal/core must come back with exactly that active diagnostic
+// — the condition under which `make lint` (and so `make ci`) exits
+// non-zero. Copying into t.TempDir keeps the poison out of the repo.
+func TestInjectedCrossUnitCastFailsLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a copy of the internal tree; skipped in -short")
+	}
+	root := t.TempDir()
+	src := filepath.Join("..", "..")
+	for _, f := range []string{"go.mod"} {
+		raw, err := os.ReadFile(filepath.Join(src, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(root, f), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.CopyFS(filepath.Join(root, "internal"), os.DirFS(filepath.Join(src, "internal"))); err != nil {
+		t.Fatalf("copy internal tree: %v", err)
+	}
+	poison := `package core
+
+import (
+	"uavdc/internal/energy"
+	"uavdc/internal/units"
+)
+
+// InjectedBudget deliberately crosses speed into energy without a
+// helper; unitsafety must reject it.
+func InjectedBudget(m energy.Model) units.Joules {
+	return units.Joules(m.Speed)
+}
+`
+	if err := os.WriteFile(filepath.Join(root, "internal", "core", "zz_injected.go"), []byte(poison), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(copied module): %v", err)
+	}
+	active := Active(Run(mod, All()))
+	if len(active) != 1 {
+		for _, d := range active {
+			t.Logf("active: %s", d.String())
+		}
+		t.Fatalf("got %d active diagnostics, want exactly the injected one", len(active))
+	}
+	d := active[0]
+	if d.Analyzer != "unitsafety" || d.Path != "internal/core/zz_injected.go" ||
+		!strings.Contains(d.Message, "cross-unit conversion units.MetersPerSecond → units.Joules") {
+		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+}

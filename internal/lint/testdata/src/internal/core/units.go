@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math"
+
+	"uavdc/internal/units"
+)
+
+// Launder holds the unitsafety rule (a) cases: cross-unit and
+// unit→float64 conversions.
+func Launder(s units.Seconds, j units.Joules) (units.Joules, float64) {
+	bad := units.Joules(s)     // positive: unitsafety (cross-unit)
+	raw := float64(j)          // positive: unitsafety (unit→float64)
+	ok := units.Joules(s)      //uavdc:allow unitsafety fixture: deliberate cross-unit cast
+	okRaw := float64(j)        //uavdc:allow unitsafety fixture: deliberate unwrap without .F()
+	clean := units.Joules(raw) // clean: plain→unit is the constructor direction
+	_ = ok
+	_ = okRaw
+	return bad + clean, raw + j.F() // clean: .F() is the sanctioned escape
+}
+
+// Magnitudes holds the rule (b) cases: bare literals cast into units.
+func Magnitudes() units.Meters {
+	bad := units.Meters(42.5)               // positive: unitsafety (literal magnitude)
+	ok := units.Meters(1e3)                 //uavdc:allow unitsafety fixture: named elsewhere
+	var zero units.Meters = units.Meters(0) // clean: zero literal reads as initialisation
+	var implicit units.Meters = 7.5         // clean: implicit constant conversion
+	return bad + ok + zero + implicit
+}
+
+// Formulas holds the rule (c) cases: math.* over unit expressions.
+func Formulas(r, h units.Meters, p units.Watts, t units.Seconds) (units.Meters, bool) {
+	bad := units.Meters(math.Sqrt(r.F()*r.F() - h.F()*h.F())) // positive: unitsafety (math over units)
+	ok := math.Sqrt(r.F() * h.F())                            //uavdc:allow unitsafety fixture: dimensionally vetted
+	pow := math.Pow(units.Ratio(r, h), 2.0)                   // clean: helper call is a sanctioned crossing
+	nan := math.IsNaN(units.Energy(p, t).F())                 // clean: predicate, no magnitude result
+	return bad + units.Meters(ok*pow), nan
+}

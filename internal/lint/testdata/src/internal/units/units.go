@@ -1,0 +1,35 @@
+// Package units mirrors the real module's internal/units: defined
+// float64 quantities plus the sanctioned dimension-crossing helpers. The
+// unitsafety analyzer keys on this package path, so the fixture needs
+// its own copy.
+package units
+
+// Joules is an energy quantity.
+type Joules float64
+
+// Watts is a power quantity.
+type Watts float64
+
+// Seconds is a time quantity.
+type Seconds float64
+
+// Meters is a distance quantity.
+type Meters float64
+
+// F unwraps to a plain float64 at a boundary.
+func (j Joules) F() float64 { return float64(j) }
+
+// F unwraps to a plain float64 at a boundary.
+func (w Watts) F() float64 { return float64(w) }
+
+// F unwraps to a plain float64 at a boundary.
+func (s Seconds) F() float64 { return float64(s) }
+
+// F unwraps to a plain float64 at a boundary.
+func (m Meters) F() float64 { return float64(m) }
+
+// Energy is power sustained for a duration.
+func Energy(p Watts, t Seconds) Joules { return Joules(float64(p) * float64(t)) }
+
+// Ratio is the dimensionless quotient of two like quantities.
+func Ratio(a, b Meters) float64 { return float64(a) / float64(b) }

@@ -1,0 +1,9 @@
+// Package viz is a registered unitsafety boundary package in the
+// fixture: wholesale unit→float64 conversions here are clean.
+package viz
+
+import "uavdc/internal/units"
+
+// Render flattens a quantity for plotting; allowed in a boundary
+// package without .F() or an annotation.
+func Render(j units.Joules) float64 { return float64(j) }

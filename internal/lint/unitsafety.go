@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unitsafetyBoundary lists the module-relative package dirs where unit
+// quantities legitimately leave the typed world wholesale — rendering,
+// instrumentation encoding, experiment tables/JSON — plus every cmd/*
+// package (flag parsing). Inside these dirs, unit→float64 conversions are
+// permitted; everywhere else the one sanctioned escape is the .F() method.
+var unitsafetyBoundary = []string{
+	"internal/viz",
+	"internal/obs",
+	"internal/trace",
+	"internal/experiments",
+}
+
+// unitsafetyMathPredicates are math functions that classify rather than
+// transform: their results carry no magnitude, so they cannot launder a
+// dimension (Validate-style NaN/Inf screens stay clean).
+var unitsafetyMathPredicates = map[string]bool{
+	"IsNaN":   true,
+	"IsInf":   true,
+	"Signbit": true,
+}
+
+// UnitSafety returns the unitsafety analyzer. It guards the internal/units
+// dimension discipline with three rules:
+//
+//	(a) no conversion between two distinct unit types, and no conversion
+//	    from a unit type to plain float64, outside internal/units and the
+//	    registered boundary packages — cross dimensions through the units
+//	    helpers, leave the typed world through .F();
+//	(b) no untyped non-zero float/int literal converted directly into a
+//	    unit type — untyped constants already convert implicitly, so an
+//	    explicit units.T(3e5) is noise that hides real casts;
+//	(c) no math.* call whose argument contains a unit-typed subexpression
+//	    (math.Sqrt over .F()-unwrapped distances and the like launders the
+//	    dimension of the result) unless annotated, excluding the IsNaN/
+//	    IsInf/Signbit predicates and arguments that are themselves calls to
+//	    internal/units helpers (the sanctioned crossings).
+//
+// internal/units itself and _test.go files are exempt. Deliberate sites
+// carry //uavdc:allow unitsafety <reason>.
+func UnitSafety() *Analyzer {
+	a := &Analyzer{
+		Name: "unitsafety",
+		Doc:  "forbid conversions and math.* calls that launder physical dimensions past internal/units",
+	}
+	a.Run = func(pass *Pass) {
+		unitsPath := pass.Pkg.ModPath + "/internal/units"
+		if pass.Pkg.Path == unitsPath {
+			return
+		}
+		inBoundary := strings.HasPrefix(pass.Pkg.Dir, "cmd/")
+		for _, dir := range unitsafetyBoundary {
+			if pass.Pkg.Path == pass.Pkg.ModPath+"/"+dir {
+				inBoundary = true
+				break
+			}
+		}
+		info := pass.Pkg.Info
+		isUnit := func(t types.Type) (*types.Named, bool) {
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != unitsPath {
+				return nil, false
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Kind() != types.Float64 {
+				return nil, false
+			}
+			return named, true
+		}
+		// unitsCall reports whether call invokes a package-level function
+		// of internal/units (Energy, Ratio, Scale, ...): a sanctioned
+		// dimension crossing whose interior needs no re-inspection.
+		unitsCall := func(call *ast.CallExpr) bool {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			pn, ok := info.Uses[id].(*types.PkgName)
+			return ok && pn.Imported().Path() == unitsPath
+		}
+		for _, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+					checkConversion(pass, info, call, tv.Type, isUnit, inBoundary)
+					return true
+				}
+				checkMathCall(pass, info, call, isUnit, unitsCall)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkConversion applies rules (a) and (b) to the conversion T(arg).
+func checkConversion(pass *Pass, info *types.Info, call *ast.CallExpr, target types.Type,
+	isUnit func(types.Type) (*types.Named, bool), inBoundary bool) {
+	arg := call.Args[0]
+	argTV := info.Types[arg]
+	targetUnit, targetIsUnit := isUnit(target)
+	argUnit, argIsUnit := isUnit(argTV.Type)
+
+	if targetIsUnit && argIsUnit && targetUnit.Obj() != argUnit.Obj() && !inBoundary {
+		pass.Reportf(call.Pos(),
+			"cross-unit conversion units.%s → units.%s launders a dimension; cross dimensions through the internal/units helpers (Energy, TravelTime, Transfer, ...) or annotate",
+			argUnit.Obj().Name(), targetUnit.Obj().Name())
+		return
+	}
+	if argIsUnit && !targetIsUnit && isPlainFloat64(target) && !inBoundary {
+		pass.Reportf(call.Pos(),
+			"conversion of units.%s to plain float64; leave the typed world with the explicit .F() escape at a documented boundary, or annotate",
+			argUnit.Obj().Name())
+		return
+	}
+	if targetIsUnit && argTV.Value != nil && isNonZeroNumeric(argTV.Value) {
+		if lit := stripSignedLiteral(arg); lit != nil {
+			pass.Reportf(call.Pos(),
+				"untyped literal converted into units.%s; untyped constants convert implicitly — drop the conversion, or name the constant in internal/units",
+				targetUnit.Obj().Name())
+		}
+	}
+}
+
+// checkMathCall applies rule (c) to a call of math.<fn>.
+func checkMathCall(pass *Pass, info *types.Info, call *ast.CallExpr,
+	isUnit func(types.Type) (*types.Named, bool), unitsCall func(*ast.CallExpr) bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "math" || unitsafetyMathPredicates[sel.Sel.Name] {
+		return
+	}
+	for _, arg := range call.Args {
+		var laundered *types.Named
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if laundered != nil {
+				return false
+			}
+			if inner, ok := n.(*ast.CallExpr); ok && unitsCall(inner) {
+				return false // sanctioned crossing; interior already vetted
+			}
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if named, ok := isUnit(info.Types[expr].Type); ok {
+				laundered = named
+				return false
+			}
+			return true
+		})
+		if laundered != nil {
+			pass.Reportf(call.Pos(),
+				"math.%s argument contains a units.%s expression; the result's dimension is laundered — use an internal/units helper, or annotate why the formula is dimensionally sound",
+				sel.Sel.Name, laundered.Obj().Name())
+			return
+		}
+	}
+}
+
+// isPlainFloat64 reports whether t is the basic (unnamed) float64 type.
+func isPlainFloat64(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Kind() == types.Float64
+}
+
+// isNonZeroNumeric reports whether v is a numeric constant other than
+// exactly zero (zero-valued conversions like units.Seconds(0) read as
+// initialisation, not as smuggled magnitudes).
+func isNonZeroNumeric(v constant.Value) bool {
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Compare(v, token.NEQ, constant.MakeInt64(0))
+	}
+	return false
+}
+
+// stripSignedLiteral unwraps parentheses and a leading unary ± and
+// returns the underlying numeric literal, or nil if the expression is not
+// a bare literal (named constants and folded expressions are fine — they
+// carry intent).
+func stripSignedLiteral(e ast.Expr) *ast.BasicLit {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.ADD && x.Op != token.SUB {
+				return nil
+			}
+			e = x.X
+		case *ast.BasicLit:
+			if x.Kind == token.INT || x.Kind == token.FLOAT {
+				return x
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -8,9 +8,10 @@ import (
 	"uavdc/internal/energy"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
-func campaignInstance(t testing.TB, seed uint64, capacity float64) *core.Instance {
+func campaignInstance(t testing.TB, seed uint64, capacity units.Joules) *core.Instance {
 	t.Helper()
 	p := sensornet.DefaultGenParams()
 	p.NumSensors = 40

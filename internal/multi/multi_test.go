@@ -7,9 +7,10 @@ import (
 	"uavdc/internal/energy"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
-func fleetInstance(t testing.TB, seed uint64, capacity float64) *core.Instance {
+func fleetInstance(t testing.TB, seed uint64, capacity units.Joules) *core.Instance {
 	t.Helper()
 	p := sensornet.DefaultGenParams()
 	p.NumSensors = 60

@@ -12,6 +12,8 @@ package radio
 import (
 	"fmt"
 	"math"
+
+	"uavdc/internal/units"
 )
 
 // Model yields the achievable uplink rate at a given slant distance (the
@@ -20,17 +22,17 @@ type Model interface {
 	// Rate returns the rate in MB/s at slant distance d ≥ 0. It must be
 	// non-increasing in d and strictly positive for every distance the
 	// coverage model admits.
-	Rate(d float64) float64
+	Rate(d units.Meters) units.BitsPerSecond
 }
 
 // Constant is the paper's model: B MB/s regardless of distance.
 type Constant struct {
 	// B is the rate in MB/s.
-	B float64
+	B units.BitsPerSecond
 }
 
 // Rate implements Model.
-func (c Constant) Rate(float64) float64 { return c.B }
+func (c Constant) Rate(units.Meters) units.BitsPerSecond { return c.B }
 
 // Shannon is a capacity-style model over free-space path loss: the
 // received SNR falls with the path-loss exponent, and the rate follows
@@ -39,10 +41,10 @@ func (c Constant) Rate(float64) float64 { return c.B }
 // sojourns computed under the constant-B assumption are optimistic.
 type Shannon struct {
 	// RefRate is the rate at RefDist, MB/s.
-	RefRate float64
+	RefRate units.BitsPerSecond
 	// RefDist is the calibration distance, metres (e.g. the hover
 	// altitude, where the paper's B is measured).
-	RefDist float64
+	RefDist units.Meters
 	// RefSNR is the linear SNR at RefDist (typical uplink: 10–1000).
 	RefSNR float64
 	// PathLossExp is the path-loss exponent α (2 = free space,
@@ -73,17 +75,17 @@ func (s Shannon) Validate() error {
 
 // Rate implements Model. The implicit channel width W is chosen so that
 // Rate(RefDist) = RefRate; SNR(d) = RefSNR·(RefDist/d)^α.
-func (s Shannon) Rate(d float64) float64 {
+func (s Shannon) Rate(d units.Meters) units.BitsPerSecond {
 	if d < s.RefDist {
 		d = s.RefDist // inside the calibration sphere the link saturates
 	}
-	snr := s.RefSNR * math.Pow(s.RefDist/d, s.PathLossExp)
-	w := s.RefRate / math.Log2(1+s.RefSNR)
-	return w * math.Log2(1+snr)
+	snr := s.RefSNR * math.Pow(units.Ratio(s.RefDist, d), s.PathLossExp)
+	w := s.RefRate.F() / math.Log2(1+s.RefSNR)
+	return units.BitsPerSecond(w * math.Log2(1+snr))
 }
 
 // SlantDist returns the 3-D distance between a sensor and a UAV hovering at
 // the given altitude above a point at ground distance g.
-func SlantDist(groundDist, altitude float64) float64 {
-	return math.Hypot(groundDist, altitude)
+func SlantDist(groundDist, altitude units.Meters) units.Meters {
+	return units.Hypot(groundDist, altitude)
 }

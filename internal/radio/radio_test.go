@@ -4,11 +4,13 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"uavdc/internal/units"
 )
 
 func TestConstant(t *testing.T) {
 	m := Constant{B: 150}
-	for _, d := range []float64{0, 10, 1e6} {
+	for _, d := range []units.Meters{0, 10, 1e6} {
 		if m.Rate(d) != 150 {
 			t.Errorf("Rate(%v) = %v", d, m.Rate(d))
 		}
@@ -20,11 +22,11 @@ func TestDefaultShannonCalibration(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.Rate(s.RefDist); math.Abs(got-s.RefRate) > 1e-9 {
+	if got := s.Rate(s.RefDist); math.Abs((got - s.RefRate).F()) > 1e-9 {
 		t.Errorf("Rate(RefDist) = %v, want %v", got, s.RefRate)
 	}
 	// Inside the calibration sphere the link saturates at RefRate.
-	if got := s.Rate(0); math.Abs(got-s.RefRate) > 1e-9 {
+	if got := s.Rate(0); math.Abs((got - s.RefRate).F()) > 1e-9 {
 		t.Errorf("Rate(0) = %v, want %v", got, s.RefRate)
 	}
 }
@@ -37,7 +39,7 @@ func TestShannonMonotoneNonIncreasing(t *testing.T) {
 		if d1 > d2 {
 			d1, d2 = d2, d1
 		}
-		return s.Rate(d1) >= s.Rate(d2)-1e-12
+		return s.Rate(units.Meters(d1)) >= s.Rate(units.Meters(d2))-1e-12
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -47,8 +49,8 @@ func TestShannonMonotoneNonIncreasing(t *testing.T) {
 func TestShannonPositiveWithinCoverage(t *testing.T) {
 	s := DefaultShannon()
 	// Out to the paper's maximum slant distance (~71 m at R0=50, H=50).
-	for d := 0.0; d <= 200; d += 5 {
-		if r := s.Rate(d); r <= 0 || math.IsNaN(r) {
+	for d := units.Meters(0); d <= 200; d += 5 {
+		if r := s.Rate(d); r <= 0 || math.IsNaN(r.F()) {
 			t.Fatalf("Rate(%v) = %v", d, r)
 		}
 	}

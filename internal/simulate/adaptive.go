@@ -8,6 +8,7 @@ import (
 	"uavdc/internal/geom"
 	"uavdc/internal/obs"
 	"uavdc/internal/trace"
+	"uavdc/internal/units"
 )
 
 // Instrumentation counter names recorded by the adaptive executor into the
@@ -153,15 +154,15 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 	}
 	battery := em.Capacity
 	pos := plan.Depot
-	now := 0.0
+	var now units.Seconds
 	nextFactor := opts.Noise.factors()
 	noiseMax := opts.Noise.MaxFactor()
 	descend := em.ClimbEnergy(opts.Altitude)
 	// wTravel bounds the actual factor of any future leg; reserve(p) is
 	// the guaranteed-sufficient cost of going home from p.
 	wTravel := sched.MaxLegFactor() * noiseMax
-	reserve := func(p geom.Point) float64 {
-		return em.TravelEnergy(p.Dist(plan.Depot))*wTravel + descend
+	reserve := func(p geom.Point) units.Joules {
+		return units.Scale(em.TravelEnergy(units.Meters(p.Dist(plan.Depot))), wTravel) + descend
 	}
 
 	// expected tracks what the plan's own accounting says the battery
@@ -172,20 +173,20 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 	log := func(kind EventKind, stop int) {
 		if opts.RecordEvents {
 			res.Events = append(res.Events, Event{
-				Kind: kind, Time: now, Pos: pos, Stop: stop,
+				Kind: kind, Time: now.F(), Pos: pos, Stop: stop,
 				EnergyUsed: res.EnergyUsed, Collected: res.Collected,
 			})
 		}
 		if emit {
 			tr.Event(MissionEventPrefix+kind.String(),
-				trace.Num("t_sim", now),
+				trace.Num("t_sim", now.F()),
 				trace.Int("stop", stop),
 				trace.Num("x", pos.X),
 				trace.Num("y", pos.Y),
 				trace.Num("energy_j", res.EnergyUsed),
 				trace.Num("collected_mb", res.Collected),
-				trace.Num("battery_j", battery),
-				trace.Num("deviation_j", expected-battery),
+				trace.Num("battery_j", battery.F()),
+				trace.Num("deviation_j", (expected-battery).F()),
 				trace.Int("faults", res.FaultsApplied))
 		}
 	}
@@ -195,15 +196,15 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 	// off into a guaranteed loss.
 	if climb := em.ClimbEnergy(opts.Altitude); climb+descend > battery+1e-12 {
 		res.AbortReason = "vertical overhead exceeds battery; mission not started"
-		res.FinalBattery = battery
+		res.FinalBattery = battery.F()
 		return res
 	}
 
 	log(EventTakeoff, -1)
 	if climb := em.ClimbEnergy(opts.Altitude); climb > 0 {
 		battery -= climb
-		res.EnergyUsed += climb
-		now += opts.Altitude / em.ClimbRate
+		res.EnergyUsed += climb.F()
+		now += units.TravelTime(opts.Altitude, em.ClimbRate)
 	}
 
 	expected = battery
@@ -224,7 +225,7 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 		legFault := sched.LegFactor(legIdx)
 		// Reachable-depot guard: commit to this leg only if, after the
 		// worst-case draw, the destination's fly-home reserve survives.
-		if worst := em.TravelEnergy(dist) * (legFault * noiseMax); battery < worst+reserve(stop.Pos) {
+		if worst := units.Scale(em.TravelEnergy(units.Meters(dist)), legFault*noiseMax); battery < worst+reserve(stop.Pos) {
 			res.Diverted = true
 			res.StopsSkipped = len(queue)
 			cSkipped.Add(int64(len(queue)))
@@ -235,17 +236,17 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 			countFault()
 		}
 		factor := nextFactor() * legFault
-		need := em.TravelEnergy(dist) * factor
+		need := units.Scale(em.TravelEnergy(units.Meters(dist)), factor)
 		battery -= need
-		res.EnergyUsed += need
+		res.EnergyUsed += need.F()
 		res.FlightDistance += dist
-		now += em.TravelTime(dist)
+		now += em.TravelTime(units.Meters(dist))
 		pos = stop.Pos
 		legIdx++
 		log(EventArrive, e.idx)
 
 		// Hover, capped so the fly-home reserve survives the segment.
-		want := stop.Sojourn
+		want := units.Seconds(stop.Sojourn)
 		hoverFault := sched.HoverFactor(stopCount)
 		if hoverFault != 1 {
 			countFault()
@@ -257,8 +258,8 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 		hoverFactor := nextFactor() * hoverFault
 		avail := battery - reserve(pos)
 		canAfford := want
-		if need := em.HoverEnergy(want) * hoverFactor; need > avail {
-			canAfford = avail / (em.HoverPower * hoverFactor)
+		if need := units.Scale(em.HoverEnergy(want), hoverFactor); need > avail {
+			canAfford = units.Duration(avail, units.Scale(em.HoverPower, hoverFactor))
 			if canAfford < 0 {
 				canAfford = 0
 			}
@@ -271,22 +272,22 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 			if uf != 1 {
 				cFaults.Inc()
 			}
-			rate := opts.rateFor(net, net.Sensors[c.Sensor].Pos.Dist(stop.Pos)) * uf
-			amt := math.Min(c.Amount, rate*canAfford)
+			rate := units.Scale(opts.rateFor(net, units.Meters(net.Sensors[c.Sensor].Pos.Dist(stop.Pos))), uf)
+			amt := units.Min(units.Bits(c.Amount), units.Transfer(rate, canAfford)).F()
 			remain := net.Sensors[c.Sensor].Data - res.PerSensor[c.Sensor]
 			amt = math.Min(amt, math.Max(remain, 0))
 			res.PerSensor[c.Sensor] += amt
 			res.Collected += amt
 		}
-		used := em.HoverEnergy(canAfford) * hoverFactor
+		used := units.Scale(em.HoverEnergy(canAfford), hoverFactor)
 		if used > avail && canAfford < want {
 			// Guard against float rounding in the truncation branch: the
 			// reserve is inviolable.
 			used = avail
 		}
 		battery -= used
-		res.EnergyUsed += used
-		res.HoverTime += canAfford
+		res.EnergyUsed += used.F()
+		res.HoverTime += canAfford.F()
 		now += canAfford
 		log(EventCollect, e.idx)
 		stopCount++
@@ -296,18 +297,18 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 		// and replan the remaining tour when the deviation exceeds the
 		// margin. The two subtractions mirror the battery's own op
 		// sequence so the fault-free deviation is exactly zero.
-		expected -= em.TravelEnergy(dist)
-		expected -= em.HoverEnergy(stop.Sojourn)
-		dev := expected - battery
-		if a := math.Abs(dev); a > res.MaxDeviation {
-			res.MaxDeviation = a
+		expected -= em.TravelEnergy(units.Meters(dist))
+		expected -= em.HoverEnergy(units.Seconds(stop.Sojourn))
+		dev := units.Abs(expected - battery).F()
+		if dev > res.MaxDeviation {
+			res.MaxDeviation = dev
 		}
-		cDev.Add(int64(math.Round(math.Abs(dev))))
-		hDev.Observe(math.Abs(dev))
-		if len(queue) > 0 && math.Abs(dev) > margin*em.Capacity && replans < replanCap {
-			residual := make([]float64, len(net.Sensors))
+		cDev.Add(int64(math.Round(dev)))
+		hDev.Observe(dev)
+		if len(queue) > 0 && dev > units.Scale(em.Capacity, margin).F() && replans < replanCap {
+			residual := make([]units.Bits, len(net.Sensors))
 			for v := range residual {
-				residual[v] = math.Max(net.Sensors[v].Data-res.PerSensor[v], 0)
+				residual[v] = units.Bits(math.Max(net.Sensors[v].Data-res.PerSensor[v], 0))
 			}
 			budget := battery - descend
 			if budget < 0 {
@@ -346,20 +347,20 @@ func AdaptiveRun(in *core.Instance, plan *core.Plan, opts AdaptiveOptions) Adapt
 		countFault()
 	}
 	factor := nextFactor() * legFault
-	need := em.TravelEnergy(homeDist) * factor
+	need := units.Scale(em.TravelEnergy(units.Meters(homeDist)), factor)
 	battery -= need
-	res.EnergyUsed += need
+	res.EnergyUsed += need.F()
 	res.FlightDistance += homeDist
-	now += em.TravelTime(homeDist)
+	now += em.TravelTime(units.Meters(homeDist))
 	pos = plan.Depot
 	if descend > 0 {
 		battery -= descend
-		res.EnergyUsed += descend
-		now += opts.Altitude / em.ClimbRate
+		res.EnergyUsed += descend.F()
+		now += units.TravelTime(opts.Altitude, em.ClimbRate)
 	}
 	log(EventReturn, -1)
 	res.Completed = true
-	res.MissionTime = now
-	res.FinalBattery = battery
+	res.MissionTime = now.F()
+	res.FinalBattery = battery.F()
 	return res
 }

@@ -14,10 +14,11 @@ import (
 	"uavdc/internal/obs"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 // adaptiveInstance builds a mid-size random instance for executor tests.
-func adaptiveInstance(t *testing.T, seed uint64, capacity float64) *core.Instance {
+func adaptiveInstance(t *testing.T, seed uint64, capacity units.Joules) *core.Instance {
 	t.Helper()
 	p := sensornet.DefaultGenParams()
 	p.NumSensors = 40
@@ -117,7 +118,7 @@ func TestAdaptiveNeverDiesUnderFaults(t *testing.T) {
 	}
 	for _, seed := range []uint64{1, 2, 5} {
 		// A tight budget stresses the reserve logic the hardest.
-		for _, capacity := range []float64{1.2e4, 3e4} {
+		for _, capacity := range []units.Joules{1.2e4, 3e4} {
 			in := adaptiveInstance(t, seed, capacity)
 			for _, pl := range allPlanners() {
 				plan, err := pl.Plan(in)
@@ -141,7 +142,7 @@ func TestAdaptiveNeverDiesUnderFaults(t *testing.T) {
 							t.Errorf("%s seed=%d cap=%g: depot battery %v < 0",
 								label, seed, capacity, res.FinalBattery)
 						}
-						if res.EnergyUsed > in.Model.Capacity+1e-6 {
+						if res.EnergyUsed > in.Model.Capacity.F()+1e-6 {
 							t.Errorf("%s seed=%d cap=%g: drew %v J of %v",
 								label, seed, capacity, res.EnergyUsed, in.Model.Capacity)
 						}
@@ -235,11 +236,11 @@ func TestFaultAndNoiseCompose(t *testing.T) {
 	pos := plan.Depot
 	for i := range plan.Stops {
 		stop := plan.Stops[i]
-		want += em.TravelEnergy(pos.Dist(stop.Pos)) * (draw() * 1.3)
-		want += em.HoverEnergy(stop.Sojourn) * (draw() * 1.2)
+		want += em.TravelEnergy(units.Meters(pos.Dist(stop.Pos))).F() * (draw() * 1.3)
+		want += em.HoverEnergy(units.Seconds(stop.Sojourn)).F() * (draw() * 1.2)
 		pos = stop.Pos
 	}
-	want += em.TravelEnergy(pos.Dist(plan.Depot)) * (draw() * 1.3)
+	want += em.TravelEnergy(units.Meters(pos.Dist(plan.Depot))).F() * (draw() * 1.3)
 	if math.Abs(res.EnergyUsed-want) > 1e-9 {
 		t.Errorf("energy %v, composed expectation %v", res.EnergyUsed, want)
 	}
@@ -292,11 +293,11 @@ func TestNoiseCoversReplannedLegs(t *testing.T) {
 		}
 		prev := res.Events[i-1]
 		dist := prev.Pos.Dist(ev.Pos)
-		nominal := em.TravelEnergy(dist)
+		nominal := em.TravelEnergy(units.Meters(dist))
 		if nominal <= 0 {
 			continue
 		}
-		factor := (ev.EnergyUsed - prev.EnergyUsed) / nominal
+		factor := (ev.EnergyUsed - prev.EnergyUsed) / nominal.F()
 		if math.Abs(factor-1) > 1e-6 {
 			noisy++
 		}

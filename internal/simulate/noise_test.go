@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"uavdc/internal/energy"
+	"uavdc/internal/units"
 )
 
 func TestNoiseDisabledMatchesDeterministic(t *testing.T) {
@@ -50,7 +51,7 @@ func TestNoiseChangesEnergy(t *testing.T) {
 func TestNoiseCanKillTightMissions(t *testing.T) {
 	net := simNet()
 	plan := simPlan()
-	em := energy.Default().WithCapacity(plan.Energy(energy.Default()) * 1.001)
+	em := energy.Default().WithCapacity(units.Joules(plan.Energy(energy.Default()) * 1.001))
 	failures := 0
 	for seed := int64(0); seed < 40; seed++ {
 		res := Run(net, em, plan, Options{Noise: Noise{Spread: 0.25, Seed: seed}})
@@ -60,7 +61,7 @@ func TestNoiseCanKillTightMissions(t *testing.T) {
 				t.Fatal("failed mission without abort reason")
 			}
 		}
-		if res.EnergyUsed > em.Capacity+1e-6 {
+		if res.EnergyUsed > em.Capacity.F()+1e-6 {
 			t.Fatalf("seed %d: drew %v J from a %v J battery", seed, res.EnergyUsed, em.Capacity)
 		}
 	}
@@ -79,7 +80,7 @@ func TestNoiseMarginHelps(t *testing.T) {
 	plan := simPlan()
 	need := plan.Energy(energy.Default())
 	rate := func(margin float64) int {
-		em := energy.Default().WithCapacity(need * margin)
+		em := energy.Default().WithCapacity(units.Joules(need * margin))
 		ok := 0
 		for seed := int64(0); seed < 60; seed++ {
 			if Run(net, em, plan, Options{Noise: Noise{Spread: 0.2, Seed: seed}}).Completed {
@@ -123,7 +124,7 @@ func TestVerticalEnergyInSimulator(t *testing.T) {
 		t.Errorf("ascent failure not detected: %+v", res.AbortReason)
 	}
 	// Enough for everything but the final descent.
-	justShort := em.WithCapacity(flat.EnergyUsed + 2000 - 1)
+	justShort := em.WithCapacity(units.Joules(flat.EnergyUsed + 2000 - 1))
 	res = Run(net, justShort, plan, Options{Altitude: alt})
 	if res.Completed || res.AbortReason != "battery died on descent" {
 		t.Errorf("descent failure not detected: %q", res.AbortReason)

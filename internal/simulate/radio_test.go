@@ -9,6 +9,7 @@ import (
 	"uavdc/internal/radio"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 // TestSimulatorAgreesWithPlannersUnderRadio is the end-to-end cross-check
@@ -24,7 +25,7 @@ func TestSimulatorAgreesWithPlannersUnderRadio(t *testing.T) {
 		t.Fatal(err)
 	}
 	em := energy.Default().WithCapacity(2.5e4)
-	model := radio.Shannon{RefRate: net.Bandwidth, RefDist: 30, RefSNR: 100, PathLossExp: 2.7}
+	model := radio.Shannon{RefRate: units.BitsPerSecond(net.Bandwidth), RefDist: 30, RefSNR: 100, PathLossExp: 2.7}
 	in := &core.Instance{Net: net, Model: em, Delta: 20, K: 2, Altitude: 30, Radio: model}
 	for _, pl := range []core.Planner{&core.Algorithm1{}, &core.Algorithm2{}, &core.Algorithm3{}} {
 		plan, err := pl.Plan(in)
@@ -59,7 +60,7 @@ func TestSimulatorRadioTruncatesOptimisticPlans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	harsh := radio.Shannon{RefRate: net.Bandwidth, RefDist: 5, RefSNR: 50, PathLossExp: 3.5}
+	harsh := radio.Shannon{RefRate: units.BitsPerSecond(net.Bandwidth), RefDist: 5, RefSNR: 50, PathLossExp: 3.5}
 	res := Run(net, em, plan, Options{Altitude: 45, Radio: harsh})
 	if res.Collected >= plan.Collected()-1e-6 {
 		t.Errorf("harsh physics should truncate: simulated %v vs planned %v", res.Collected, plan.Collected())

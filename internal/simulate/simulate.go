@@ -19,6 +19,7 @@ import (
 	"uavdc/internal/radio"
 	"uavdc/internal/sensornet"
 	"uavdc/internal/trace"
+	"uavdc/internal/units"
 )
 
 // MissionEventPrefix prefixes every trace event the simulators emit; the
@@ -117,7 +118,7 @@ type Options struct {
 	RecordEvents bool
 	// Altitude is the hovering altitude H used for slant-distance rate
 	// computation when Radio is set.
-	Altitude float64
+	Altitude units.Meters
 	// Radio is the uplink rate model; nil simulates the paper's constant
 	// bandwidth B.
 	Radio radio.Model
@@ -132,9 +133,9 @@ type Options struct {
 
 // rateFor returns the uplink rate for a sensor at the given ground
 // distance from the hovering UAV.
-func (o Options) rateFor(net *sensornet.Network, groundDist float64) float64 {
+func (o Options) rateFor(net *sensornet.Network, groundDist units.Meters) units.BitsPerSecond {
 	if o.Radio == nil {
-		return net.Bandwidth
+		return units.BitsPerSecond(net.Bandwidth)
 	}
 	return o.Radio.Rate(radio.SlantDist(groundDist, o.Altitude))
 }
@@ -147,31 +148,31 @@ func Run(net *sensornet.Network, em energy.Model, plan *core.Plan, opts Options)
 	res := Result{PerSensor: make([]float64, len(net.Sensors))}
 	battery := em.Capacity
 	pos := plan.Depot
-	now := 0.0
+	var now units.Seconds
 
 	tr := trace.OrDiscard(opts.Trace)
 	emit := tr.Enabled()
 	log := func(kind EventKind, stop int) {
 		if opts.RecordEvents {
 			res.Events = append(res.Events, Event{
-				Kind: kind, Time: now, Pos: pos, Stop: stop,
+				Kind: kind, Time: now.F(), Pos: pos, Stop: stop,
 				EnergyUsed: res.EnergyUsed, Collected: res.Collected,
 			})
 		}
 		if emit {
 			tr.Event(MissionEventPrefix+kind.String(),
-				trace.Num("t_sim", now),
+				trace.Num("t_sim", now.F()),
 				trace.Int("stop", stop),
 				trace.Num("x", pos.X),
 				trace.Num("y", pos.Y),
 				trace.Num("energy_j", res.EnergyUsed),
 				trace.Num("collected_mb", res.Collected),
-				trace.Num("battery_j", battery))
+				trace.Num("battery_j", battery.F()))
 		}
 	}
 	abort := func(reason string) Result {
 		res.AbortReason = reason
-		res.MissionTime = now
+		res.MissionTime = now.F()
 		log(EventBatteryDead, -1)
 		return res
 	}
@@ -180,22 +181,22 @@ func Run(net *sensornet.Network, em energy.Model, plan *core.Plan, opts Options)
 	// route (position advances to the point of failure).
 	fly := func(dst geom.Point) bool {
 		dist := pos.Dist(dst)
-		need := em.TravelEnergy(dist) * nextFactor()
+		need := units.Scale(em.TravelEnergy(units.Meters(dist)), nextFactor())
 		if need <= battery+1e-12 {
 			battery -= need
-			res.EnergyUsed += need
+			res.EnergyUsed += need.F()
 			res.FlightDistance += dist
-			now += em.TravelTime(dist)
+			now += em.TravelTime(units.Meters(dist))
 			pos = dst
 			return true
 		}
 		frac := 0.0
 		if need > 0 {
-			frac = battery / need
+			frac = units.Ratio(battery, need)
 		}
-		res.EnergyUsed += battery
+		res.EnergyUsed += battery.F()
 		res.FlightDistance += dist * frac
-		now += em.TravelTime(dist * frac)
+		now += em.TravelTime(units.Meters(dist * frac))
 		pos = pos.Lerp(dst, frac)
 		battery = 0
 		return false
@@ -206,13 +207,13 @@ func Run(net *sensornet.Network, em energy.Model, plan *core.Plan, opts Options)
 	// when the energy model has a vertical component).
 	if climb := em.ClimbEnergy(opts.Altitude); climb > 0 {
 		if climb > battery+1e-12 {
-			res.EnergyUsed += battery
+			res.EnergyUsed += battery.F()
 			battery = 0
 			return abort("battery died on ascent")
 		}
 		battery -= climb
-		res.EnergyUsed += climb
-		now += opts.Altitude / em.ClimbRate
+		res.EnergyUsed += climb.F()
+		now += units.TravelTime(opts.Altitude, em.ClimbRate)
 	}
 	for si := range plan.Stops {
 		stop := &plan.Stops[si]
@@ -222,11 +223,11 @@ func Run(net *sensornet.Network, em energy.Model, plan *core.Plan, opts Options)
 		log(EventArrive, si)
 		// Hover: the achievable duration is capped by the battery, with
 		// this segment's power disturbance applied.
-		want := stop.Sojourn
+		want := units.Seconds(stop.Sojourn)
 		hoverFactor := nextFactor()
 		canAfford := want
-		if need := em.HoverEnergy(want) * hoverFactor; need > battery {
-			canAfford = battery / (em.HoverPower * hoverFactor)
+		if need := units.Scale(em.HoverEnergy(want), hoverFactor); need > battery {
+			canAfford = units.Duration(battery, units.Scale(em.HoverPower, hoverFactor))
 		}
 		// Uploads proceed in parallel; each sensor delivers at most
 		// rate × hover-time, at most its scheduled amount, at most its
@@ -235,17 +236,17 @@ func Run(net *sensornet.Network, em energy.Model, plan *core.Plan, opts Options)
 			if c.Sensor < 0 || c.Sensor >= len(net.Sensors) {
 				continue
 			}
-			rate := opts.rateFor(net, net.Sensors[c.Sensor].Pos.Dist(stop.Pos))
-			amt := math.Min(c.Amount, rate*canAfford)
+			rate := opts.rateFor(net, units.Meters(net.Sensors[c.Sensor].Pos.Dist(stop.Pos)))
+			amt := units.Min(units.Bits(c.Amount), units.Transfer(rate, canAfford)).F()
 			remain := net.Sensors[c.Sensor].Data - res.PerSensor[c.Sensor]
 			amt = math.Min(amt, math.Max(remain, 0))
 			res.PerSensor[c.Sensor] += amt
 			res.Collected += amt
 		}
-		used := em.HoverEnergy(canAfford) * hoverFactor
+		used := units.Scale(em.HoverEnergy(canAfford), hoverFactor)
 		battery -= used
-		res.EnergyUsed += used
-		res.HoverTime += canAfford
+		res.EnergyUsed += used.F()
+		res.HoverTime += canAfford.F()
 		now += canAfford
 		log(EventCollect, si)
 		if canAfford < want-1e-12 {
@@ -258,16 +259,16 @@ func Run(net *sensornet.Network, em energy.Model, plan *core.Plan, opts Options)
 	// Descend back to the ground (symmetric cost to the ascent).
 	if descend := em.ClimbEnergy(opts.Altitude); descend > 0 {
 		if descend > battery+1e-12 {
-			res.EnergyUsed += battery
+			res.EnergyUsed += battery.F()
 			battery = 0
 			return abort("battery died on descent")
 		}
 		battery -= descend
-		res.EnergyUsed += descend
-		now += opts.Altitude / em.ClimbRate
+		res.EnergyUsed += descend.F()
+		now += units.TravelTime(opts.Altitude, em.ClimbRate)
 	}
 	log(EventReturn, -1)
 	res.Completed = true
-	res.MissionTime = now
+	res.MissionTime = now.F()
 	return res
 }

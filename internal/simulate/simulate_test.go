@@ -10,6 +10,7 @@ import (
 	"uavdc/internal/geom"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
+	"uavdc/internal/units"
 )
 
 func simNet() *sensornet.Network {
@@ -129,7 +130,7 @@ func TestRunDiesOnReturnLeg(t *testing.T) {
 	plan := simPlan()
 	em := energy.Default()
 	need := plan.Energy(em)
-	em = em.WithCapacity(need - 100) // 10 m short
+	em = em.WithCapacity(units.Joules(need - 100)) // 10 m short
 	res := Run(simNet(), em, plan, Options{})
 	if res.Completed {
 		t.Fatal("should die on return")
@@ -226,7 +227,7 @@ func TestSimulatorAgreesWithAllPlanners(t *testing.T) {
 		if math.Abs(res.Collected-plan.Collected()) > 1e-6*(1+plan.Collected()) {
 			t.Errorf("%s: simulator collected %v, plan claims %v", pl.Name(), res.Collected, plan.Collected())
 		}
-		if res.EnergyUsed > em.Capacity+1e-6 {
+		if res.EnergyUsed > em.Capacity.F()+1e-6 {
 			t.Errorf("%s: energy %v over capacity", pl.Name(), res.EnergyUsed)
 		}
 	}

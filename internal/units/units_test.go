@@ -1,0 +1,72 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCrossingsMatchRawArithmetic pins every dimension-crossing helper
+// to the exact float64 expression its formula writes — the bit-identity
+// contract the typed refactor rests on.
+func TestCrossingsMatchRawArithmetic(t *testing.T) {
+	// Deliberately awkward values: results are inexact, so any
+	// reassociation inside a helper would change the bits.
+	p, tt, d, v, r, b, e := 150.3, 7.77, 123.45, 9.9, 151.5, 1007.3, 2.9e5
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"Energy", Energy(Watts(p), Seconds(tt)).F(), p * tt},
+		{"Duration", Duration(Joules(e), Watts(p)).F(), e / p},
+		{"TravelTime", TravelTime(Meters(d), MetersPerSecond(v)).F(), d / v},
+		{"Distance", Distance(MetersPerSecond(v), Seconds(tt)).F(), v * tt},
+		{"Transfer", Transfer(BitsPerSecond(r), Seconds(tt)).F(), r * tt},
+		{"TransferTime", TransferTime(Bits(b), BitsPerSecond(r)).F(), b / r},
+		{"Scale", Scale(Joules(e), 0.37).F(), e * 0.37},
+		{"Ratio", Ratio(Joules(b), Joules(e)), b / e},
+		{"Hypot", Hypot(Meters(d), Meters(v)).F(), math.Hypot(d, v)},
+	}
+	for _, c := range checks {
+		if math.Float64bits(c.got) != math.Float64bits(c.want) {
+			t.Errorf("%s = %v (bits %x), want %v (bits %x)",
+				c.name, c.got, math.Float64bits(c.got), c.want, math.Float64bits(c.want))
+		}
+	}
+}
+
+// TestMinMaxAbsDelegateToMath locks the NaN and signed-zero semantics to
+// the math package's, since the call sites they replaced used math.Min,
+// math.Max, and math.Abs.
+func TestMinMaxAbsDelegateToMath(t *testing.T) {
+	nan, negZero := math.NaN(), math.Copysign(0, -1)
+	pairs := [][2]float64{
+		{1, 2}, {2, 1}, {nan, 1}, {1, nan}, {negZero, 0}, {0, negZero}, {-3.5, -3.5},
+	}
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if got, want := Min(Bits(a), Bits(b)).F(), math.Min(a, b); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("Min(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := Max(Bits(a), Bits(b)).F(), math.Max(a, b); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("Max(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+	for _, x := range []float64{1.5, -1.5, 0, negZero, nan, math.Inf(-1)} {
+		if got, want := Abs(Joules(x)).F(), math.Abs(x); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("Abs(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// TestFRoundTrips: wrapping and unwrapping is the identity on bits,
+// including for the values float64 treats specially.
+func TestFRoundTrips(t *testing.T) {
+	for _, x := range []float64{0, math.Copysign(0, -1), 1.25, -3e5, math.Inf(1), math.NaN()} {
+		if got := Joules(x).F(); math.Float64bits(got) != math.Float64bits(x) {
+			t.Errorf("Joules(%v).F() = %v", x, got)
+		}
+		if got := BitsPerSecond(x).F(); math.Float64bits(got) != math.Float64bits(x) {
+			t.Errorf("BitsPerSecond(%v).F() = %v", x, got)
+		}
+	}
+}

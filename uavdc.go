@@ -12,6 +12,7 @@ import (
 	"uavdc/internal/sensornet"
 	"uavdc/internal/simulate"
 	"uavdc/internal/trace"
+	"uavdc/internal/units"
 )
 
 // Algorithm selects a planner.
@@ -135,17 +136,17 @@ type UAV struct {
 // 100 W travel, 10 m/s, 3×10⁵ J battery.
 func DefaultUAV() UAV {
 	m := energy.Default()
-	return UAV{HoverPowerW: m.HoverPower, TravelPowerW: m.TravelPower, SpeedMS: m.Speed, CapacityJ: m.Capacity}
+	return UAV{HoverPowerW: m.HoverPower.F(), TravelPowerW: m.TravelPower.F(), SpeedMS: m.Speed.F(), CapacityJ: m.Capacity.F()}
 }
 
 func (u UAV) model() energy.Model {
 	return energy.Model{
-		HoverPower:  u.HoverPowerW,
-		TravelPower: u.TravelPowerW,
-		Speed:       u.SpeedMS,
-		Capacity:    u.CapacityJ,
-		ClimbPower:  u.ClimbPowerW,
-		ClimbRate:   u.ClimbRateMS,
+		HoverPower:  units.Watts(u.HoverPowerW),
+		TravelPower: units.Watts(u.TravelPowerW),
+		Speed:       units.MetersPerSecond(u.SpeedMS),
+		Capacity:    units.Joules(u.CapacityJ),
+		ClimbPower:  units.Watts(u.ClimbPowerW),
+		ClimbRate:   units.MetersPerSecond(u.ClimbRateMS),
 	}
 }
 
@@ -191,7 +192,7 @@ func (o Options) radioModel(sc Scenario) radio.Model {
 	if ref <= 0 {
 		ref = 10
 	}
-	return radio.Shannon{RefRate: sc.BandwidthMBps, RefDist: ref, RefSNR: 100, PathLossExp: 2}
+	return radio.Shannon{RefRate: units.BitsPerSecond(sc.BandwidthMBps), RefDist: units.Meters(ref), RefSNR: 100, PathLossExp: 2}
 }
 
 // Stop is one hovering stop of a planned tour.
@@ -259,9 +260,9 @@ func (sc Scenario) instance(uav UAV, opts Options) (*core.Instance, error) {
 	return &core.Instance{
 		Net:      net,
 		Model:    em,
-		Delta:    delta,
+		Delta:    units.Meters(delta),
 		K:        k,
-		Altitude: opts.AltitudeM,
+		Altitude: units.Meters(opts.AltitudeM),
 		Radio:    opts.radioModel(sc),
 	}, nil
 }
@@ -290,7 +291,7 @@ func Plan(sc Scenario, uav UAV, opts Options) (*Result, error) {
 	if tr.Enabled() {
 		opts.Trace.buf.SetMeta(
 			trace.Str("algorithm", plan.Algorithm),
-			trace.Num("delta_m", in.Delta),
+			trace.Num("delta_m", in.Delta.F()),
 			trace.Int("k", in.K),
 			trace.Int("sensors", len(net.Sensors)))
 	}
