@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race fuzz bench benchparity golden golden-traces adaptive trace
+.PHONY: ci build vet lint test race fuzz bench bench-micro benchparity fastpath golden golden-traces adaptive trace
 
-ci: vet lint build race adaptive trace benchparity
+ci: vet lint build race adaptive trace fastpath benchparity
 
 build:
 	$(GO) build ./...
@@ -58,14 +58,34 @@ trace:
 		$(GO) run ./cmd/uavtrace $$tmp/a.jsonl $$tmp/b.jsonl && \
 		rm -rf $$tmp
 
-# Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines").
-bench:
-	$(GO) run ./cmd/uavbench -preset reduced -out BENCH_PR5.json
+# Fast-path parity gate: race-enabled differential tests holding the
+# spatial-index scan, cached insertion pricing, and memoized matrices to
+# bit-identical plans and counters against the retained reference path —
+# at the planner level (various worker counts) and across all figure
+# drivers at GOMAXPROCS 1/4/8 — plus a paper-scale (δ = 5 m) smoke run of
+# the `full` uavbench preset.
+fastpath:
+	$(GO) test -race -count=1 -run 'TestFastPathMatchesReference|TestSkippedEvalsReconcile|TestFastCountersDeterministicAcrossWorkers' ./internal/core
+	$(GO) test -race -count=1 -run 'TestFastPathParityAcrossFigures|TestBenchSpeedupPanel' ./internal/experiments
+	$(GO) run ./cmd/uavbench -preset full -fig fig4 -faults none -out /dev/null
 
-# Baseline-parity gate: the deterministic panels of BENCH_PR5.json
-# (counters, volumes, plan calls, fault scenarios) must be bit-identical
-# to BENCH_PR4.json — the internal/units adoption changed types, not
-# arithmetic. Timing fields are excluded.
+# Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines"):
+# reduced-preset figure panels plus the paper-scale (δ = 5 m)
+# fast-vs-reference speedup panel.
+bench:
+	$(GO) run ./cmd/uavbench -preset reduced -speedup full -out BENCH_PR6.json
+
+# Micro-benchmarks behind the speedup panel: candidate generation fast vs
+# reference (internal/core) and 2-opt with vs without neighbor lists and
+# don't-look bits (internal/tsp).
+bench-micro:
+	$(GO) test -run XXX -bench 'BenchmarkAlg2' -benchtime 3x ./internal/core
+	$(GO) test -run XXX -bench 'BenchmarkTwoOpt(Full|DLB)' ./internal/tsp
+
+# Baseline-parity gate: BENCH_PR6.json against BENCH_PR5.json under the
+# fast-path contract — volumes, plan calls, behaviour counters, and fault
+# scenarios bit-identical; the scan work ledger may only shrink, and the
+# skip counter must reconcile it exactly. Timing fields are excluded.
 benchparity:
 	$(GO) test -count=1 -run TestBenchPanelsParity ./internal/experiments
 

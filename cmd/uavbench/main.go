@@ -8,13 +8,18 @@
 //
 //	uavbench [flags]
 //
-//	-preset    tiny | reduced | paper | papertight (default reduced)
+//	-preset    tiny | reduced | paper | papertight | full (default reduced)
 //	-fig       comma-separated figure ids (default fig3,fig4,fig5)
 //	-instances override the number of network instances per point
 //	-seed      override the experiment seed
 //	-workers   parallel candidate-scan goroutines (counters are identical)
 //	-faults    fault spec for the adaptive-execution panel; "default" =
 //	           built-in schedule, "none" skips the panel
+//	-speedup   preset for the fast-vs-reference speedup panel ("none"
+//	           skips it): each -fig driver runs twice at that preset,
+//	           reference scan vs fast scan, and the row records both
+//	           planner times, the candidate-evals ledger, and whether the
+//	           deterministic panels stayed bit-identical
 //	-out       output path (default BENCH.json; "-" = stdout)
 //	-trace     write a flight-recorder trace of the figure sweeps
 //	           (uavdc-trace/1 JSONL; analyze with uavtrace) to this file
@@ -42,18 +47,36 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// presetConfig resolves a preset name to its configuration.
+func presetConfig(name string) (experiments.Config, bool) {
+	switch name {
+	case "tiny":
+		return experiments.Tiny(), true
+	case "reduced":
+		return experiments.Reduced(), true
+	case "paper":
+		return experiments.Paper(), true
+	case "papertight":
+		return experiments.PaperTight(), true
+	case "full":
+		return experiments.Full(), true
+	}
+	return experiments.Config{}, false
+}
+
 // run is the testable entry point: it parses args with its own FlagSet,
 // writes to the given streams, and returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("uavbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		preset    = fs.String("preset", "reduced", "tiny | reduced | paper | papertight")
+		preset    = fs.String("preset", "reduced", "tiny | reduced | paper | papertight | full")
 		fig       = fs.String("fig", "fig3,fig4,fig5", "comma-separated figure ids")
 		instances = fs.Int("instances", 0, "override instances per point (0 = preset default)")
 		seed      = fs.Uint64("seed", 0, "override experiment seed (0 = preset default)")
 		workers   = fs.Int("workers", 0, "parallel candidate-scan goroutines")
 		faultsArg = fs.String("faults", "default", `fault spec for the adaptive panel ("default" = built-in, "none" = skip)`)
+		speedup   = fs.String("speedup", "none", `preset for the fast-vs-reference speedup panel ("none" = skip)`)
 		out       = fs.String("out", "BENCH.json", `output path ("-" = stdout)`)
 		tracePath = fs.String("trace", "", "write the flight-recorder trace (JSONL) to this file")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -80,17 +103,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}()
 	}
 
-	var cfg experiments.Config
-	switch *preset {
-	case "tiny":
-		cfg = experiments.Tiny()
-	case "reduced":
-		cfg = experiments.Reduced()
-	case "paper":
-		cfg = experiments.Paper()
-	case "papertight":
-		cfg = experiments.PaperTight()
-	default:
+	cfg, ok := presetConfig(*preset)
+	if !ok {
 		errs.Printf("uavbench: unknown preset %q\n", *preset)
 		return 2
 	}
@@ -128,6 +142,24 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		errs.Println("uavbench:", err)
 		return 1
+	}
+	if *speedup != "none" {
+		scfg, ok := presetConfig(*speedup)
+		if !ok {
+			errs.Printf("uavbench: unknown speedup preset %q\n", *speedup)
+			return 2
+		}
+		if *instances > 0 {
+			scfg.Instances = *instances
+		}
+		if *seed != 0 {
+			scfg.Seed = *seed
+		}
+		b.Speedup, err = experiments.BenchSpeedup(*speedup, scfg, figures)
+		if err != nil {
+			errs.Println("uavbench:", err)
+			return 1
+		}
 	}
 	if *faultsArg != "none" {
 		spec := *faultsArg
@@ -186,6 +218,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	for _, bf := range b.Figures {
 		outw.Printf("%-18s %8.3f s wall  %8.3f s plan  %6d plans\n",
 			bf.Figure, bf.WallSeconds, bf.PlanSeconds, bf.PlanCalls)
+	}
+	for _, sp := range b.Speedup {
+		parity := "bit-identical"
+		if !sp.BitIdentical {
+			parity = "PANELS DIVERGED"
+		}
+		outw.Printf("speedup/%-10s %6.2fx  (%.3f s ref, %.3f s fast)  evals %d -> %d  %s\n",
+			sp.Figure, sp.Speedup, sp.ReferenceSeconds, sp.FastSeconds,
+			sp.ReferenceEvals, sp.FastEvals, parity)
 	}
 	for _, fsn := range b.FaultScenarios {
 		outw.Printf("faults/%-11s %7.1f%% retained  %4d replans  %4d skipped\n",

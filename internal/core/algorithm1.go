@@ -7,7 +7,12 @@ import (
 	"uavdc/internal/hover"
 	"uavdc/internal/orienteering"
 	"uavdc/internal/trace"
+	"uavdc/internal/tsp"
 )
+
+// costMemoMax bounds the node count for which planners materialise dense
+// cost matrices (8·n² bytes); larger instances keep closure metrics.
+const costMemoMax = 2048
 
 // Algorithm1 solves the data-collection maximisation problem without
 // hovering coverage overlapping (Section IV) by reduction to rooted
@@ -32,6 +37,13 @@ type Algorithm1 struct {
 	// AllowOverlap set the raw candidate set is used and the realised
 	// (deduplicated) volume may be below the orienteering objective.
 	AllowOverlap bool
+	// Reference hands the orienteering solver the raw auxiliary-weight
+	// closure instead of the default dense memoised cost table. Every
+	// table entry is the exact float64 the closure returns, so solutions
+	// are bit-identical either way; the table just stops the solver stack
+	// (exact DP, tour split, local search) from recomputing hover/travel
+	// energies per probe.
+	Reference bool
 }
 
 // Name implements Planner.
@@ -64,9 +76,13 @@ func (a *Algorithm1) Plan(in *Instance) (*Plan, error) {
 	}
 	endCand(trace.Int("candidates", set.Len()), trace.Int("nodes", len(ids)))
 
+	cost := tsp.Metric(func(i, j int) float64 { return set.AuxiliaryWeight(ids[i], ids[j]).F() })
+	if !a.Reference && len(ids) <= costMemoMax {
+		cost = tsp.MemoMetric(len(ids), cost)
+	}
 	prob := &orienteering.Problem{
 		N:      len(ids),
-		Cost:   func(i, j int) float64 { return set.AuxiliaryWeight(ids[i], ids[j]).F() },
+		Cost:   cost,
 		Reward: func(i int) float64 { return set.Locs[ids[i]].Award.F() },
 		Budget: in.Budget().F(),
 		Depot:  0,

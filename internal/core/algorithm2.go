@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"uavdc/internal/geom"
 	"uavdc/internal/hover"
 	"uavdc/internal/obs"
 	"uavdc/internal/trace"
@@ -35,6 +36,14 @@ type Algorithm2 struct {
 	// worker count: candidates are compared with a total order
 	// (ratio, then award, then lowest id).
 	Workers int
+	// Reference disables the fast scan path (residual-active candidate
+	// index, precomputed insertion edges, dense local-search submatrix)
+	// and runs the original full scan. Plans are bit-identical either
+	// way — the fast path only skips candidates that are provably
+	// discarded (award 0) and only substitutes arithmetic that yields
+	// the exact same float64s; the differential suite holds both paths
+	// to that contract.
+	Reference bool
 }
 
 // Name implements Planner.
@@ -56,6 +65,7 @@ func (a *Algorithm2) Plan(in *Instance) (*Plan, error) {
 	}
 	endCand(trace.Int("candidates", set.Len()))
 	st := newGreedyState(in, set)
+	st.reference = a.Reference || a.ExactRatioTSP
 	for {
 		endIter := tr.Begin(SpanPlanAlg2Iterate)
 		best, ok := a.pickNext(st)
@@ -92,10 +102,14 @@ func (a *Algorithm2) evalFull(st *greedyState, c int, curEnergy units.Joules, so
 	}
 	var pos int
 	var travelD float64
-	if a.ExactRatioTSP {
+	switch {
+	case a.ExactRatioTSP:
 		pos, travelD = st.christofidesDelta(c)
-	} else {
+	case st.reference:
 		pos, travelD = tsp.BestInsertion(st.tour, c, st.dist)
+	default:
+		// Bit-equal to BestInsertion: same hypotenuses, cached edges.
+		pos, travelD = st.ins.bestInsertion(loc.Pos)
 	}
 	hoverE := st.in.Model.HoverEnergy(sojourn)
 	travelE := st.in.Model.TravelEnergy(units.Meters(travelD))
@@ -129,7 +143,96 @@ func betterFull(c1 fullCandidate, r1 float64, c2 fullCandidate, r2 float64) bool
 
 // pickNext scans all unselected candidates and returns the best-ratio
 // feasible one, fanning the scan across Workers goroutines when asked.
+// The default fast scan walks only residual-active candidates; Reference
+// (and ExactRatioTSP, whose pricing needs the serial tour) restores the
+// full scan. Both return bit-identical picks.
 func (a *Algorithm2) pickNext(st *greedyState) (fullCandidate, bool) {
+	if st.reference {
+		return a.pickNextRef(st)
+	}
+	return a.pickNextFast(st)
+}
+
+// pickNextFast scans the residual-active candidate list, fanning across
+// Workers goroutines over contiguous shards of the list so the merged
+// record stream equals the serial fast stream. Candidates it skips are
+// exactly those the reference scan evaluates and discards for zero award;
+// the skip count is recorded so evals + skipped always reconciles with
+// the reference scan's evals.
+func (a *Algorithm2) pickNextFast(st *greedyState) (fullCandidate, bool) {
+	cur := st.energy()
+	active := st.scanIdx().compact()
+	st.ins.reset(st.tour.Len(), func(i int) geom.Point { return st.set.Locs[st.tour.Order[i]].Pos })
+	evals := int64(0)
+	for _, c := range active {
+		if !st.inTour[int(c)] {
+			evals++
+		}
+	}
+	// The reference scan evaluates every candidate outside the tour.
+	st.cSkipped.Add(int64(st.set.Len()-st.tour.Len()) - evals)
+	workers := a.Workers
+	if workers <= 1 || len(active) < 256 {
+		best := fullCandidate{loc: -1}
+		bestRatio := -1.0
+		so := newScanObs(st.rec)
+		for _, c32 := range active {
+			c := int(c32)
+			if st.inTour[c] {
+				continue
+			}
+			if cand, ratio, ok := a.evalFull(st, c, cur, so); ok && betterFull(cand, ratio, best, bestRatio) {
+				best, bestRatio = cand, ratio
+			}
+		}
+		return best, best.loc >= 0
+	}
+	type localBest struct {
+		cand  fullCandidate
+		ratio float64
+	}
+	results := make([]localBest, workers)
+	shards := trace.ShardObs(st.rec, workers)
+	var wg sync.WaitGroup
+	chunk := (len(active) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(active))
+		results[w] = localBest{cand: fullCandidate{loc: -1}, ratio: -1}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			so := newScanObs(shards[w])
+			best := localBest{cand: fullCandidate{loc: -1}, ratio: -1}
+			for _, c32 := range active[lo:hi] {
+				c := int(c32)
+				if st.inTour[c] {
+					continue
+				}
+				if cand, ratio, ok := a.evalFull(st, c, cur, so); ok && betterFull(cand, ratio, best.cand, best.ratio) {
+					best = localBest{cand: cand, ratio: ratio}
+				}
+			}
+			results[w] = best
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	trace.MergeObs(st.rec, shards)
+	best := localBest{cand: fullCandidate{loc: -1}, ratio: -1}
+	for _, r := range results {
+		if r.cand.loc >= 0 && betterFull(r.cand, r.ratio, best.cand, best.ratio) {
+			best = r
+		}
+	}
+	return best.cand, best.cand.loc >= 0
+}
+
+// pickNextRef is the retained reference scan: every candidate outside the
+// tour is priced each iteration.
+func (a *Algorithm2) pickNextRef(st *greedyState) (fullCandidate, bool) {
 	cur := st.energy()
 	n := st.set.Len()
 	workers := a.Workers
@@ -209,6 +312,14 @@ type greedyState struct {
 	rec       obs.Recorder
 	cAccepted obs.Counter
 	cUpgraded obs.Counter
+	cSkipped  obs.Counter
+	// reference selects the retained full-scan path; the default fast
+	// path maintains idx (the residual-active candidate index, built
+	// lazily so callers may seed residuals first) and prices insertions
+	// through ins (per-iteration cached tour edges).
+	reference bool
+	idx       *scanIndex
+	ins       insertionScratch
 }
 
 func newGreedyState(in *Instance, set *hover.Set) *greedyState {
@@ -224,6 +335,7 @@ func newGreedyState(in *Instance, set *hover.Set) *greedyState {
 		rec:       rec,
 		cAccepted: rec.Counter(CounterAcceptedStops),
 		cUpgraded: rec.Counter(CounterUpgradedStops),
+		cSkipped:  rec.Counter(CounterScanSkippedDrained),
 	}
 	st.dist = func(i, j int) float64 { return set.Dist(i, j) }
 	st.inTour[hover.DepotID] = true
@@ -236,6 +348,34 @@ func newGreedyState(in *Instance, set *hover.Set) *greedyState {
 // energy returns the actual energy of the current tour plus hover time.
 func (st *greedyState) energy() units.Joules {
 	return st.in.Model.TourEnergy(units.Meters(st.tour.Cost(st.dist)), st.hoverTime)
+}
+
+// scanIdx lazily builds the residual-active candidate index. Laziness
+// matters for the LNS repair loop, which seeds residuals from a partially
+// destroyed plan after constructing the state.
+func (st *greedyState) scanIdx() *scanIndex {
+	if st.idx == nil {
+		st.idx = newScanIndex(st.set, st.residual, nil)
+	}
+	return st.idx
+}
+
+// noteDrained tells the index sensor v just hit exactly zero residual.
+func (st *greedyState) noteDrained(v int) {
+	if st.idx != nil {
+		st.idx.drained(v)
+	}
+}
+
+// improveTour re-optimises the tour after an acceptance. The fast path
+// polishes through a dense submatrix over the tour's items — bit-identical
+// moves, counters and trace to the direct form (see tsp.ImproveDense).
+func (st *greedyState) improveTour() {
+	if st.reference {
+		tsp.Improve(&st.tour, st.dist, st.rec)
+	} else {
+		tsp.ImproveDense(&st.tour, st.dist, st.rec)
+	}
 }
 
 // acceptFull inserts the candidate, drains every still-loaded covered
@@ -251,10 +391,11 @@ func (st *greedyState) acceptFull(c fullCandidate) {
 		if st.residual[v] > 0 {
 			m[v] = st.residual[v]
 			st.residual[v] = 0
+			st.noteDrained(v)
 		}
 	}
 	st.collected[c.loc] = m
-	tsp.Improve(&st.tour, st.dist, st.rec)
+	st.improveTour()
 }
 
 // christofidesDelta prices candidate c by re-running Christofides over the

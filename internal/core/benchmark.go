@@ -20,6 +20,13 @@ type BenchmarkPlanner struct {
 	// re-optimised with 2-opt; 0 means every removal, matching the
 	// paper's description of re-computing the tour as nodes are pruned.
 	ImproveEvery int
+	// Reference disables the fast path: the dense memoised distance
+	// matrix over depot+sensors and the in-place removal pricing (the
+	// neighbour-edge delta computed directly instead of through
+	// tsp.Remove's index scan and slice copy). Both are pure expression
+	// rewrites yielding the exact same float64s, so plans, counters and
+	// traces are bit-identical either way.
+	Reference bool
 }
 
 // Name implements Planner.
@@ -38,7 +45,10 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 	n := len(net.Sensors)
 	endPlan := tr.Begin(SpanPlanBench, trace.Int("nodes", n+1))
 	// Item ids: 0 is the depot, 1..n are sensors (sensor v is item v+1).
-	dist := func(i, j int) float64 { return pos(in, i).Dist(pos(in, j)) }
+	dist := tsp.Metric(func(i, j int) float64 { return pos(in, i).Dist(pos(in, j)) })
+	if !b.Reference && n+1 <= costMemoMax {
+		dist = tsp.MemoMetric(n+1, dist)
+	}
 	items := make([]int, n+1)
 	for i := range items {
 		items[i] = i
@@ -68,13 +78,26 @@ func (b *BenchmarkPlanner) Plan(in *Instance) (*Plan, error) {
 		// Find the cheapest-loss removal.
 		bestItem := -1
 		bestScore := 0.0
-		for _, it := range tour.Order {
+		tn := tour.Len()
+		for ti, it := range tour.Order {
 			if it == 0 {
 				continue // never remove the depot
 			}
 			so.evals.Inc()
 			v := it - 1
-			_, travelD := tsp.Remove(tour, it, dist)
+			var travelD float64
+			switch {
+			case b.Reference:
+				_, travelD = tsp.Remove(tour, it, dist)
+			case tn >= 3:
+				// tsp.Remove's delta for the known position, without the
+				// index scan or the pruned-tour copy it allocates.
+				a := tour.Order[(ti-1+tn)%tn]
+				bb := tour.Order[(ti+1)%tn]
+				travelD = dist(a, it) + dist(it, bb) - dist(a, bb)
+			case tn == 2:
+				travelD = 2 * dist(tour.Order[0], tour.Order[1])
+			}
 			saved := in.Model.TravelEnergy(units.Meters(travelD)) + in.Model.HoverEnergy(units.Seconds(net.UploadTime(v)))
 			if saved <= 1e-12 {
 				// Removing frees no energy (duplicate position); always take it.

@@ -28,6 +28,13 @@ const (
 	// CounterUpgradedStops counts Algorithm 3 in-place sojourn upgrades
 	// of stops already in the tour (Lemma 2).
 	CounterUpgradedStops = "core.upgraded_stops"
+	// CounterScanSkippedDrained counts candidate evaluations the fast scan
+	// proved unnecessary and skipped: locations whose covered sensors are
+	// all fully drained, which the reference scan would evaluate and
+	// discard (award 0). Per iteration, fast evals + skipped equals the
+	// reference scan's evals — the differential suite asserts exactly
+	// that, so the counter doubles as the pruning-soundness oracle.
+	CounterScanSkippedDrained = "core.scan_skipped_drained"
 	// CounterBenchRemovals counts nodes pruned from the benchmark's
 	// initial TSP tour to reach feasibility.
 	CounterBenchRemovals = "core.bench_removals"

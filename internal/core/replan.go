@@ -36,6 +36,11 @@ type ResidualState struct {
 	// results are identical at any worker count (total-order merging),
 	// matching the planners' determinism contract.
 	Workers int
+	// Reference disables the fast scan path (residual-active candidate
+	// index, cached path-edge insertion pricing) and runs the original
+	// full scan. Plans are bit-identical either way; see
+	// Algorithm2.Reference.
+	Reference bool
 	// Exclude, when non-nil, drops candidate hovering locations at
 	// positions the executor knows to be unusable (e.g. declared no-hover
 	// fault zones). The depot and the current position are never subject
@@ -122,6 +127,16 @@ type pathState struct {
 	rec       obs.Recorder
 	cAccepted obs.Counter
 	cUpgraded obs.Counter
+	cSkipped  obs.Counter
+	// reference selects the retained full-scan path; the fast path keeps
+	// idx (residual-active locations, excluded zones pre-filtered) and
+	// prices insertions through ins (cached path edges). nExcluded is the
+	// number of excluded candidates, which the reference scan also never
+	// evaluates — it closes the evals + skipped reconciliation.
+	reference bool
+	idx       *scanIndex
+	ins       insertionScratch
+	nExcluded int64
 }
 
 func newPathState(in *Instance, set *hover.Set, state ResidualState) *pathState {
@@ -141,14 +156,37 @@ func newPathState(in *Instance, set *hover.Set, state ResidualState) *pathState 
 		rec:       rec,
 		cAccepted: rec.Counter(CounterAcceptedStops),
 		cUpgraded: rec.Counter(CounterUpgradedStops),
+		cSkipped:  rec.Counter(CounterScanSkippedDrained),
+		reference: state.Reference,
 	}
 	st.inPath[hover.DepotID] = true
 	if state.Exclude != nil {
 		for c := 1; c < set.Len(); c++ {
 			st.excluded[c] = state.Exclude(set.Locs[c].Pos)
+			if st.excluded[c] {
+				st.nExcluded++
+			}
 		}
 	}
 	return st
+}
+
+// scanIdx lazily builds the residual-active index over non-excluded
+// locations (laziness mirrors greedyState.scanIdx; the residuals here are
+// seeded in the constructor, but keeping one convention keeps the drain
+// bookkeeping uniform).
+func (st *pathState) scanIdx() *scanIndex {
+	if st.idx == nil {
+		st.idx = newScanIndex(st.set, st.residual, func(c int) bool { return st.excluded[c] })
+	}
+	return st.idx
+}
+
+// noteDrained tells the index sensor v just hit exactly zero residual.
+func (st *pathState) noteDrained(v int) {
+	if st.idx != nil {
+		st.idx.drained(v)
+	}
 }
 
 // node returns the position of path slot i in the virtual sequence
@@ -240,7 +278,11 @@ func (st *pathState) evalLoc(k, c int, cur units.Joules, so scanObs) (pathCandid
 	var pos int
 	var travelD float64
 	if !st.inPath[c] {
-		pos, travelD = st.bestInsertion(c)
+		if st.reference {
+			pos, travelD = st.bestInsertion(c)
+		} else {
+			pos, travelD = st.ins.bestPathInsertion(loc.Pos)
+		}
 	}
 	for level := 1; level <= k; level++ {
 		sojourn := units.Seconds(float64(level) * fullSojourn.F() / float64(k))
@@ -282,8 +324,76 @@ func (st *pathState) evalLoc(k, c int, cur units.Joules, so scanObs) (pathCandid
 }
 
 // pickNext scans every location, fanning across workers goroutines when
-// asked; results are identical at any worker count.
+// asked; results are identical at any worker count. The default fast scan
+// walks only residual-active, non-excluded locations — both exclusions
+// the reference scan provably discards too (see scanIndex).
 func (st *pathState) pickNext(k, workers int) (pathCandidate, bool) {
+	if st.reference {
+		return st.pickNextRef(k, workers)
+	}
+	return st.pickNextFast(k, workers)
+}
+
+// pickNextFast scans the residual-active location list over contiguous
+// worker shards; the skip count reconciles fast evals with the reference
+// scan's (every location except the excluded ones).
+func (st *pathState) pickNextFast(k, workers int) (pathCandidate, bool) {
+	cur := st.energy()
+	active := st.scanIdx().compact()
+	st.ins.resetPath(len(st.order), st.node)
+	st.cSkipped.Add(int64(st.set.Len()-1) - st.nExcluded - int64(len(active)))
+	if workers <= 1 || len(active) < 256 {
+		best := pathCandidate{loc: -1}
+		bestRatio := -1.0
+		so := newScanObs(st.rec)
+		for _, c := range active {
+			if cand, ratio, ok := st.evalLoc(k, int(c), cur, so); ok && betterPath(cand, ratio, best, bestRatio) {
+				best, bestRatio = cand, ratio
+			}
+		}
+		return best, best.loc >= 0
+	}
+	type localBest struct {
+		cand  pathCandidate
+		ratio float64
+	}
+	results := make([]localBest, workers)
+	shards := trace.ShardObs(st.rec, workers)
+	var wg sync.WaitGroup
+	chunk := (len(active) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(active))
+		results[w] = localBest{cand: pathCandidate{loc: -1}, ratio: -1}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			so := newScanObs(shards[w])
+			best := localBest{cand: pathCandidate{loc: -1}, ratio: -1}
+			for _, c := range active[lo:hi] {
+				if cand, ratio, ok := st.evalLoc(k, int(c), cur, so); ok && betterPath(cand, ratio, best.cand, best.ratio) {
+					best = localBest{cand: cand, ratio: ratio}
+				}
+			}
+			results[w] = best
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	trace.MergeObs(st.rec, shards)
+	best := localBest{cand: pathCandidate{loc: -1}, ratio: -1}
+	for _, r := range results {
+		if r.cand.loc >= 0 && betterPath(r.cand, r.ratio, best.cand, best.ratio) {
+			best = r
+		}
+	}
+	return best.cand, best.cand.loc >= 0
+}
+
+// pickNextRef is the retained reference scan over every location.
+func (st *pathState) pickNextRef(k, workers int) (pathCandidate, bool) {
 	n := st.set.Len()
 	cur := st.energy()
 	if workers <= 1 || n < 256 {
@@ -360,8 +470,9 @@ func (st *pathState) accept(c pathCandidate) {
 	for v, amt := range c.take {
 		ledger[v] += amt
 		st.residual[v] -= amt
-		if st.residual[v] < 0 {
+		if st.residual[v] <= 0 {
 			st.residual[v] = 0
+			st.noteDrained(v)
 		}
 	}
 	st.improve()

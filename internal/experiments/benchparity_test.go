@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"slices"
 	"testing"
+
+	"uavdc/internal/core"
 )
 
 // loadBench reads a BENCH_*.json baseline from the repo root.
@@ -23,18 +25,25 @@ func loadBench(t *testing.T, name string) *Bench {
 	return &b
 }
 
-// TestBenchPanelsParity asserts that the deterministic panels of the
-// current baseline (BENCH_PR5.json, regenerated after the internal/units
-// adoption) are bit-identical to the previous one (BENCH_PR4.json):
-// per-figure collected volumes, counter totals and plan-call counts, and
-// the whole fault-scenario panel. Defined float64 types change no
-// arithmetic, so any drift here means the refactor changed behaviour,
-// not just types. Timing fields (wall/plan seconds) are machine noise
-// and deliberately not compared. `make ci` runs this as the benchparity
-// step.
+// TestBenchPanelsParity pins the current baseline (BENCH_PR6.json,
+// regenerated after the fast-path candidate generation landed) against the
+// previous one (BENCH_PR5.json) under the fast-path parity contract:
+//
+//   - per-figure collected volumes, plan-call counts, and the whole
+//     fault-scenario panel are bit-identical — the fast path may do less
+//     work but must not change behaviour;
+//   - behaviour counters (accepted/upgraded stops, pruning, local-search
+//     moves, solver runs, ...) are bit-identical;
+//   - the scan work ledger shrinks: core.candidate_evals and
+//     core.residual_recomputes must not exceed the baseline, and the new
+//     core.scan_skipped_drained counter closes the books exactly —
+//     fast evals + skipped == baseline evals, per figure.
+//
+// Timing fields are machine noise and not compared. `make ci` runs this as
+// the benchparity step.
 func TestBenchPanelsParity(t *testing.T) {
-	prev := loadBench(t, "BENCH_PR4.json")
-	cur := loadBench(t, "BENCH_PR5.json")
+	prev := loadBench(t, "BENCH_PR5.json")
+	cur := loadBench(t, "BENCH_PR6.json")
 	if len(cur.Figures) != len(prev.Figures) {
 		t.Fatalf("figure count %d, baseline %d", len(cur.Figures), len(prev.Figures))
 	}
@@ -55,14 +64,35 @@ func TestBenchPanelsParity(t *testing.T) {
 				t.Errorf("%s/%s: volume_mb %v, baseline %v", cf.Figure, series, got, want)
 			}
 		}
-		if len(cf.Counters) != len(pf.Counters) {
-			t.Errorf("%s: counter panel has %d entries, baseline %d", cf.Figure, len(cf.Counters), len(pf.Counters))
-		}
+		// The work ledger may shrink; everything else must hold exactly.
+		// New counters (the skip ledger itself) are allowed to appear.
 		for _, cname := range slices.Sorted(maps.Keys(pf.Counters)) {
 			want := pf.Counters[cname]
-			if got, ok := cf.Counters[cname]; !ok || got != want {
-				t.Errorf("%s/%s: counter %d, baseline %d", cf.Figure, cname, got, want)
+			got, ok := cf.Counters[cname]
+			switch {
+			case cname == core.CounterCandidateEvals || cname == core.CounterResidualRecomputes:
+				if !ok || got > want {
+					t.Errorf("%s/%s: work counter %d, baseline %d (must not grow)", cf.Figure, cname, got, want)
+				}
+			default:
+				if !ok || got != want {
+					t.Errorf("%s/%s: counter %d, baseline %d", cf.Figure, cname, got, want)
+				}
 			}
+		}
+		for _, cname := range slices.Sorted(maps.Keys(cf.Counters)) {
+			if _, ok := pf.Counters[cname]; !ok && cname != core.CounterScanSkippedDrained {
+				t.Errorf("%s: unexpected new counter %s", cf.Figure, cname)
+			}
+		}
+		// The skipped-evals reconciliation: every candidate the baseline
+		// evaluated was either evaluated by the fast path or proven
+		// zero-award and skipped.
+		evals := cf.Counters[core.CounterCandidateEvals]
+		skipped := cf.Counters[core.CounterScanSkippedDrained]
+		if evals+skipped != pf.Counters[core.CounterCandidateEvals] {
+			t.Errorf("%s: evals %d + skipped %d != baseline evals %d",
+				cf.Figure, evals, skipped, pf.Counters[core.CounterCandidateEvals])
 		}
 	}
 	if len(cur.FaultScenarios) != len(prev.FaultScenarios) {
@@ -81,6 +111,19 @@ func TestBenchPanelsParity(t *testing.T) {
 		if cr.Replans != pr.Replans || cr.FaultsApplied != pr.FaultsApplied || cr.StopsSkipped != pr.StopsSkipped {
 			t.Errorf("%s: bookkeeping (%d, %d, %d), baseline (%d, %d, %d)", cr.Planner,
 				cr.Replans, cr.FaultsApplied, cr.StopsSkipped, pr.Replans, pr.FaultsApplied, pr.StopsSkipped)
+		}
+	}
+	// The PR6 baseline must carry a speedup panel with intact parity.
+	if len(cur.Speedup) == 0 {
+		t.Fatal("BENCH_PR6.json has no speedup panel")
+	}
+	for _, row := range cur.Speedup {
+		if !row.BitIdentical {
+			t.Errorf("speedup/%s: deterministic panels diverged between reference and fast", row.Figure)
+		}
+		if row.FastEvals+row.SkippedEvals != row.ReferenceEvals {
+			t.Errorf("speedup/%s: fast evals %d + skipped %d != reference evals %d",
+				row.Figure, row.FastEvals, row.SkippedEvals, row.ReferenceEvals)
 		}
 	}
 }

@@ -49,6 +49,14 @@ type Config struct {
 	// wall time — and therefore the runtime panels — changes, so leave it
 	// serial when reproducing Fig. 3(b)/4(b)/5(b).
 	Workers int
+	// Reference runs every planner on its retained reference scan path
+	// (core's Algorithm{1,2,3}.Reference and friends) instead of the
+	// spatial-index fast path. Plans, volumes, traces, and every counter
+	// except the fast path's own skip ledger are bit-identical either way
+	// — the fast-path parity tests hold the two modes to exactly that
+	// contract — so the switch exists for differential testing and for
+	// timing the speedup panel, not for changing results.
+	Reference bool
 	// Metrics attaches an obs.Registry to every planner run and stores
 	// the per-point counter totals in each Point, enabling the figure
 	// tables' instrumentation panel (uavexp -metrics) and the bench
@@ -118,6 +126,24 @@ func Reduced() Config {
 		Ks:         []int{2, 4},
 		Validate:   true,
 	}
+}
+
+// Full returns the paper-scale fast-path benchmark configuration: the
+// full 500-sensor field at the paper's finest grid resolution δ = 5 m
+// (M ≈ 40 000 candidate squares — the regime the spatial-index scan
+// exists for), with a single network instance and one point per sweep so
+// a run finishes in seconds rather than the CPU-hours a full Paper()
+// sweep would take at this δ. The capacity sits in PaperTight's
+// budget-constrained regime. This is the preset behind
+// `uavbench -preset full` and the BENCH_PR6.json speedup panel.
+func Full() Config {
+	cfg := PaperTight()
+	cfg.Instances = 1
+	cfg.Capacities = []float64{1.5e5}
+	cfg.Deltas = []float64{5}
+	cfg.Delta = 5
+	cfg.Ks = []int{2}
+	return cfg
 }
 
 // Tiny returns the smallest meaningful configuration, for unit tests.

@@ -1,0 +1,144 @@
+package geom
+
+import (
+	"testing"
+)
+
+// bruteSquaresNear is the reference for SquaresNear: test every centre.
+func bruteSquaresNear(g *Grid, p Point, radius float64) []int {
+	if radius < 0 {
+		return nil
+	}
+	r2 := radius * radius
+	var out []int
+	for idx := 0; idx < g.NumSquares(); idx++ {
+		c := g.Center(idx)
+		dx, dy := c.X-p.X, c.Y-p.Y
+		if dx*dx+dy*dy <= r2+1e-9 {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// TestSquaresNearEdgeCases pins the range query's behaviour on the
+// boundary situations the candidate generator depends on: queries in
+// empty corners, points exactly on cell boundaries and on centre circles,
+// radii spanning the whole grid, and degenerate radii.
+func TestSquaresNearEdgeCases(t *testing.T) {
+	mk := func(w, h, delta float64) *Grid {
+		g, err := NewGrid(Rect{Min: Point{0, 0}, Max: Point{w, h}}, delta)
+		if err != nil {
+			t.Fatalf("NewGrid: %v", err)
+		}
+		return g
+	}
+	cases := []struct {
+		name   string
+		grid   *Grid
+		p      Point
+		radius float64
+		want   []int // nil means "compare against brute force only"
+	}{
+		{
+			name:   "empty result far outside region",
+			grid:   mk(100, 100, 10),
+			p:      Point{500, 500},
+			radius: 5,
+			want:   []int{},
+		},
+		{
+			name:   "radius zero off-centre hits nothing",
+			grid:   mk(100, 100, 10),
+			p:      Point{7, 7},
+			radius: 0,
+			want:   []int{},
+		},
+		{
+			name:   "radius zero exactly on a centre",
+			grid:   mk(100, 100, 10),
+			p:      Point{15, 25},
+			radius: 0,
+			want:   []int{21},
+		},
+		{
+			name:   "negative radius",
+			grid:   mk(100, 100, 10),
+			p:      Point{15, 25},
+			radius: -1,
+			want:   []int{},
+		},
+		{
+			name:   "point on cell boundary, radius reaches both centres",
+			grid:   mk(40, 10, 10),
+			p:      Point{10, 5}, // shared edge of squares 0 and 1
+			radius: 5,
+			want:   []int{0, 1},
+		},
+		{
+			name:   "point at grid corner",
+			grid:   mk(20, 20, 10),
+			p:      Point{0, 0},
+			radius: 8,
+			want:   []int{0},
+		},
+		{
+			name:   "radius exactly the centre distance",
+			grid:   mk(30, 10, 10),
+			p:      Point{5, 5},
+			radius: 10, // centre of square 1 is exactly 10 away
+			want:   []int{0, 1},
+		},
+		{
+			name:   "radius spans the whole grid",
+			grid:   mk(30, 30, 10),
+			p:      Point{15, 15},
+			radius: 1000,
+			want:   []int{0, 1, 2, 3, 4, 5, 6, 7, 8},
+		},
+		{
+			name:   "query outside region with radius reaching the edge row",
+			grid:   mk(30, 30, 10),
+			p:      Point{15, -6},
+			radius: 12,
+			want:   []int{1},
+		},
+		{
+			name:   "ragged last column still addressable",
+			grid:   mk(25, 10, 10), // 3 cols, last extends past the region
+			p:      Point{25, 5},
+			radius: 1,
+			want:   []int{2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.grid.SquaresNear(tc.p, tc.radius)
+			if tc.want != nil {
+				if len(got) != len(tc.want) {
+					t.Fatalf("SquaresNear = %v, want %v", got, tc.want)
+				}
+				for i := range got {
+					if got[i] != tc.want[i] {
+						t.Fatalf("SquaresNear = %v, want %v", got, tc.want)
+					}
+				}
+			}
+			brute := bruteSquaresNear(tc.grid, tc.p, tc.radius)
+			if len(got) != len(brute) {
+				t.Fatalf("SquaresNear = %v, brute force = %v", got, brute)
+			}
+			for i := range got {
+				if got[i] != brute[i] {
+					t.Fatalf("SquaresNear = %v, brute force = %v", got, brute)
+				}
+			}
+			// Ascending-order contract.
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("SquaresNear not strictly ascending: %v", got)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package geom
+
+// KNearest returns the ids of up to k indexed points nearest to q. See
+// KNearestAppend.
+func (idx *Index) KNearest(q Point, k int) []int32 {
+	return idx.KNearestAppend(nil, q, k)
+}
+
+// KNearestAppend appends to dst the ids of up to k indexed points nearest
+// to q, ordered by (squared distance, id) ascending. The id tie-break
+// makes the result a total order, so duplicate and collinear points
+// resolve identically to a brute-force scan — the FuzzKNNvsBrute harness
+// holds the two implementations to exactly that contract. Fewer than k
+// ids are returned only when the index holds fewer than k points.
+//
+// Like Nearest, the search expands cell rings outward from q's cell and
+// stops once the ring's minimum possible distance strictly exceeds the
+// kth-best squared distance; equal-distance points in farther rings are
+// therefore still visited before the cutoff, which is what keeps ties
+// exact.
+func (idx *Index) KNearestAppend(dst []int32, q Point, k int) []int32 {
+	if k <= 0 || len(idx.pts) == 0 {
+		return dst
+	}
+	if k > len(idx.pts) {
+		k = len(idx.pts)
+	}
+	type hit struct {
+		d2 float64
+		id int32
+	}
+	best := make([]hit, 0, k)
+	add := func(id int32, d2 float64) {
+		if len(best) == k {
+			last := best[k-1]
+			if d2 > last.d2 {
+				return
+			}
+			if d2 == last.d2 && id > last.id { //uavdc:allow floateq exact tie-break against the kept worst keeps the (d2, id) order total and bit-reproducible
+				return
+			}
+			best = best[:k-1]
+		}
+		i := len(best)
+		best = append(best, hit{d2, id})
+		for i > 0 {
+			prev := best[i-1]
+			if prev.d2 < d2 {
+				break
+			}
+			if prev.d2 == d2 && prev.id < id { //uavdc:allow floateq exact tie-break keeps the (d2, id) order total and bit-reproducible
+				break
+			}
+			best[i] = prev
+			i--
+		}
+		best[i] = hit{d2, id}
+	}
+
+	qc := idx.cellIndex(q)
+	qCol, qRow := qc%idx.cols, qc/idx.cols
+	maxRing := idx.cols
+	if idx.rows > maxRing {
+		maxRing = idx.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		if len(best) == k {
+			minPossible := (float64(ring) - 1) * idx.cell
+			if minPossible > 0 && minPossible*minPossible > best[k-1].d2 {
+				break
+			}
+		}
+		for row := qRow - ring; row <= qRow+ring; row++ {
+			if row < 0 || row >= idx.rows {
+				continue
+			}
+			for col := qCol - ring; col <= qCol+ring; col++ {
+				if col < 0 || col >= idx.cols {
+					continue
+				}
+				// Only the ring boundary; the interior was scanned earlier.
+				if ring > 0 && row != qRow-ring && row != qRow+ring && col != qCol-ring && col != qCol+ring {
+					continue
+				}
+				c := row*idx.cols + col
+				for _, id := range idx.order[idx.start[c]:idx.start[c+1]] {
+					add(id, idx.pts[id].Dist2(q))
+				}
+			}
+		}
+	}
+	for _, h := range best {
+		dst = append(dst, h.id)
+	}
+	return dst
+}

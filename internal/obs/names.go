@@ -55,14 +55,15 @@ func (k NameKind) String() string {
 // `make ci`.
 var canonicalNames = map[string]NameKind{
 	// Planner work counters (internal/core).
-	"core.candidate_evals":     KindCounter,
-	"core.pruned_over_budget":  KindCounter,
-	"core.residual_recomputes": KindCounter,
-	"core.accepted_stops":      KindCounter,
-	"core.upgraded_stops":      KindCounter,
-	"core.bench_removals":      KindCounter,
-	"core.lns_rounds":          KindCounter,
-	"core.lns_improvements":    KindCounter,
+	"core.candidate_evals":      KindCounter,
+	"core.pruned_over_budget":   KindCounter,
+	"core.residual_recomputes":  KindCounter,
+	"core.accepted_stops":       KindCounter,
+	"core.upgraded_stops":       KindCounter,
+	"core.bench_removals":       KindCounter,
+	"core.scan_skipped_drained": KindCounter,
+	"core.lns_rounds":           KindCounter,
+	"core.lns_improvements":     KindCounter,
 
 	// Solver-stack counters.
 	"tsp.christofides_runs":         KindCounter,
@@ -70,6 +71,8 @@ var canonicalNames = map[string]NameKind{
 	"tsp.twoopt_moves":              KindCounter,
 	"tsp.oropt_passes":              KindCounter,
 	"tsp.oropt_moves":               KindCounter,
+	"tsp.dlb_passes":                KindCounter,
+	"tsp.dlb_moves":                 KindCounter,
 	"matching.blossom_runs":         KindCounter,
 	"matching.greedy_runs":          KindCounter,
 	"orienteering.exact_runs":       KindCounter,

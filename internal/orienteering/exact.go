@@ -3,6 +3,7 @@ package orienteering
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"uavdc/internal/tsp"
 )
@@ -26,59 +27,77 @@ func ExactDP(p *Problem) (Solution, error) {
 	n := p.N
 	d := p.Depot
 	size := 1 << n
-	dp := make([][]float64, size)
-	parent := make([][]int8, size)
-	for mask := range dp {
-		dp[mask] = make([]float64, n)
-		parent[mask] = make([]int8, n)
-		for j := range dp[mask] {
-			dp[mask][j] = math.Inf(1)
-			parent[mask][j] = -1
-		}
-	}
-	startMask := 1 << d
-	dp[startMask][d] = 0
 
-	rewardOf := func(mask int) float64 {
-		var r float64
-		for v := 0; v < n; v++ {
-			if mask&(1<<v) != 0 {
-				r += p.Reward(v)
+	// Dense copies of the metric and the rewards: the DP probes them
+	// Θ(n²·2ⁿ) times, so per-probe closure indirection dominates the
+	// whole solve otherwise. Every entry is the exact float64 the closure
+	// returns, keeping the DP's decisions bit-identical.
+	cost := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				cost[i*n+j] = p.Cost(i, j)
 			}
 		}
-		return r
+	}
+	// rewardBy[mask] is the reward sum over mask's nodes in ascending-id
+	// order; the lowest-bit recurrence adds ids smallest-first, exactly
+	// reproducing that summation order.
+	reward := make([]float64, n)
+	for v := 0; v < n; v++ {
+		reward[v] = p.Reward(v)
+	}
+	rewardBy := make([]float64, size)
+	for mask := 1; mask < size; mask++ {
+		lsb := mask & -mask
+		rewardBy[mask] = reward[bits.TrailingZeros(uint(lsb))] + rewardBy[mask&^lsb]
 	}
 
+	// dp[mask·n+j] is the cheapest depot-rooted path over mask ending at
+	// j; flat backing arrays keep the whole table at two allocations.
+	dp := make([]float64, size*n)
+	parent := make([]int8, size*n)
+	inf := math.Inf(1)
+	for i := range dp {
+		dp[i] = inf
+		parent[i] = -1
+	}
+	startMask := 1 << d
+	dp[startMask*n+d] = 0
+
 	bestMask, bestEnd := startMask, d
-	bestReward := rewardOf(startMask)
+	bestReward := rewardBy[startMask]
+	all := size - 1
 
 	for mask := startMask; mask < size; mask++ {
 		if mask&startMask == 0 {
 			continue
 		}
-		for j := 0; j < n; j++ {
-			cur := dp[mask][j]
-			if math.IsInf(cur, 1) || mask&(1<<j) == 0 {
+		row := dp[mask*n:]
+		// Ends and extensions iterate set/unset bits in ascending id
+		// order — the same visit order as scanning 0..n-1 with skips.
+		for ends := mask; ends != 0; ends &= ends - 1 {
+			j := bits.TrailingZeros(uint(ends))
+			cur := row[j]
+			if cur == inf { //uavdc:allow floateq exact sentinel test, equivalent to math.IsInf on an untouched table entry
 				continue
 			}
 			// Candidate closed tour: path + return edge.
-			if cur+p.Cost(j, d) <= p.Budget+1e-9 {
-				if r := rewardOf(mask); r > bestReward+1e-12 {
+			if cur+cost[j*n+d] <= p.Budget+1e-9 {
+				if r := rewardBy[mask]; r > bestReward+1e-12 {
 					bestReward, bestMask, bestEnd = r, mask, j
 				}
 			}
-			for nxt := 0; nxt < n; nxt++ {
-				if mask&(1<<nxt) != 0 {
-					continue
-				}
-				c := cur + p.Cost(j, nxt)
+			for rem := all &^ mask; rem != 0; rem &= rem - 1 {
+				nxt := bits.TrailingZeros(uint(rem))
+				c := cur + cost[j*n+nxt]
 				if c > p.Budget { // cannot recover: costs are non-negative
 					continue
 				}
 				nm := mask | 1<<nxt
-				if c < dp[nm][nxt] {
-					dp[nm][nxt] = c
-					parent[nm][nxt] = int8(j)
+				if c < dp[nm*n+nxt] {
+					dp[nm*n+nxt] = c
+					parent[nm*n+nxt] = int8(j)
 				}
 			}
 		}
@@ -89,7 +108,7 @@ func ExactDP(p *Problem) (Solution, error) {
 	mask, j := bestMask, bestEnd
 	for j != -1 {
 		order = append(order, j)
-		pj := parent[mask][j]
+		pj := parent[mask*n+j]
 		mask &^= 1 << j
 		j = int(pj)
 	}

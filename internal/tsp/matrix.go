@@ -1,0 +1,65 @@
+package tsp
+
+import "uavdc/internal/obs"
+
+// MemoMetric materialises m over the items 0..n-1 into a dense matrix and
+// returns a Metric backed by it. Every entry is the exact float64 value m
+// returns, so swapping a metric for its memoised form is output-invariant
+// bit for bit; the payoff is that hot loops (Christofides, insertion
+// pricing, 2-opt sweeps) stop recomputing hypotenuses and instead do one
+// array load. The full n×n table is filled — no symmetry assumption — so
+// the wrapper is exact even for metrics that are only symmetric up to
+// rounding. Memory is 8·n² bytes; callers guard n.
+func MemoMetric(n int, m Metric) Metric {
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		row := d[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			row[j] = m(i, j)
+		}
+	}
+	return func(i, j int) float64 { return d[i*n+j] }
+}
+
+// memoDenseMin is the tour size below which ImproveDense skips the
+// submatrix and calls Improve directly: for tiny tours the O(t²) fill
+// costs more than the sweeps save.
+const memoDenseMin = 16
+
+// ImproveDense is Improve evaluated through a dense memoised submatrix
+// over the tour's own items. The local search runs on a relabelled tour
+// 0..t-1 whose metric is the precomputed table of m over t.Order, so every
+// comparison sees the exact same float64 values Improve would compute —
+// the move sequence, the accepted tours, the recorded counters and the
+// emitted trace span are all bit-identical to Improve(t, m, ...). Use it
+// when m is expensive (hypot-backed or closure-chained) and the tour is
+// large enough for the O(t²) fill to pay for itself.
+func ImproveDense(t *Tour, m Metric, rec ...obs.Recorder) float64 {
+	n := t.Len()
+	if n < memoDenseMin {
+		return Improve(t, m, rec...)
+	}
+	items := append([]int(nil), t.Order...)
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		row := d[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			row[j] = m(items[i], items[j])
+		}
+	}
+	local := Tour{Order: make([]int, n)}
+	for i := range local.Order {
+		local.Order[i] = i
+	}
+	saved := Improve(&local, func(i, j int) float64 { return d[i*n+j] }, rec...)
+	for i, li := range local.Order {
+		t.Order[i] = items[li]
+	}
+	return saved
+}

@@ -1,0 +1,180 @@
+package tsp
+
+import (
+	"uavdc/internal/geom"
+	"uavdc/internal/obs"
+)
+
+// Instrumentation counters recorded by the neighbor-list 2-opt pass. As
+// with the plain passes, a "pass" is one sweep over the items and a "move"
+// is one accepted exchange.
+const (
+	CounterDLBPasses = "tsp.dlb_passes"
+	CounterDLBMoves  = "tsp.dlb_moves"
+)
+
+// NeighborLists builds, for every point, the ids of its k nearest other
+// points ordered by (squared distance, id) ascending. This is the move
+// candidate list for TwoOptDLB: restricting 2-opt to geometric neighbors
+// is what turns the quadratic inner scan into a constant-width one.
+//
+// The lists are computed with the spatial index's kNN query, so
+// construction is near-linear in len(pts) for uniform layouts.
+func NeighborLists(pts []geom.Point, k int) [][]int32 {
+	if k < 0 {
+		k = 0
+	}
+	idx := geom.NewIndex(pts, 0)
+	lists := make([][]int32, len(pts))
+	buf := make([]int32, 0, k+1)
+	for i := range pts {
+		// Ask for one extra id: the point itself always ranks first
+		// (distance 0, and the id tie-break favors no other duplicate
+		// only if its id is smaller — so filter by id, not by position).
+		buf = idx.KNearestAppend(buf[:0], pts[i], k+1)
+		list := make([]int32, 0, k)
+		for _, id := range buf {
+			if int(id) != i && len(list) < k {
+				list = append(list, id)
+			}
+		}
+		lists[i] = list
+	}
+	return lists
+}
+
+// TwoOptDLB improves t in place with neighbor-list 2-opt and don't-look
+// bits: an item whose candidate moves were all tried unsuccessfully is
+// skipped on later sweeps until one of its tour edges changes. Items must
+// be a permutation of 0..n-1 (the natural labelling for matrix metrics and
+// for the neighbors slice); neighbors[v] must be sorted by distance from v
+// ascending, as NeighborLists produces, because the scan prunes on the
+// first candidate at least as far as both tour edges of v.
+//
+// The result is deterministic for fixed inputs, but it is a different
+// (equally valid) local optimum than TwoOpt's: candidate order and the
+// don't-look schedule change which improving move is applied first. It is
+// therefore NOT used on the parity-locked planner paths — see the
+// "Fast-path parity contract" section of EXPERIMENTS.md — and exists for
+// scale regimes where the quadratic sweep is unaffordable.
+//
+// maxRounds bounds the number of sweeps (≤ 0 means sweep until no
+// improvement). Returns the total cost reduction. An optional obs.Recorder
+// counts sweeps and accepted moves.
+func TwoOptDLB(t *Tour, m Metric, neighbors [][]int32, maxRounds int, rec ...obs.Recorder) float64 {
+	n := t.Len()
+	if n < 4 {
+		return 0
+	}
+	r := obs.First(rec...)
+	passes := r.Counter(CounterDLBPasses)
+	moves := r.Counter(CounterDLBMoves)
+
+	pos := make([]int, n)
+	for i, v := range t.Order {
+		pos[v] = i
+	}
+	dontLook := make([]bool, n)
+
+	var saved float64
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		passes.Inc()
+		improved := false
+		for a := 0; a < n; a++ {
+			if dontLook[a] {
+				continue
+			}
+			moved := false
+			for {
+				gain, lo, hi, ok := dlbBestMove(t, m, neighbors[a], pos, a)
+				if !ok {
+					break
+				}
+				// The four endpoints of the removed edges get fresh looks.
+				x1, x2 := t.Order[lo], t.Order[lo+1]
+				y1, y2 := t.Order[hi], t.Order[(hi+1)%n]
+				reverse(t.Order[lo+1 : hi+1])
+				for p := lo + 1; p <= hi; p++ {
+					pos[t.Order[p]] = p
+				}
+				dontLook[x1], dontLook[x2] = false, false
+				dontLook[y1], dontLook[y2] = false, false
+				saved += gain
+				moved = true
+				moves.Inc()
+			}
+			if moved {
+				improved = true
+			} else {
+				dontLook[a] = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return saved
+}
+
+// dlbBestMove returns the first improving 2-opt move involving one of a's
+// tour edges and a candidate edge incident to one of a's neighbors,
+// first-improvement over the neighbor list. The move is returned as the
+// reversal bounds [lo+1, hi] on the current order.
+func dlbBestMove(t *Tour, m Metric, neighbors []int32, pos []int, a int) (gain float64, lo, hi int, ok bool) {
+	n := t.Len()
+	i := pos[a]
+	succ := t.Order[(i+1)%n]
+	pred := t.Order[(i-1+n)%n]
+	dSucc := m(a, succ)
+	dPred := m(pred, a)
+	for _, c32 := range neighbors {
+		c := int(c32)
+		if c == a {
+			continue
+		}
+		dAC := m(a, c)
+		if dAC >= dSucc && dAC >= dPred {
+			// Neighbors are distance-sorted: every remaining candidate
+			// edge (a, c) is at least as long as both removed edges, so
+			// no further move through a can gain.
+			break
+		}
+		j := pos[c]
+		if dAC < dSucc {
+			// Remove (a, succ) and (c, succC); add (a, c), (succ, succC).
+			succC := t.Order[(j+1)%n]
+			delta := dAC + m(succ, succC) - dSucc - m(c, succC)
+			if delta < -1e-12 {
+				if lo, hi, ok := reversalBounds(i, j, n); ok {
+					return -delta, lo, hi, true
+				}
+			}
+		}
+		if dAC < dPred {
+			// Remove (pred, a) and (predC, c); add (pred, predC), (a, c).
+			predC := t.Order[(j-1+n)%n]
+			delta := dAC + m(pred, predC) - dPred - m(predC, c)
+			if delta < -1e-12 {
+				if lo, hi, ok := reversalBounds((i-1+n)%n, (j-1+n)%n, n); ok {
+					return -delta, lo, hi, true
+				}
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// reversalBounds maps the two removed edges, identified by the positions p
+// and q of their first endpoints, to the in-place reversal Order[lo+1..hi].
+// The move is rejected (ok == false) when the edges coincide or are
+// adjacent on the cycle, where a 2-exchange degenerates to a no-op.
+func reversalBounds(p, q, n int) (lo, hi int, ok bool) {
+	lo, hi = p, q
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi-lo < 2 || (lo == 0 && hi == n-1) {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,193 @@
+package tsp
+
+import (
+	"math"
+	"testing"
+
+	"uavdc/internal/geom"
+	"uavdc/internal/obs"
+)
+
+func dlbInstance(n int, seed uint64) ([]geom.Point, Metric) {
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: float64(next()%100000) / 100,
+			Y: float64(next()%100000) / 100,
+		}
+	}
+	m := func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+	return pts, m
+}
+
+func identityTour(n int) *Tour {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return &Tour{Order: order}
+}
+
+func TestNeighborListsSortedAndSelfFree(t *testing.T) {
+	pts, _ := dlbInstance(60, 1)
+	// Duplicate a few points so exact ties exercise the id tie-break.
+	pts[10], pts[11] = pts[3], pts[3]
+	lists := NeighborLists(pts, 8)
+	if len(lists) != len(pts) {
+		t.Fatalf("got %d lists for %d points", len(lists), len(pts))
+	}
+	for i, list := range lists {
+		if len(list) != 8 {
+			t.Fatalf("point %d: %d neighbors, want 8", i, len(list))
+		}
+		prev := -1.0
+		for _, id := range list {
+			if int(id) == i {
+				t.Fatalf("point %d lists itself as a neighbor", i)
+			}
+			d2 := pts[i].Dist2(pts[id])
+			if d2 < prev {
+				t.Fatalf("point %d: neighbor distances not ascending", i)
+			}
+			prev = d2
+		}
+	}
+}
+
+func TestNeighborListsSmall(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	lists := NeighborLists(pts, 5) // k exceeds n-1
+	want := [][]int32{{1, 2}, {0, 2}, {1, 0}}
+	for i := range want {
+		if len(lists[i]) != len(want[i]) {
+			t.Fatalf("point %d: %v, want %v", i, lists[i], want[i])
+		}
+		for j := range want[i] {
+			if lists[i][j] != want[i][j] {
+				t.Fatalf("point %d: %v, want %v", i, lists[i], want[i])
+			}
+		}
+	}
+	if got := NeighborLists(nil, 3); len(got) != 0 {
+		t.Fatalf("NeighborLists(nil) = %v", got)
+	}
+}
+
+// TestTwoOptDLBImproves checks the contract that matters for a local
+// search: the tour stays a permutation, the reported saving matches the
+// actual cost reduction, and the result is no worse than the input.
+func TestTwoOptDLBImproves(t *testing.T) {
+	for _, n := range []int{4, 12, 80, 200} {
+		pts, m := dlbInstance(n, uint64(n)*0x9E3779B9+1)
+		neighbors := NeighborLists(pts, 10)
+		tour := identityTour(n)
+		before := tour.Cost(m)
+		saved := TwoOptDLB(tour, m, neighbors, 0)
+		after := tour.Cost(m)
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		if err := tour.Validate(items); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if saved < 0 {
+			t.Fatalf("n=%d: negative saving %v", n, saved)
+		}
+		if math.Abs((before-after)-saved) > 1e-6*math.Max(1, before) {
+			t.Fatalf("n=%d: reported saving %v but cost went %v -> %v", n, saved, before, after)
+		}
+	}
+}
+
+// TestTwoOptDLBDeterministic pins run-to-run reproducibility: identical
+// inputs must yield the identical tour and counter values.
+func TestTwoOptDLBDeterministic(t *testing.T) {
+	pts, m := dlbInstance(150, 7)
+	neighbors := NeighborLists(pts, 10)
+	run := func() ([]int, float64, int64, int64) {
+		rec := obs.NewRegistry()
+		tour := identityTour(len(pts))
+		saved := TwoOptDLB(tour, m, neighbors, 0, rec)
+		snap := rec.Snapshot()
+		return tour.Order, saved, snap.Counters[CounterDLBPasses], snap.Counters[CounterDLBMoves]
+	}
+	o1, s1, p1, m1 := run()
+	o2, s2, p2, m2 := run()
+	if s1 != s2 || p1 != p2 || m1 != m2 { //uavdc:allow floateq determinism check requires bit equality
+		t.Fatalf("runs differ: saved %v vs %v, passes %d vs %d, moves %d vs %d", s1, s2, p1, p2, m1, m2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("tour orders differ at %d: %d vs %d", i, o1[i], o2[i])
+		}
+	}
+	if m1 == 0 {
+		t.Fatalf("expected at least one improving move on a random identity tour")
+	}
+}
+
+// TestTwoOptDLBNearTwoOptQuality compares the restricted search against
+// the exhaustive sweep: with a reasonable neighbor width the DLB tour must
+// land within a few percent of plain 2-opt's optimum on random instances.
+func TestTwoOptDLBNearTwoOptQuality(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 29} {
+		pts, m := dlbInstance(120, seed)
+		neighbors := NeighborLists(pts, 12)
+
+		full := identityTour(len(pts))
+		TwoOpt(full, m, 0)
+		fullCost := full.Cost(m)
+
+		dlb := identityTour(len(pts))
+		TwoOptDLB(dlb, m, neighbors, 0)
+		dlbCost := dlb.Cost(m)
+
+		if dlbCost > fullCost*1.10 {
+			t.Fatalf("seed %d: DLB cost %.1f is more than 10%% above full 2-opt %.1f", seed, dlbCost, fullCost)
+		}
+	}
+}
+
+func TestTwoOptDLBDegenerate(t *testing.T) {
+	pts, m := dlbInstance(3, 5)
+	neighbors := NeighborLists(pts, 2)
+	tour := identityTour(3)
+	if saved := TwoOptDLB(tour, m, neighbors, 0); saved != 0 { //uavdc:allow floateq degenerate tours must be untouched
+		t.Fatalf("n=3 tour should be a no-op, saved %v", saved)
+	}
+}
+
+// Micro-benchmarks: the exhaustive sweep against the neighbor-list pass at
+// the same instance size, for the speedup table in BENCH_PR6.json's
+// provenance. Run with `make bench-micro` or
+// `go test -bench 'TwoOpt' -run XXX ./internal/tsp/`.
+func benchTour(b *testing.B, n int, dlb bool) {
+	pts, m := dlbInstance(n, 0xC0FFEE)
+	var neighbors [][]int32
+	if dlb {
+		neighbors = NeighborLists(pts, 10)
+	}
+	order := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range order {
+			order[j] = j
+		}
+		tour := &Tour{Order: order}
+		if dlb {
+			TwoOptDLB(tour, m, neighbors, 0)
+		} else {
+			TwoOpt(tour, m, 0)
+		}
+	}
+}
+
+func BenchmarkTwoOptFull400(b *testing.B) { benchTour(b, 400, false) }
+func BenchmarkTwoOptDLB400(b *testing.B)  { benchTour(b, 400, true) }
