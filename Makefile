@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race fuzz bench bench-micro benchparity fastpath golden golden-traces adaptive trace
+.PHONY: ci build vet lint test race fuzz bench bench-micro benchparity fastpath golden golden-traces adaptive trace serve
 
-ci: vet lint build race adaptive trace fastpath benchparity
+ci: vet lint build race adaptive trace fastpath benchparity serve
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -fuzz FuzzValidatorSimulatorAgreement -fuzztime 10s .
 	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 10s ./internal/faults
 	$(GO) test -fuzz FuzzAllowDirective -fuzztime 10s ./internal/lint
+	$(GO) test -fuzz FuzzCanonicalInstance -fuzztime 10s ./internal/canon
 
 # Adaptive-executor gate: the reachable-depot property test over its fixed
 # seed matrix, the cross-worker determinism test, and the bit-for-bit
@@ -69,11 +70,24 @@ fastpath:
 	$(GO) test -race -count=1 -run 'TestFastPathParityAcrossFigures|TestBenchSpeedupPanel' ./internal/experiments
 	$(GO) run ./cmd/uavbench -preset full -fig fig4 -faults none -out /dev/null
 
+# Serving gate: race-enabled daemon and canonical-encoding tests — the
+# GOMAXPROCS 1/4/8 cold/warm/coalesced parity check, the failure-mode
+# table (backpressure, deadline, shutdown), the golden wire formats, and
+# the deterministic serve bench panel — then a 1k-request loopback load
+# smoke over real HTTP at the reduced preset: positive cache hit rate,
+# zero non-backpressure errors, every body bit-identical to a direct
+# plan.
+serve:
+	$(GO) test -race -count=1 ./internal/canon ./internal/serve ./cmd/uavserve
+	$(GO) test -race -count=1 -run 'TestBenchServePanel|TestServeRequestsDeterministic' ./internal/experiments
+	$(GO) run ./cmd/uavserve -smoke 1000 -preset reduced -distinct 8 -clients 16
+
 # Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines"):
-# reduced-preset figure panels plus the paper-scale (δ = 5 m)
-# fast-vs-reference speedup panel.
+# reduced-preset figure panels, the paper-scale (δ = 5 m)
+# fast-vs-reference speedup panel, and the reduced-preset serving
+# throughput panel.
 bench:
-	$(GO) run ./cmd/uavbench -preset reduced -speedup full -out BENCH_PR6.json
+	$(GO) run ./cmd/uavbench -preset reduced -speedup full -serve reduced -out BENCH_PR7.json
 
 # Micro-benchmarks behind the speedup panel: candidate generation fast vs
 # reference (internal/core) and 2-opt with vs without neighbor lists and
@@ -82,10 +96,11 @@ bench-micro:
 	$(GO) test -run XXX -bench 'BenchmarkAlg2' -benchtime 3x ./internal/core
 	$(GO) test -run XXX -bench 'BenchmarkTwoOpt(Full|DLB)' ./internal/tsp
 
-# Baseline-parity gate: BENCH_PR6.json against BENCH_PR5.json under the
-# fast-path contract — volumes, plan calls, behaviour counters, and fault
-# scenarios bit-identical; the scan work ledger may only shrink, and the
-# skip counter must reconcile it exactly. Timing fields are excluded.
+# Baseline-parity gate: BENCH_PR7.json against BENCH_PR6.json. Both run
+# the same planner, so every deterministic field of the prior panels —
+# volumes, plan calls, all counters, fault scenarios, the speedup eval
+# ledger — must be bit-identical, and the new serve panel must be
+# internally consistent. Timing fields are excluded.
 benchparity:
 	$(GO) test -count=1 -run TestBenchPanelsParity ./internal/experiments
 

@@ -1,4 +1,7 @@
-package uavdc
+// External test package: the figure benches import internal/experiments,
+// which itself imports the uavdc facade for the serving panel, so an
+// in-package test file would be an import cycle.
+package uavdc_test
 
 // One benchmark per figure panel of the paper's evaluation (Section VII),
 // plus ablation benches for the design choices DESIGN.md calls out. The
@@ -13,6 +16,7 @@ import (
 	"runtime"
 	"testing"
 
+	"uavdc"
 	"uavdc/internal/core"
 	"uavdc/internal/energy"
 	"uavdc/internal/experiments"
@@ -286,12 +290,12 @@ func BenchmarkAblationRefine(b *testing.B) {
 // BenchmarkPublicAPI measures the end-to-end facade path (plan + validate
 // + simulate) a downstream caller pays.
 func BenchmarkPublicAPI(b *testing.B) {
-	sc := RandomScenario(60, 350, 5)
-	uav := DefaultUAV()
+	sc := uavdc.RandomScenario(60, 350, 5)
+	uav := uavdc.DefaultUAV()
 	uav.CapacityJ = 2e4
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Plan(sc, uav, Options{DeltaM: 15, K: 2}); err != nil {
+		if _, err := uavdc.Plan(sc, uav, uavdc.Options{DeltaM: 15, K: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,6 +20,15 @@
 //	           reference scan vs fast scan, and the row records both
 //	           planner times, the candidate-evals ledger, and whether the
 //	           deterministic panels stayed bit-identical
+//	-serve     preset for the serving-throughput panel ("none" skips
+//	           it): a loopback load run against the internal/serve
+//	           daemon core — cold pass over the distinct instances, then
+//	           warm concurrent repeats — recording requests/sec, p50/p99
+//	           latency, the exact serve.* counter totals, and whether
+//	           every served body stayed bit-identical to a direct plan
+//	-serve-requests  total requests in the serve panel (default 256)
+//	-serve-distinct  distinct instances in the serve panel mix (default 8)
+//	-serve-clients   concurrent serve-panel clients (default 8)
 //	-out       output path (default BENCH.json; "-" = stdout)
 //	-trace     write a flight-recorder trace of the figure sweeps
 //	           (uavdc-trace/1 JSONL; analyze with uavtrace) to this file
@@ -77,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		workers   = fs.Int("workers", 0, "parallel candidate-scan goroutines")
 		faultsArg = fs.String("faults", "default", `fault spec for the adaptive panel ("default" = built-in, "none" = skip)`)
 		speedup   = fs.String("speedup", "none", `preset for the fast-vs-reference speedup panel ("none" = skip)`)
+		serveArg  = fs.String("serve", "none", `preset for the serving-throughput panel ("none" = skip)`)
+		serveReqs = fs.Int("serve-requests", 256, "total requests in the serve panel")
+		serveDist = fs.Int("serve-distinct", 8, "distinct instances in the serve panel mix")
+		serveCli  = fs.Int("serve-clients", 8, "concurrent serve-panel clients")
 		out       = fs.String("out", "BENCH.json", `output path ("-" = stdout)`)
 		tracePath = fs.String("trace", "", "write the flight-recorder trace (JSONL) to this file")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -161,6 +174,21 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return 1
 		}
 	}
+	if *serveArg != "none" {
+		vcfg, ok := presetConfig(*serveArg)
+		if !ok {
+			errs.Printf("uavbench: unknown serve preset %q\n", *serveArg)
+			return 2
+		}
+		if *seed != 0 {
+			vcfg.Seed = *seed
+		}
+		b.Serve, err = experiments.RunBenchServe(*serveArg, vcfg, *serveReqs, *serveDist, *serveCli)
+		if err != nil {
+			errs.Println("uavbench:", err)
+			return 1
+		}
+	}
 	if *faultsArg != "none" {
 		spec := *faultsArg
 		if spec == "default" {
@@ -227,6 +255,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		outw.Printf("speedup/%-10s %6.2fx  (%.3f s ref, %.3f s fast)  evals %d -> %d  %s\n",
 			sp.Figure, sp.Speedup, sp.ReferenceSeconds, sp.FastSeconds,
 			sp.ReferenceEvals, sp.FastEvals, parity)
+	}
+	if sv := b.Serve; sv != nil {
+		parity := "bit-identical"
+		if !sv.BitIdentical {
+			parity = "BODIES DIVERGED"
+		}
+		outw.Printf("serve/%-11s %6.0f req/s  p50 %.2f ms  p99 %.2f ms  hits %d  misses %d  %s\n",
+			sv.Preset, sv.RequestsPerSec, sv.P50Ms, sv.P99Ms, sv.Hits, sv.Misses, parity)
 	}
 	for _, fsn := range b.FaultScenarios {
 		outw.Printf("faults/%-11s %7.1f%% retained  %4d replans  %4d skipped\n",

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the loopback load gate end to end: real HTTP, a
+// tiny preset, repeats over two distinct instances. Exit 0 asserts
+// every body matched a direct plan and the cache hit rate was positive.
+func TestRunSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-smoke", "24", "-preset", "tiny", "-distinct", "2", "-clients", "4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"smoke: ok", "misses 2", "plans 2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stdout missing %q:\n%s", want, text)
+		}
+	}
+	// Concurrent clients may coalesce onto a cold flight instead of
+	// hitting the cache, so only the split between the two is
+	// scheduling-dependent: warm dispositions must total 22.
+	var hits, coalesced int
+	for _, line := range strings.Split(text, "\n") {
+		if n, err := fmt.Sscanf(line, "smoke: hits %d  misses %d  coalesced %d",
+			&hits, new(int), &coalesced); err == nil && n == 3 {
+			break
+		}
+	}
+	if hits+coalesced != 22 {
+		t.Errorf("hits %d + coalesced %d != 22 warm requests:\n%s", hits, coalesced, text)
+	}
+}
+
+// TestRunSmokeStreamsTrace: the -trace flag captures uavdc-trace/1 JSONL
+// spans for the smoke's requests.
+func TestRunSmokeStreamsTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{"-smoke", "4", "-preset", "tiny", "-distinct", "2", "-clients", "2",
+		"-strip-times", "-trace", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.TrimSpace(string(b))
+	if !strings.Contains(text, `"serve/request"`) {
+		t.Fatalf("trace has no serve/request spans:\n%s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSONL trace line %q: %v", line, err)
+		}
+	}
+}
+
+// TestRunRejectsBadArgs: flag and preset errors exit 2 without starting
+// a listener.
+func TestRunRejectsBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-smoke", "8", "-preset", "nope"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr %q)", args, code, errb.String())
+		}
+	}
+}
+
+// TestRunBadListenAddr: an unroutable listen address fails cleanly.
+func TestRunBadListenAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:0"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+}

@@ -1,0 +1,363 @@
+// Package canon is the repo's canonical instance representation: one
+// deterministic, content-addressable encoding of "what is being planned" —
+// the field, the UAV energy model, the discretisation and physics knobs,
+// and the planner selection. Every layer that needs an identity for a
+// planning request builds it here: core hashes single-UAV instances
+// (Instance.Canonical), multi extends the key with fleet knobs, mission
+// with campaign knobs, simulate with the adaptive executor's schedule, and
+// internal/serve uses the hash as its plan-cache key.
+//
+// Design rules:
+//
+//   - The encoding is total and bit-faithful: floats are serialised as
+//     their IEEE-754 bit patterns, so Decode(Encode(x)) reproduces x
+//     exactly (including negative zeros and NaN payloads) and two
+//     instances hash equal iff every bit of every field agrees.
+//   - Key hashes the *normalized* instance: unset knobs (Algorithm "",
+//     K 0, Delta 0, CoverRadius 0) are resolved to the library-wide
+//     defaults first, so a request that spells the defaults out and one
+//     that omits them address the same cache line. Normalization mirrors
+//     the resolution rules of the uavdc facade bit for bit.
+//   - Fields that provably do not change planner output — worker counts,
+//     tracing, instrumentation — are not part of the representation. The
+//     repo's determinism rails (fast-path parity, worker invariance,
+//     tracing on/off parity) are what make this sound.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// Version tags the encoding. Bump it when a field is added, removed, or
+// reordered; keys from different versions never collide because the tag is
+// hashed with the payload.
+const Version = "uavdc-canon/1"
+
+// DefaultAlgorithm is the planner selected by an empty algorithm name,
+// mirroring the uavdc facade (Algorithm 3, partial collection).
+const DefaultAlgorithm = "partial"
+
+// DefaultK is the sojourn partition selected by K ≤ 0, mirroring the
+// facade.
+const DefaultK = 4
+
+// Sensor is one aggregate node of the canonical field: ground position in
+// metres and stored volume in MB.
+type Sensor struct {
+	X, Y, Data float64
+}
+
+// RadioKind enumerates the uplink models the encoding understands.
+type RadioKind uint8
+
+const (
+	// RadioNone is the paper's constant network bandwidth (no explicit
+	// radio model attached to the instance).
+	RadioNone RadioKind = iota
+	// RadioConstant is an explicit constant-rate model.
+	RadioConstant
+	// RadioShannon is the Shannon-capacity model over free-space path
+	// loss.
+	RadioShannon
+)
+
+// Radio is the canonical uplink model. For RadioConstant only RefRate (the
+// rate B) is meaningful; for RadioNone no field is.
+type Radio struct {
+	Kind RadioKind
+	// RefRate, RefDist, RefSNR, PathLossExp are the Shannon calibration
+	// parameters; RefRate doubles as the constant model's B.
+	RefRate, RefDist, RefSNR, PathLossExp float64
+}
+
+// Instance is the canonical planning instance: everything that determines
+// a planner's output, in plain float64 (the encoding is a typed-world
+// boundary, like core.Plan's accessors).
+type Instance struct {
+	// Field geometry: the monitoring region's corners and the depot.
+	MinX, MinY, MaxX, MaxY float64
+	DepotX, DepotY         float64
+	// Sensors is the aggregate node set, in network order. Order is
+	// semantic — planners iterate and tie-break by index — so the
+	// encoding must not sort it.
+	Sensors []Sensor
+	// BandwidthMBps and CommRangeM are the network's B and R.
+	BandwidthMBps, CommRangeM float64
+	// Energy model: η_h, η_t, v, E, and the vertical extension.
+	HoverPowerW, TravelPowerW, SpeedMS, CapacityJ float64
+	ClimbPowerW, ClimbRateMS                      float64
+	// Discretisation and physics knobs.
+	DeltaM       float64
+	CoverRadiusM float64
+	K            int64
+	AltitudeM    float64
+	Radio        Radio
+	// Planner selection.
+	Algorithm string
+	Refine    bool
+}
+
+// Normalized resolves every unset-sentinel knob to the library default —
+// the same resolution the uavdc facade applies before planning — so that
+// logically identical instances encode identically:
+//
+//   - Algorithm ""  → DefaultAlgorithm
+//   - K ≤ 0         → DefaultK
+//   - DeltaM ≤ 0    → CommRangeM/5
+//   - CoverRadiusM ≤ 0 → sqrt(R²−H²) at positive altitude, else R
+//     (bit-identical to hover.CoverageRadius)
+func (in Instance) Normalized() Instance {
+	out := in
+	if out.Algorithm == "" {
+		out.Algorithm = DefaultAlgorithm
+	}
+	if out.K <= 0 {
+		out.K = DefaultK
+	}
+	if out.DeltaM <= 0 {
+		out.DeltaM = out.CommRangeM / 5
+	}
+	if out.CoverRadiusM <= 0 {
+		if out.AltitudeM > 0 && out.AltitudeM <= out.CommRangeM {
+			// The exact expression of hover.CoverageRadius, so the
+			// sentinel and its resolution hash identically.
+			out.CoverRadiusM = math.Sqrt(out.CommRangeM*out.CommRangeM - out.AltitudeM*out.AltitudeM)
+		} else {
+			out.CoverRadiusM = out.CommRangeM
+		}
+	}
+	return out
+}
+
+// Encode serialises the instance (as given — call Normalized first when
+// default-elision must not matter). The output is a pure function of the
+// field values: fixed field order, IEEE-754 bit patterns for floats,
+// length-prefixed strings and slices.
+func (in Instance) Encode() []byte {
+	e := NewEncoder()
+	e.Str(Version)
+	e.F64(in.MinX, in.MinY, in.MaxX, in.MaxY)
+	e.F64(in.DepotX, in.DepotY)
+	e.I64(int64(len(in.Sensors)))
+	for _, s := range in.Sensors {
+		e.F64(s.X, s.Y, s.Data)
+	}
+	e.F64(in.BandwidthMBps, in.CommRangeM)
+	e.F64(in.HoverPowerW, in.TravelPowerW, in.SpeedMS, in.CapacityJ, in.ClimbPowerW, in.ClimbRateMS)
+	e.F64(in.DeltaM, in.CoverRadiusM)
+	e.I64(in.K)
+	e.F64(in.AltitudeM)
+	e.Byte(byte(in.Radio.Kind))
+	e.F64(in.Radio.RefRate, in.Radio.RefDist, in.Radio.RefSNR, in.Radio.PathLossExp)
+	e.Str(in.Algorithm)
+	e.Bool(in.Refine)
+	return e.Bytes()
+}
+
+// Decode parses an Encode output back into the instance it came from,
+// bit-exactly. It rejects short input, version mismatches, and trailing
+// bytes — there is exactly one encoding per instance.
+func Decode(data []byte) (Instance, error) {
+	d := &Decoder{buf: data}
+	var in Instance
+	if v := d.Str(); d.err == nil && v != Version {
+		return Instance{}, fmt.Errorf("canon: version %q, want %q", v, Version)
+	}
+	in.MinX, in.MinY, in.MaxX, in.MaxY = d.F64(), d.F64(), d.F64(), d.F64()
+	in.DepotX, in.DepotY = d.F64(), d.F64()
+	n := d.I64()
+	if d.err == nil {
+		if n < 0 || n > int64(len(d.buf)-d.off)/24 {
+			return Instance{}, fmt.Errorf("canon: sensor count %d exceeds payload", n)
+		}
+		in.Sensors = make([]Sensor, n)
+		for i := range in.Sensors {
+			in.Sensors[i] = Sensor{X: d.F64(), Y: d.F64(), Data: d.F64()}
+		}
+	}
+	in.BandwidthMBps, in.CommRangeM = d.F64(), d.F64()
+	in.HoverPowerW, in.TravelPowerW = d.F64(), d.F64()
+	in.SpeedMS, in.CapacityJ = d.F64(), d.F64()
+	in.ClimbPowerW, in.ClimbRateMS = d.F64(), d.F64()
+	in.DeltaM, in.CoverRadiusM = d.F64(), d.F64()
+	in.K = d.I64()
+	in.AltitudeM = d.F64()
+	in.Radio.Kind = RadioKind(d.Byte())
+	in.Radio.RefRate, in.Radio.RefDist = d.F64(), d.F64()
+	in.Radio.RefSNR, in.Radio.PathLossExp = d.F64(), d.F64()
+	in.Algorithm = d.Str()
+	in.Refine = d.Bool()
+	if d.err != nil {
+		return Instance{}, d.err
+	}
+	if d.off != len(d.buf) {
+		return Instance{}, fmt.Errorf("canon: %d trailing bytes after instance", len(d.buf)-d.off)
+	}
+	if in.Radio.Kind > RadioShannon {
+		return Instance{}, fmt.Errorf("canon: unknown radio kind %d", in.Radio.Kind)
+	}
+	return in, nil
+}
+
+// Key is a content address: the SHA-256 of the normalized encoding.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex — the form the serve cache, the
+// uavdc-serve/1 responses, and the extended multi/mission/simulate keys
+// use.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Key content-addresses the instance: SHA-256 over Normalized().Encode().
+func (in Instance) Key() Key {
+	return sha256.Sum256(in.Normalized().Encode())
+}
+
+// Encoder is the shared canonical byte writer: fixed-width little-endian
+// IEEE bits for floats, fixed-width two's-complement for ints, length-
+// prefixed strings. The higher layers (multi, mission, simulate) append
+// their own knobs to an instance key with it, so every extended key speaks
+// one encoding.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// F64 appends each float's IEEE-754 bit pattern.
+func (e *Encoder) F64(vs ...float64) {
+	for _, v := range vs {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+	}
+}
+
+// I64 appends each integer as 8 little-endian bytes.
+func (e *Encoder) I64(vs ...int64) {
+	for _, v := range vs {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+	}
+}
+
+// U64 appends each unsigned integer as 8 little-endian bytes.
+func (e *Encoder) U64(vs ...uint64) {
+	for _, v := range vs {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+	}
+}
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends 1 or 0.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.I64(int64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes returns the accumulated encoding.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Sum returns the SHA-256 of the accumulated encoding as a Key.
+func (e *Encoder) Sum() Key { return sha256.Sum256(e.buf) }
+
+// ExtendKey derives a sub-system key from a base key plus extra canonical
+// parts: sha256(base || tag || parts). multi, mission, and simulate use it
+// to widen an instance key with their own knobs without re-encoding the
+// field.
+func ExtendKey(base Key, tag string, parts func(e *Encoder)) Key {
+	e := NewEncoder()
+	e.buf = append(e.buf, base[:]...)
+	e.Str(tag)
+	if parts != nil {
+		parts(e)
+	}
+	return e.Sum()
+}
+
+// Decoder is the strict canonical byte reader; the first error sticks and
+// subsequent reads return zero values.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// take returns the next n bytes or flags truncation.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("canon: truncated input at offset %d (need %d of %d bytes)", d.off, n, len(d.buf)-d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// F64 reads one float's bit pattern.
+func (d *Decoder) F64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// I64 reads one 8-byte integer.
+func (d *Decoder) I64() int64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte and requires it to be exactly 0 or 1 — any other
+// value would admit two encodings of the same instance.
+func (d *Decoder) Bool() bool {
+	b := d.Byte()
+	if d.err == nil && b > 1 {
+		d.err = fmt.Errorf("canon: invalid bool byte %d", b)
+	}
+	return b == 1
+}
+
+// Str reads one length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.I64()
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > int64(len(d.buf)-d.off) {
+		d.err = fmt.Errorf("canon: string length %d exceeds payload", n)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }

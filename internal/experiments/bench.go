@@ -130,6 +130,9 @@ type Bench struct {
 	// in documents written before it existed — an additive field, so the
 	// schema tag is unchanged.
 	Speedup []BenchSpeedupRow `json:"speedup,omitempty"`
+	// Serve is the serving-throughput panel (uavbench -serve); additive
+	// like the panels above, so the schema tag is unchanged.
+	Serve *BenchServe `json:"serve,omitempty"`
 }
 
 // RunBench executes the named figure drivers with instrumentation on and

@@ -7,8 +7,6 @@ import (
 	"path/filepath"
 	"slices"
 	"testing"
-
-	"uavdc/internal/core"
 )
 
 // loadBench reads a BENCH_*.json baseline from the repo root.
@@ -25,25 +23,21 @@ func loadBench(t *testing.T, name string) *Bench {
 	return &b
 }
 
-// TestBenchPanelsParity pins the current baseline (BENCH_PR6.json,
-// regenerated after the fast-path candidate generation landed) against the
-// previous one (BENCH_PR5.json) under the fast-path parity contract:
-//
-//   - per-figure collected volumes, plan-call counts, and the whole
-//     fault-scenario panel are bit-identical — the fast path may do less
-//     work but must not change behaviour;
-//   - behaviour counters (accepted/upgraded stops, pruning, local-search
-//     moves, solver runs, ...) are bit-identical;
-//   - the scan work ledger shrinks: core.candidate_evals and
-//     core.residual_recomputes must not exceed the baseline, and the new
-//     core.scan_skipped_drained counter closes the books exactly —
-//     fast evals + skipped == baseline evals, per figure.
-//
-// Timing fields are machine noise and not compared. `make ci` runs this as
-// the benchparity step.
+// TestBenchPanelsParity pins the current baseline (BENCH_PR7.json,
+// regenerated when the serving panel landed) against the previous one
+// (BENCH_PR6.json). Both baselines run the same fast planning path, so
+// this PR's contract is strict: every deterministic field of the prior
+// panels — figure volumes, plan calls, all behaviour and work counters,
+// the fault-scenario panel, and the speedup panel's eval ledger — is
+// bit-identical; serving is a new layer above the planner and must not
+// perturb it. The new serve panel must be present and internally
+// consistent: dispositions sum to the request count, plans equal
+// misses, and every served body matched a direct plan. Timing fields
+// are machine noise and not compared. `make ci` runs this as the
+// benchparity step.
 func TestBenchPanelsParity(t *testing.T) {
-	prev := loadBench(t, "BENCH_PR5.json")
-	cur := loadBench(t, "BENCH_PR6.json")
+	prev := loadBench(t, "BENCH_PR6.json")
+	cur := loadBench(t, "BENCH_PR7.json")
 	if len(cur.Figures) != len(prev.Figures) {
 		t.Fatalf("figure count %d, baseline %d", len(cur.Figures), len(prev.Figures))
 	}
@@ -64,35 +58,17 @@ func TestBenchPanelsParity(t *testing.T) {
 				t.Errorf("%s/%s: volume_mb %v, baseline %v", cf.Figure, series, got, want)
 			}
 		}
-		// The work ledger may shrink; everything else must hold exactly.
-		// New counters (the skip ledger itself) are allowed to appear.
+		// Same planner, same work: the whole counter map matches exactly,
+		// no additions, no deletions.
 		for _, cname := range slices.Sorted(maps.Keys(pf.Counters)) {
-			want := pf.Counters[cname]
-			got, ok := cf.Counters[cname]
-			switch {
-			case cname == core.CounterCandidateEvals || cname == core.CounterResidualRecomputes:
-				if !ok || got > want {
-					t.Errorf("%s/%s: work counter %d, baseline %d (must not grow)", cf.Figure, cname, got, want)
-				}
-			default:
-				if !ok || got != want {
-					t.Errorf("%s/%s: counter %d, baseline %d", cf.Figure, cname, got, want)
-				}
+			if got, ok := cf.Counters[cname]; !ok || got != pf.Counters[cname] {
+				t.Errorf("%s/%s: counter %d, baseline %d", cf.Figure, cname, got, pf.Counters[cname])
 			}
 		}
 		for _, cname := range slices.Sorted(maps.Keys(cf.Counters)) {
-			if _, ok := pf.Counters[cname]; !ok && cname != core.CounterScanSkippedDrained {
+			if _, ok := pf.Counters[cname]; !ok {
 				t.Errorf("%s: unexpected new counter %s", cf.Figure, cname)
 			}
-		}
-		// The skipped-evals reconciliation: every candidate the baseline
-		// evaluated was either evaluated by the fast path or proven
-		// zero-award and skipped.
-		evals := cf.Counters[core.CounterCandidateEvals]
-		skipped := cf.Counters[core.CounterScanSkippedDrained]
-		if evals+skipped != pf.Counters[core.CounterCandidateEvals] {
-			t.Errorf("%s: evals %d + skipped %d != baseline evals %d",
-				cf.Figure, evals, skipped, pf.Counters[core.CounterCandidateEvals])
 		}
 	}
 	if len(cur.FaultScenarios) != len(prev.FaultScenarios) {
@@ -113,17 +89,45 @@ func TestBenchPanelsParity(t *testing.T) {
 				cr.Replans, cr.FaultsApplied, cr.StopsSkipped, pr.Replans, pr.FaultsApplied, pr.StopsSkipped)
 		}
 	}
-	// The PR6 baseline must carry a speedup panel with intact parity.
-	if len(cur.Speedup) == 0 {
-		t.Fatal("BENCH_PR6.json has no speedup panel")
+	// The speedup panel's deterministic columns carry over bit-identically.
+	if len(cur.Speedup) != len(prev.Speedup) {
+		t.Fatalf("speedup panel has %d rows, baseline %d", len(cur.Speedup), len(prev.Speedup))
 	}
-	for _, row := range cur.Speedup {
-		if !row.BitIdentical {
-			t.Errorf("speedup/%s: deterministic panels diverged between reference and fast", row.Figure)
+	for i, pr := range prev.Speedup {
+		cr := cur.Speedup[i]
+		if cr.Figure != pr.Figure {
+			t.Errorf("speedup row %d: %s, baseline %s", i, cr.Figure, pr.Figure)
+			continue
 		}
-		if row.FastEvals+row.SkippedEvals != row.ReferenceEvals {
+		if !cr.BitIdentical {
+			t.Errorf("speedup/%s: deterministic panels diverged between reference and fast", cr.Figure)
+		}
+		if cr.ReferenceEvals != pr.ReferenceEvals || cr.FastEvals != pr.FastEvals || cr.SkippedEvals != pr.SkippedEvals {
+			t.Errorf("speedup/%s: eval ledger (%d, %d, %d), baseline (%d, %d, %d)", cr.Figure,
+				cr.ReferenceEvals, cr.FastEvals, cr.SkippedEvals, pr.ReferenceEvals, pr.FastEvals, pr.SkippedEvals)
+		}
+		if cr.FastEvals+cr.SkippedEvals != cr.ReferenceEvals {
 			t.Errorf("speedup/%s: fast evals %d + skipped %d != reference evals %d",
-				row.Figure, row.FastEvals, row.SkippedEvals, row.ReferenceEvals)
+				cr.Figure, cr.FastEvals, cr.SkippedEvals, cr.ReferenceEvals)
 		}
+	}
+	// The PR7 baseline must carry the new serving panel, internally
+	// consistent and bit-identical to direct planning.
+	sv := cur.Serve
+	if sv == nil {
+		t.Fatal("BENCH_PR7.json has no serve panel")
+	}
+	if !sv.BitIdentical {
+		t.Error("serve panel: served bodies diverged from direct plans")
+	}
+	if got := sv.Hits + sv.Misses + sv.Coalesced + sv.Rejected; got != int64(sv.Requests) {
+		t.Errorf("serve panel: dispositions sum to %d, want %d", got, sv.Requests)
+	}
+	if sv.Plans != sv.Misses || sv.Misses != int64(sv.Distinct) {
+		t.Errorf("serve panel: plans=%d misses=%d, want both %d (one cold plan per distinct instance)",
+			sv.Plans, sv.Misses, sv.Distinct)
+	}
+	if sv.Rejected != 0 {
+		t.Errorf("serve panel: %d backpressure rejections in the baseline run", sv.Rejected)
 	}
 }

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uavdc"
+	"uavdc/internal/obs"
+	"uavdc/internal/rng"
+	"uavdc/internal/sensornet"
+	"uavdc/internal/serve"
+)
+
+// BenchServe is the serving-throughput panel (uavbench -serve): a
+// loopback load run against the internal/serve daemon core on the
+// preset's field distribution. The run is two-phase — every distinct
+// instance planned cold once, then the remaining requests fired from
+// concurrent clients against the warm cache — so the counter fields are
+// exactly predictable: misses = plans = distinct instances,
+// hits = requests − distinct, rejected = coalesced = 0. The throughput
+// and latency fields are wall clock and vary run to run;
+// bit_identical records that every served body, cold or warm, equalled
+// a direct uavdc.Plan call.
+type BenchServe struct {
+	Preset         string  `json:"preset"`
+	Requests       int     `json:"requests"`
+	Distinct       int     `json:"distinct_instances"`
+	Clients        int     `json:"clients"`
+	Workers        int     `json:"workers"`
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	Coalesced      int64   `json:"coalesced"`
+	Rejected       int64   `json:"rejected"`
+	Plans          int64   `json:"plans"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	BitIdentical   bool    `json:"bit_identical"`
+}
+
+// ServeRequests builds the uavdc-serve/1 requests of the preset's load
+// mix: distinct random fields from the preset's generator at its fixed
+// δ and largest K, planned with the default algorithm.
+func ServeRequests(cfg Config, distinct int) ([]serve.Request, error) {
+	k := 4
+	if len(cfg.Ks) > 0 {
+		k = cfg.Ks[len(cfg.Ks)-1]
+	}
+	uav := serve.UAVSpecOf(uavdc.UAV{
+		HoverPowerW:  cfg.Model.HoverPower.F(),
+		TravelPowerW: cfg.Model.TravelPower.F(),
+		SpeedMS:      cfg.Model.Speed.F(),
+		CapacityJ:    cfg.Model.Capacity.F(),
+		ClimbPowerW:  cfg.Model.ClimbPower.F(),
+		ClimbRateMS:  cfg.Model.ClimbRate.F(),
+	})
+	reqs := make([]serve.Request, distinct)
+	for i := range reqs {
+		net, err := sensornet.Generate(cfg.Gen, rng.New(cfg.Seed+uint64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate serve instance %d: %w", i, err)
+		}
+		spec := serve.ScenarioSpec{
+			RegionSideM:   cfg.Gen.Side,
+			DepotX:        net.Depot.X,
+			DepotY:        net.Depot.Y,
+			BandwidthMBps: net.Bandwidth,
+			CoverRadiusM:  net.CommRange,
+			Sensors:       make([]serve.SensorSpec, len(net.Sensors)),
+		}
+		for j, s := range net.Sensors {
+			spec.Sensors[j] = serve.SensorSpec{X: s.Pos.X, Y: s.Pos.Y, DataMB: s.Data}
+		}
+		reqs[i] = serve.Request{
+			Schema:   serve.Schema,
+			Scenario: spec,
+			UAV:      uav,
+			Options:  serve.OptionsSpec{DeltaM: cfg.Delta, K: k},
+		}
+	}
+	return reqs, nil
+}
+
+// RunBenchServe measures the serving panel: requests total over distinct
+// instances from the given number of concurrent clients.
+func RunBenchServe(preset string, cfg Config, requests, distinct, clients int) (*BenchServe, error) {
+	if distinct <= 0 {
+		distinct = 8
+	}
+	if requests < distinct {
+		requests = distinct
+	}
+	if clients <= 0 {
+		clients = 8
+	}
+	reqs, err := ServeRequests(cfg, distinct)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference bodies: one direct Plan call per distinct instance —
+	// the bit-identity baseline, computed outside the measured window.
+	expected := make([][]byte, distinct)
+	for i, r := range reqs {
+		key, err := r.Key()
+		if err != nil {
+			return nil, err
+		}
+		res, err := uavdc.Plan(r.Scenario.Scenario(), r.UAV.UAV(), r.Options.Options())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: direct plan %d: %w", i, err)
+		}
+		if expected[i], err = serve.EncodeResult(key, res); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4 // serve.New's default pool size
+	}
+	reg := obs.NewRegistry()
+	s := serve.New(serve.Config{Obs: reg, Workers: workers})
+	defer func() { _ = s.Close(context.Background()) }() // nothing in flight by then; counters already read
+	ctx := context.Background()
+
+	var identical atomic.Bool
+	identical.Store(true)
+	latencies := make([]float64, requests)
+	start := time.Now() //uavdc:allow nodeterminism bench wall-clock panel; documented non-deterministic in EXPERIMENTS.md
+
+	// Phase 1: cold, serial — every distinct instance planned once.
+	for i, r := range reqs {
+		out := s.Do(ctx, r)
+		if out.Status != 200 {
+			return nil, fmt.Errorf("experiments: cold serve %d: status %d: %s", i, out.Status, out.Body)
+		}
+		if !bytes.Equal(out.Body, expected[i]) {
+			identical.Store(false)
+		}
+		latencies[i] = out.Elapsed.Seconds()
+	}
+
+	// Phase 2: warm, concurrent — the remaining requests round-robin
+	// over the now-cached instances from all clients at once.
+	var next atomic.Int64
+	next.Store(int64(distinct))
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				r := i % distinct
+				out := s.Do(ctx, reqs[r])
+				if out.Status != 200 {
+					select {
+					case errc <- fmt.Errorf("experiments: warm serve %d: status %d: %s", i, out.Status, out.Body):
+					default:
+					}
+					return
+				}
+				if !bytes.Equal(out.Body, expected[r]) {
+					identical.Store(false)
+				}
+				latencies[i] = out.Elapsed.Seconds()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start) //uavdc:allow nodeterminism bench wall-clock panel; documented non-deterministic in EXPERIMENTS.md
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+
+	sort.Float64s(latencies)
+	counters := reg.Snapshot().Counters
+	panel := &BenchServe{
+		Preset:         preset,
+		Requests:       requests,
+		Distinct:       distinct,
+		Clients:        clients,
+		Workers:        workers,
+		Hits:           counters[serve.CounterHits],
+		Misses:         counters[serve.CounterMisses],
+		Coalesced:      counters[serve.CounterCoalesced],
+		Rejected:       counters[serve.CounterRejected],
+		Plans:          counters[serve.CounterPlans],
+		WallSeconds:    wall.Seconds(),
+		RequestsPerSec: float64(requests) / wall.Seconds(),
+		P50Ms:          1e3 * latencies[len(latencies)*50/100],
+		P99Ms:          1e3 * latencies[min(len(latencies)-1, len(latencies)*99/100)],
+		BitIdentical:   identical.Load(),
+	}
+	return panel, nil
+}

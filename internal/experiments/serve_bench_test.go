@@ -1,0 +1,73 @@
+package experiments
+
+import "testing"
+
+// TestBenchServePanel locks the serve panel's deterministic fields: the
+// two-phase choreography makes every counter exactly predictable, and
+// every served body must be bit-identical to a direct plan.
+func TestBenchServePanel(t *testing.T) {
+	const (
+		requests = 32
+		distinct = 4
+		clients  = 4
+	)
+	sv, err := RunBenchServe("tiny", Tiny(), requests, distinct, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sv.BitIdentical {
+		t.Error("served bodies diverged from direct plans")
+	}
+	if sv.Misses != distinct || sv.Plans != distinct {
+		t.Errorf("misses=%d plans=%d, want both %d (cold pass plans each distinct instance once)",
+			sv.Misses, sv.Plans, distinct)
+	}
+	if sv.Hits != requests-distinct {
+		t.Errorf("hits=%d, want %d (every warm repeat is a cache hit)", sv.Hits, requests-distinct)
+	}
+	if sv.Coalesced != 0 || sv.Rejected != 0 {
+		t.Errorf("coalesced=%d rejected=%d, want 0 (warm phase never misses)", sv.Coalesced, sv.Rejected)
+	}
+	if got := sv.Hits + sv.Misses + sv.Coalesced + sv.Rejected; got != int64(requests) {
+		t.Errorf("counter dispositions sum to %d, want %d", got, requests)
+	}
+	if sv.WallSeconds <= 0 || sv.RequestsPerSec <= 0 || sv.P99Ms < sv.P50Ms {
+		t.Errorf("implausible timing fields: wall=%g rps=%g p50=%g p99=%g",
+			sv.WallSeconds, sv.RequestsPerSec, sv.P50Ms, sv.P99Ms)
+	}
+}
+
+// TestServeRequestsDeterministic: the request mix is a pure function of
+// the preset, so panel inputs reproduce across runs and machines.
+func TestServeRequestsDeterministic(t *testing.T) {
+	a, err := ServeRequests(Tiny(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServeRequests(Tiny(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ka, err := a[i].Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := b[i].Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ka != kb {
+			t.Fatalf("request %d key drifted: %s vs %s", i, ka, kb)
+		}
+		for j := 0; j < i; j++ {
+			kj, err := a[j].Key()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kj == ka {
+				t.Fatalf("requests %d and %d collide on key %s; the mix must be distinct instances", j, i, ka)
+			}
+		}
+	}
+}

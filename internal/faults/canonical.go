@@ -1,0 +1,24 @@
+package faults
+
+import "uavdc/internal/canon"
+
+// CanonParts appends the schedule's canonical encoding: the event count
+// followed by every event's kind, ranges, sensor scope, factor, and zone.
+// Event order is semantic (factors compose in declaration order for a leg
+// hit by several winds), so the encoding preserves it. A nil schedule and
+// an empty one encode identically — both are the fault-free run.
+func (s *Schedule) CanonParts(e *canon.Encoder) {
+	if s == nil {
+		e.I64(0)
+		return
+	}
+	e.I64(int64(len(s.Events)))
+	for _, ev := range s.Events {
+		e.I64(int64(ev.Kind))
+		e.I64(int64(ev.Legs.From), int64(ev.Legs.To))
+		e.I64(int64(ev.Stops.From), int64(ev.Stops.To))
+		e.I64(int64(ev.Sensor))
+		e.F64(ev.Factor)
+		e.F64(ev.Zone.C.X, ev.Zone.C.Y, ev.Zone.R)
+	}
+}

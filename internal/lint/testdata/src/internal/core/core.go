@@ -45,4 +45,10 @@ func Instrument(r obs.Rec, tr trace.Tracer, kind string) {
 	end()
 	tr.Event(missionPrefix + kind) // clean: mission/* wildcard
 	tr.Event("bogus/" + kind)      // positive: no bogus/* wildcard
+
+	r.Counter("serve.hits").Add(1)     // clean: registered serving counter
+	r.Counter("serve.bogus").Add(1)    // positive: unregistered serve.* name
+	r.Counter("serve.unlisted").Add(1) //uavdc:allow obsnames fixture: suppressed serve case
+	end2 := tr.Begin("serve/request")  // clean: registered serving span
+	end2()
 }

@@ -1,0 +1,44 @@
+package mission
+
+import (
+	"maps"
+	"slices"
+	"testing"
+
+	"uavdc/internal/canon"
+	"uavdc/internal/simulate"
+	"uavdc/internal/units"
+)
+
+func TestCanonKeyCampaignKnobs(t *testing.T) {
+	var base canon.Key
+	base[3] = 5
+
+	def, err := Options{}.CanonKey(base)
+	if err != nil {
+		t.Fatalf("CanonKey: %v", err)
+	}
+	spelled, err := Options{MaxSorties: 100, MinVolume: 1}.CanonKey(base)
+	if err != nil {
+		t.Fatalf("CanonKey: %v", err)
+	}
+	if def != spelled {
+		t.Fatal("elided and spelled-out campaign defaults hash differently")
+	}
+
+	knobs := map[string]Options{
+		"max sorties": {MaxSorties: 3},
+		"min volume":  {MinVolume: 50},
+		"recharge":    {RechargeTime: 600},
+		"physics":     {Simulate: simulate.Options{Altitude: units.Meters(20)}},
+	}
+	for _, name := range slices.Sorted(maps.Keys(knobs)) {
+		k, err := knobs[name].CanonKey(base)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == def {
+			t.Errorf("%s: knob not keyed", name)
+		}
+	}
+}

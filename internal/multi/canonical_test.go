@@ -1,0 +1,42 @@
+package multi
+
+import (
+	"testing"
+
+	"uavdc/internal/canon"
+	"uavdc/internal/core"
+)
+
+func TestCanonKeyFleetKnobs(t *testing.T) {
+	var base canon.Key
+	base[0] = 7
+
+	k2 := Options{Fleet: 2}.CanonKey(base)
+	if k2 == base {
+		t.Fatal("extension did not change the key")
+	}
+	if (Options{Fleet: 3}).CanonKey(base) == k2 {
+		t.Fatal("fleet size not keyed")
+	}
+	if (Options{Fleet: 2, Strategy: StrategySweep}).CanonKey(base) == k2 {
+		t.Fatal("strategy not keyed")
+	}
+	if (Options{Fleet: 2, Seed: 9}).CanonKey(base) == k2 {
+		t.Fatal("seed not keyed")
+	}
+	if (Options{Fleet: 2}).CanonKey(base) != k2 {
+		t.Fatal("CanonKey is not deterministic")
+	}
+}
+
+func TestCanonKeyBasePlannerElision(t *testing.T) {
+	var base canon.Key
+	elided := Options{Fleet: 2}.CanonKey(base)
+	spelled := Options{Fleet: 2, Base: &core.Algorithm3{}}.CanonKey(base)
+	if elided != spelled {
+		t.Fatal("nil base and explicit Algorithm 3 hash differently")
+	}
+	if (Options{Fleet: 2, Base: &core.Algorithm2{}}).CanonKey(base) == elided {
+		t.Fatal("base planner not keyed")
+	}
+}

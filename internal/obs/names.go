@@ -92,6 +92,23 @@ var canonicalNames = map[string]NameKind{
 	"experiments.plan":            KindTimer,
 	"trace.span_duration.seconds": KindHistogram,
 
+	// Serving-layer counters, latency histogram, and request span
+	// (internal/serve). serve.queue_depth is a gauge rendered directly
+	// on /metrics rather than an obs.Counter cell, but it shares the
+	// namespace and is registered so the vocabulary stays complete.
+	"serve.requests":        KindCounter,
+	"serve.hits":            KindCounter,
+	"serve.misses":          KindCounter,
+	"serve.coalesced":       KindCounter,
+	"serve.rejected":        KindCounter,
+	"serve.timeouts":        KindCounter,
+	"serve.errors":          KindCounter,
+	"serve.plans":           KindCounter,
+	"serve.evictions":       KindCounter,
+	"serve.queue_depth":     KindCounter,
+	"serve.latency.seconds": KindHistogram,
+	"serve/request":         KindSpan,
+
 	// Planner phase spans (internal/core).
 	"plan/alg1":                KindSpan,
 	"plan/alg1/candidates":     KindSpan,

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"maps"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"uavdc"
+)
+
+// gatedServer builds a server whose planner blocks until gate closes and
+// signals each execution start on entered.
+func gatedServer(workers, queue int) (s *Server, gate chan struct{}, entered chan string) {
+	gate = make(chan struct{})
+	entered = make(chan string, 64)
+	s = New(Config{Workers: workers, QueueSize: queue,
+		planFn: func(key string, r Request, tr *uavdc.Trace) ([]byte, error) {
+			entered <- key
+			<-gate
+			return []byte(key + "\n"), nil
+		}})
+	return s, gate, entered
+}
+
+// decodeErrorBody parses and schema-checks a uavdc-serve/1 error body.
+func decodeErrorBody(t *testing.T, body []byte) ErrorBody {
+	t.Helper()
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, body)
+	}
+	if eb.Schema != Schema {
+		t.Fatalf("error body schema %q, want %q", eb.Schema, Schema)
+	}
+	if eb.Error.Message == "" {
+		t.Fatal("error body has no message")
+	}
+	if !bytes.HasSuffix(body, []byte("\n")) {
+		t.Fatal("error body is not newline-terminated")
+	}
+	return eb
+}
+
+// counterDelta returns after-minus-before for every counter present in
+// either snapshot.
+func counterDelta(before, after map[string]int64) map[string]int64 {
+	d := map[string]int64{}
+	for name, n := range after {
+		if n-before[name] != 0 {
+			d[name] = n - before[name]
+		}
+	}
+	return d
+}
+
+// TestFailureModes drives the three failure paths — queue-full
+// backpressure, deadline expiry mid-plan, and graceful-shutdown
+// rejection — through one table. Each case gets a fresh gated server
+// with one worker and a one-slot queue, saturates it (request A runs,
+// request B queued), runs its probe, and asserts the probe's status,
+// error code, and exact serve.* counter deltas; then the gate opens and
+// the saturating flights must all land with status 200.
+func TestFailureModes(t *testing.T) {
+	cases := []struct {
+		name       string
+		probe      func(t *testing.T, s *Server) Outcome
+		wantStatus int
+		wantCode   string
+		wantDelta  map[string]int64
+		// after runs once the gate has opened and the saturating
+		// flights have landed.
+		after func(t *testing.T, s *Server)
+	}{
+		{
+			name: "queue full rejects with backpressure",
+			probe: func(t *testing.T, s *Server) Outcome {
+				return s.Do(context.Background(), testRequest(3))
+			},
+			wantStatus: 503,
+			wantCode:   ErrBackpressure,
+			wantDelta:  map[string]int64{CounterRequests: 1, CounterRejected: 1},
+		},
+		{
+			name: "deadline expires mid-plan",
+			probe: func(t *testing.T, s *Server) Outcome {
+				// Join request A's in-flight computation with a deadline
+				// that expires while the planner is still gated.
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+				defer cancel()
+				return s.Do(ctx, testRequest(1))
+			},
+			wantStatus: 504,
+			wantCode:   ErrTimeout,
+			wantDelta:  map[string]int64{CounterRequests: 1, CounterCoalesced: 1, CounterTimeouts: 1},
+			after: func(t *testing.T, s *Server) {
+				// The abandoned flight still landed and filled the cache.
+				out := s.Do(context.Background(), testRequest(1))
+				if out.Cache != "hit" || out.Status != 200 {
+					t.Fatalf("retry after timeout: cache=%q status=%d, want warm hit", out.Cache, out.Status)
+				}
+			},
+		},
+		{
+			name: "shutdown rejects new work while draining",
+			probe: func(t *testing.T, s *Server) Outcome {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				defer cancel()
+				// Close blocks on the gated flights; probe mid-drain.
+				go s.Close(context.Background())
+				_ = s.Close(ctx) // second Close is a no-op, returns when drained or ctx expires
+				return s.Do(context.Background(), testRequest(3))
+			},
+			wantStatus: 503,
+			wantCode:   ErrShuttingDown,
+			wantDelta:  map[string]int64{CounterRequests: 1, CounterRejected: 1},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, gate, entered := gatedServer(1, 1)
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := s.Close(ctx); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+			}()
+
+			// Saturate: A occupies the worker, B fills the queue slot.
+			var wg sync.WaitGroup
+			satOut := make([]Outcome, 2)
+			wg.Add(1)
+			go func() { defer wg.Done(); satOut[0] = s.Do(context.Background(), testRequest(1)) }()
+			<-entered // A is running
+			wg.Add(1)
+			go func() { defer wg.Done(); satOut[1] = s.Do(context.Background(), testRequest(2)) }()
+			waitQueueDepth(t, s, 1) // B is queued
+
+			before := s.Snapshot().Counters
+			out := tc.probe(t, s)
+			delta := counterDelta(before, s.Snapshot().Counters)
+
+			if out.Status != tc.wantStatus {
+				t.Fatalf("probe status = %d, want %d (body %s)", out.Status, tc.wantStatus, out.Body)
+			}
+			if eb := decodeErrorBody(t, out.Body); eb.Error.Code != tc.wantCode {
+				t.Fatalf("error code = %q, want %q", eb.Error.Code, tc.wantCode)
+			}
+			for _, name := range slices.Sorted(maps.Keys(tc.wantDelta)) {
+				if want := tc.wantDelta[name]; delta[name] != want {
+					t.Errorf("Δ%s = %d, want %d (full delta %v)", name, delta[name], want, delta)
+				}
+			}
+			for _, name := range slices.Sorted(maps.Keys(delta)) {
+				if _, ok := tc.wantDelta[name]; !ok {
+					t.Errorf("unexpected counter movement: Δ%s = %d", name, delta[name])
+				}
+			}
+
+			// Drain: the saturating flights land and their waiters see
+			// complete responses.
+			close(gate)
+			wg.Wait()
+			for i, o := range satOut {
+				if o.Status != 200 {
+					t.Errorf("saturating request %d: status %d, want 200 after drain", i, o.Status)
+				}
+			}
+			if tc.after != nil {
+				tc.after(t, s)
+			}
+		})
+	}
+}
+
+// waitQueueDepth polls until the worker queue holds want flights.
+func waitQueueDepth(t *testing.T, s *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d, want %d", s.QueueDepth(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseIdempotentAndHitsDuringDrain: Close twice is safe, and cached
+// plans keep serving while the pool drains.
+func TestCloseIdempotentAndHitsDuringDrain(t *testing.T) {
+	s := New(Config{planFn: func(key string, r Request, tr *uavdc.Trace) ([]byte, error) {
+		return []byte(key + "\n"), nil
+	}})
+	warm := s.Do(context.Background(), testRequest(1))
+	if warm.Status != 200 {
+		t.Fatalf("warmup failed: %d", warm.Status)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	hit := s.Do(context.Background(), testRequest(1))
+	if hit.Status != 200 || hit.Cache != "hit" {
+		t.Fatalf("cached plan not served after close: status=%d cache=%q", hit.Status, hit.Cache)
+	}
+	miss := s.Do(context.Background(), testRequest(2))
+	if miss.Status != 503 {
+		t.Fatalf("new work accepted after close: %d", miss.Status)
+	}
+	if eb := decodeErrorBody(t, miss.Body); eb.Error.Code != ErrShuttingDown {
+		t.Fatalf("error code = %q, want %q", eb.Error.Code, ErrShuttingDown)
+	}
+}

@@ -1,0 +1,101 @@
+package serve
+
+import "sync"
+
+// lruCache is a bounded map from cache key to encoded response body with
+// least-recently-used eviction. A Get refreshes recency. The zero value is
+// not usable; call newLRU.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*lruEntry
+	// head is most recent, tail least recent, in a doubly linked list
+	// threaded through the entries.
+	head, tail *lruEntry
+	evictions  int64
+}
+
+type lruEntry struct {
+	key        string
+	body       []byte
+	prev, next *lruEntry
+}
+
+// newLRU returns an empty cache holding at most capacity entries;
+// capacity ≤ 0 disables caching (every Get misses, every Put drops).
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, items: make(map[string]*lruEntry)}
+}
+
+// Get returns the cached body and refreshes the entry's recency.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	return e.body, true
+}
+
+// Put inserts or refreshes the entry, evicting from the tail when full.
+// It returns the number of entries evicted (0 or 1).
+func (c *lruCache) Put(key string, body []byte) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.body = body
+		c.unlink(e)
+		c.pushFront(e)
+		return 0
+	}
+	e := &lruEntry{key: key, body: body}
+	c.items[key] = e
+	c.pushFront(e)
+	evicted := 0
+	for len(c.items) > c.cap {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.items, victim.key)
+		evicted++
+	}
+	c.evictions += int64(evicted)
+	return evicted
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

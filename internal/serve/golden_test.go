@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// goldenCompare applies the repo's golden-file flow: -update rewrites,
+// otherwise byte-compare.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- want\n%s--- got\n%s", name, want, got)
+	}
+}
+
+// goldenRequest is the fixed tiny instance all serve goldens use.
+func goldenRequest() Request {
+	req := testRequest(7)
+	req.Options = OptionsSpec{Algorithm: "greedy", K: 2}
+	return req
+}
+
+// TestGoldenRequestJSON locks the uavdc-serve/1 request wire format.
+func TestGoldenRequestJSON(t *testing.T) {
+	b, err := json.MarshalIndent(goldenRequest(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "request.golden", append(b, '\n'))
+}
+
+// TestGoldenResponseJSON locks the uavdc-serve/1 response wire format —
+// and, because the golden is committed, doubles as a cross-machine
+// determinism check on the planner output it embeds. The served body
+// must equal both the golden and a direct uavdc.Plan call.
+func TestGoldenResponseJSON(t *testing.T) {
+	req := goldenRequest()
+	s := New(Config{})
+	defer s.Close(context.Background())
+	out := s.Do(context.Background(), req)
+	if out.Status != 200 {
+		t.Fatalf("status %d: %s", out.Status, out.Body)
+	}
+	if want := directBody(t, req); !bytes.Equal(out.Body, want) {
+		t.Fatal("served body differs from the direct plan")
+	}
+	goldenCompare(t, "response.golden", out.Body)
+}
+
+// TestGoldenErrorBodyJSON locks the uavdc-serve/1 error wire format.
+func TestGoldenErrorBodyJSON(t *testing.T) {
+	goldenCompare(t, "error.golden", encodeError(ErrBackpressure, "queue full (64 pending)"))
+}
+
+// wallLines matches the metric lines whose values are wall-clock and
+// therefore normalized before golden comparison.
+var wallLines = regexp.MustCompile(`(?m)^(serve\.latency\.seconds) .*$`)
+
+// TestGoldenMetrics locks the /metrics text after a fixed request
+// sequence: one miss, one hit, one bad request. Every line is
+// deterministic except the latency histogram, which is normalized.
+func TestGoldenMetrics(t *testing.T) {
+	req := goldenRequest()
+	s := New(Config{})
+	defer s.Close(context.Background())
+	s.Do(context.Background(), req) // miss
+	s.Do(context.Background(), req) // hit
+	bad := req
+	bad.Schema = "nope/9"
+	s.Do(context.Background(), bad) // bad request
+
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := wallLines.ReplaceAll(buf.Bytes(), []byte("$1 <wall>"))
+	goldenCompare(t, "metrics.golden", got)
+}

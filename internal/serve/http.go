@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// maxRequestBytes bounds a /plan request body (a 100k-sensor field is
+// ~6 MB of JSON).
+const maxRequestBytes = 32 << 20
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /plan     uavdc-serve/1 request → uavdc-serve/1 response
+//	GET  /metrics  obs counter/timer/histogram text + queue depth
+//	GET  /healthz  liveness probe
+//
+// Response bodies are a pure function of the canonical instance; the
+// request-scoped envelope rides in headers: Uavdc-Cache (hit, miss,
+// coalesced), Uavdc-Key, and Uavdc-Elapsed-Us.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeBody(w, http.StatusMethodNotAllowed, encodeError(ErrBadRequest, "use POST"))
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeBody(w, http.StatusBadRequest, encodeError(ErrBadRequest, fmt.Sprintf("decode request: %v", err)))
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	out := s.Do(ctx, req)
+	if out.Cache != "" {
+		w.Header().Set("Uavdc-Cache", out.Cache)
+	}
+	if out.Key != "" {
+		w.Header().Set("Uavdc-Key", out.Key)
+	}
+	w.Header().Set("Uavdc-Elapsed-Us", strconv.FormatInt(out.Elapsed.Microseconds(), 10))
+	writeBody(w, out.Status, out.Body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// The snapshot write cannot fail on an http.ResponseWriter in any
+	// way a handler could recover from.
+	_ = s.WriteMetrics(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// writeBody sends a JSON body with the given status.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}

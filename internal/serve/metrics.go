@@ -1,0 +1,46 @@
+package serve
+
+// Canonical serve.* instrumentation names. Registered in
+// internal/obs/names.go and documented in EXPERIMENTS.md; the uavlint
+// obsnames analyzer cross-checks every recording site below against that
+// registry.
+const (
+	// CounterRequests counts every request reaching Server.Do, whatever
+	// its outcome.
+	CounterRequests = "serve.requests"
+	// CounterHits counts requests answered from the plan cache.
+	CounterHits = "serve.hits"
+	// CounterMisses counts requests that opened a new planner flight.
+	CounterMisses = "serve.misses"
+	// CounterCoalesced counts requests that joined an in-flight
+	// identical computation instead of planning again.
+	CounterCoalesced = "serve.coalesced"
+	// CounterRejected counts requests refused because the worker queue
+	// was full (backpressure) or the server was draining.
+	CounterRejected = "serve.rejected"
+	// CounterTimeouts counts waiters whose deadline expired before their
+	// flight landed; the flight keeps running and still fills the cache.
+	CounterTimeouts = "serve.timeouts"
+	// CounterErrors counts flights whose planner returned an error.
+	CounterErrors = "serve.errors"
+	// CounterPlans counts actual planner executions — the coalescing
+	// property tests assert exactly one per distinct key.
+	CounterPlans = "serve.plans"
+	// CounterEvictions counts LRU cache evictions.
+	CounterEvictions = "serve.evictions"
+	// HistLatency is the wall-clock request latency histogram. The
+	// obs.WallSuffix name keeps it out of determinism comparisons,
+	// exactly like Timers.
+	HistLatency = "serve.latency.seconds"
+	// SpanRequest is the per-request trace span streamed to the
+	// configured trace writer.
+	SpanRequest = "serve/request"
+	// GaugeQueueDepth is the /metrics line reporting the instantaneous
+	// worker-queue depth. It is rendered directly (a gauge, not an obs
+	// counter) but lives in the same registry namespace.
+	GaugeQueueDepth = "serve.queue_depth"
+)
+
+// latencyBuckets are the serve.latency.seconds boundaries, chosen around
+// the reduced-preset plan time (~10 ms) with decade coverage both ways.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}

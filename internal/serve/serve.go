@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"uavdc"
+	"uavdc/internal/obs"
+	"uavdc/internal/trace"
+)
+
+// Config tunes a Server. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// CacheSize bounds the LRU plan cache in entries (default 1024);
+	// negative disables caching.
+	CacheSize int
+	// Workers is the planner pool size (default 4).
+	Workers int
+	// QueueSize bounds the pending-flight queue (default 64). A full
+	// queue rejects new misses with ErrBackpressure — backpressure is
+	// explicit, never unbounded buffering.
+	QueueSize int
+	// Timeout is the per-request deadline the HTTP handler applies;
+	// 0 disables it. Server.Do takes its deadline from the context, so
+	// programmatic callers set their own.
+	Timeout time.Duration
+	// Obs receives the serve.* counters and the latency histogram
+	// (default: a fresh registry, exposed on /metrics).
+	Obs *obs.Registry
+	// TraceWriter, when set, receives one uavdc-trace/1 JSONL span per
+	// request plus the planner's phase spans for every miss.
+	TraceWriter io.Writer
+	// StripTimes omits wall-clock timestamps from the streamed trace,
+	// making it byte-deterministic for a fixed request sequence.
+	StripTimes bool
+
+	// planFn overrides the planner in tests: it receives the cache key,
+	// the request, and an optional flight recorder, and returns the
+	// canonical response body. nil selects uavdc.Plan + EncodeResult.
+	planFn func(key string, req Request, tr *uavdc.Trace) ([]byte, error)
+}
+
+// Outcome is the result of one Server.Do call: the canonical body, the
+// HTTP status it maps to, and the request-scoped envelope (cache
+// disposition, key, elapsed) that travels in headers, never the body.
+type Outcome struct {
+	// Status is the HTTP status: 200, or 4xx/5xx with an ErrorBody.
+	Status int
+	// Cache is the disposition: "hit", "miss", "coalesced", or "" when
+	// the request never reached the cache (bad request, rejection).
+	Cache string
+	// Key is the content address, when the request was valid.
+	Key string
+	// Body is the response body, newline-terminated JSON.
+	Body []byte
+	// Elapsed is the wall-clock service time (non-deterministic).
+	Elapsed time.Duration
+}
+
+// flight is one in-progress planner execution; all requests for its key
+// wait on done and read the same body.
+type flight struct {
+	key    string
+	req    Request
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// Server is the daemon core: cache, singleflight table, and worker pool.
+// Create with New, stop with Close. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *lruCache
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[string]*flight
+	queue    chan *flight
+	wg       sync.WaitGroup
+
+	traceMu sync.Mutex
+
+	cRequests, cHits, cMisses, cCoalesced obs.Counter
+	cRejected, cTimeouts, cErrors         obs.Counter
+	cPlans, cEvictions                    obs.Counter
+	hLatency                              obs.Histogram
+}
+
+// New starts a server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.planFn == nil {
+		cfg.planFn = defaultPlan
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Obs,
+		cache:    newLRU(cfg.CacheSize),
+		inflight: make(map[string]*flight),
+		queue:    make(chan *flight, cfg.QueueSize),
+
+		cRequests:  cfg.Obs.Counter(CounterRequests),
+		cHits:      cfg.Obs.Counter(CounterHits),
+		cMisses:    cfg.Obs.Counter(CounterMisses),
+		cCoalesced: cfg.Obs.Counter(CounterCoalesced),
+		cRejected:  cfg.Obs.Counter(CounterRejected),
+		cTimeouts:  cfg.Obs.Counter(CounterTimeouts),
+		cErrors:    cfg.Obs.Counter(CounterErrors),
+		cPlans:     cfg.Obs.Counter(CounterPlans),
+		cEvictions: cfg.Obs.Counter(CounterEvictions),
+		hLatency:   cfg.Obs.Histogram(HistLatency, latencyBuckets),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// defaultPlan is the production planner: uavdc.Plan plus the canonical
+// response encoding.
+func defaultPlan(key string, req Request, tr *uavdc.Trace) ([]byte, error) {
+	opts := req.Options.Options()
+	opts.Trace = tr
+	res, err := uavdc.Plan(req.Scenario.Scenario(), req.UAV.UAV(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeResult(key, res)
+}
+
+// Do services one request: cache lookup, in-flight coalescing, or a new
+// planner flight through the worker queue. The context bounds how long
+// the caller waits; an expired deadline abandons the wait but never the
+// flight, which still lands and fills the cache.
+func (s *Server) Do(ctx context.Context, req Request) Outcome {
+	start := time.Now() //uavdc:allow nodeterminism request latency is reported wall time, excluded from determinism comparisons
+	s.cRequests.Inc()
+	out := s.do(ctx, req)
+	out.Elapsed = time.Since(start) //uavdc:allow nodeterminism request latency is reported wall time, excluded from determinism comparisons
+	s.hLatency.Observe(out.Elapsed.Seconds())
+	s.streamSpan(out)
+	return out
+}
+
+func (s *Server) do(ctx context.Context, req Request) Outcome {
+	key, err := req.Key()
+	if err != nil {
+		return Outcome{Status: 400, Body: encodeError(ErrBadRequest, err.Error())}
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.cHits.Inc()
+		return Outcome{Status: 200, Cache: "hit", Key: key, Body: body}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.cRejected.Inc()
+		return Outcome{Status: 503, Key: key, Body: encodeError(ErrShuttingDown, "server is draining")}
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.cCoalesced.Inc()
+		return s.wait(ctx, f, "coalesced")
+	}
+	// The flight may have landed between the cache miss and taking the
+	// lock; re-check so a just-cached plan is not computed twice.
+	if body, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		s.cHits.Inc()
+		return Outcome{Status: 200, Cache: "hit", Key: key, Body: body}
+	}
+	f := &flight{key: key, req: req, done: make(chan struct{})}
+	select {
+	case s.queue <- f:
+		s.inflight[key] = f
+		s.mu.Unlock()
+		s.cMisses.Inc()
+		return s.wait(ctx, f, "miss")
+	default:
+		s.mu.Unlock()
+		s.cRejected.Inc()
+		return Outcome{Status: 503, Key: key, Body: encodeError(ErrBackpressure,
+			fmt.Sprintf("queue full (%d pending)", s.cfg.QueueSize))}
+	}
+}
+
+// wait blocks until the flight lands or the context expires.
+func (s *Server) wait(ctx context.Context, f *flight, disp string) Outcome {
+	select {
+	case <-f.done:
+		return Outcome{Status: f.status, Cache: disp, Key: f.key, Body: f.body}
+	case <-ctx.Done():
+		s.cTimeouts.Inc()
+		return Outcome{Status: 504, Cache: disp, Key: f.key,
+			Body: encodeError(ErrTimeout, "deadline expired before the plan landed; it keeps computing and will be cached")}
+	}
+}
+
+// worker drains the flight queue until Close closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for f := range s.queue {
+		s.runFlight(f)
+	}
+}
+
+// runFlight executes one planner flight and publishes its body.
+func (s *Server) runFlight(f *flight) {
+	var tr *uavdc.Trace
+	if s.cfg.TraceWriter != nil {
+		tr = uavdc.NewTrace()
+	}
+	s.cPlans.Inc()
+	body, err := s.cfg.planFn(f.key, f.req, tr)
+	if err != nil {
+		s.cErrors.Inc()
+		f.status, f.body = 500, encodeError(ErrPlanFailed, err.Error())
+	} else {
+		f.status, f.body = 200, body
+		s.cEvictions.Add(int64(s.cache.Put(f.key, body)))
+	}
+	s.mu.Lock()
+	delete(s.inflight, f.key)
+	s.mu.Unlock()
+	close(f.done)
+	s.streamPlanTrace(tr)
+}
+
+// streamSpan appends the request's serve/request span to the trace
+// writer, one contiguous JSONL block per request.
+func (s *Server) streamSpan(out Outcome) {
+	if s.cfg.TraceWriter == nil {
+		return
+	}
+	buf := trace.NewBuffer()
+	end := buf.Begin(SpanRequest, trace.Str("key", out.Key))
+	end(trace.Str("cache", out.Cache), trace.Int("status", out.Status))
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	// An unwritable trace writer must not fail requests; the error is
+	// deliberately dropped after the write attempt.
+	_ = trace.WriteJSONL(s.cfg.TraceWriter, buf.Snapshot(), s.cfg.StripTimes)
+}
+
+// streamPlanTrace appends the planner's own phase spans for a miss.
+func (s *Server) streamPlanTrace(tr *uavdc.Trace) {
+	if tr == nil || s.cfg.TraceWriter == nil {
+		return
+	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	_ = tr.WriteJSONL(s.cfg.TraceWriter, s.cfg.StripTimes)
+}
+
+// QueueDepth returns the number of flights waiting for a worker.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// CacheLen returns the number of cached plans.
+func (s *Server) CacheLen() int { return s.cache.Len() }
+
+// Snapshot returns the current obs totals.
+func (s *Server) Snapshot() obs.Snapshot { return s.reg.Snapshot() }
+
+// WriteMetrics renders the /metrics text: the obs snapshot's sorted
+// "name value" lines plus the instantaneous queue-depth gauge.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	if _, err := s.reg.Snapshot().WriteTo(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", GaugeQueueDepth, s.QueueDepth())
+	return err
+}
+
+// Close drains the server: new requests are rejected with
+// ErrShuttingDown (cache hits are still served), queued flights land,
+// and their waiters get responses. It returns when the pool has drained
+// or the context expires.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"uavdc"
+)
+
+// testRequest builds a valid small request; distinct seeds give distinct
+// cache keys.
+func testRequest(seed uint64) Request {
+	sc := uavdc.RandomScenario(12, 200, seed)
+	return Request{
+		Schema:   Schema,
+		Scenario: SpecOf(sc),
+		UAV:      UAVSpecOf(uavdc.DefaultUAV()),
+	}
+}
+
+// directBody plans the request with a plain uavdc.Plan call — the
+// bit-identity reference every serving path must reproduce.
+func directBody(t *testing.T, req Request) []byte {
+	t.Helper()
+	key, err := req.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	res, err := uavdc.Plan(req.Scenario.Scenario(), req.UAV.UAV(), req.Options.Options())
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	body, err := EncodeResult(key, res)
+	if err != nil {
+		t.Fatalf("EncodeResult: %v", err)
+	}
+	return body
+}
+
+// counter reads one counter total from the server's registry.
+func counter(s *Server, name string) int64 {
+	return s.Snapshot().Counters[name]
+}
+
+// waitCounter polls until the counter reaches want or the deadline
+// passes.
+func waitCounter(t *testing.T, s *Server, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for counter(s, name) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s stuck at %d, want ≥ %d", name, counter(s, name), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestColdWarmCoalescedParity is the acceptance gate: cached, coalesced,
+// and cold responses are byte-identical to a direct uavdc.Plan call, at
+// GOMAXPROCS 1, 4, and 8, with exactly one planner execution per key.
+// Run it under -race (the ci serve step does) and it doubles as the
+// coalescing property test.
+func TestColdWarmCoalescedParity(t *testing.T) {
+	req := testRequest(1)
+	want := directBody(t, req)
+	for _, procs := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+
+			gate := make(chan struct{})
+			entered := make(chan struct{}, 1)
+			s := New(Config{Workers: 2, planFn: func(key string, r Request, tr *uavdc.Trace) ([]byte, error) {
+				entered <- struct{}{}
+				<-gate
+				return defaultPlan(key, r, tr)
+			}})
+			defer s.Close(context.Background())
+
+			const waiters = 8
+			outs := make([]Outcome, waiters)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // the cold leader opens the flight
+				defer wg.Done()
+				outs[0] = s.Do(context.Background(), req)
+			}()
+			<-entered // the flight is on a worker and registered in-flight
+			for i := 1; i < waiters; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					outs[i] = s.Do(context.Background(), req)
+				}(i)
+			}
+			waitCounter(t, s, CounterCoalesced, waiters-1)
+			close(gate)
+			wg.Wait()
+
+			for i, out := range outs {
+				if out.Status != 200 {
+					t.Fatalf("request %d: status %d, body %s", i, out.Status, out.Body)
+				}
+				if !bytes.Equal(out.Body, want) {
+					t.Fatalf("request %d (%s): body differs from the direct plan", i, out.Cache)
+				}
+			}
+			warm := s.Do(context.Background(), req)
+			if warm.Cache != "hit" || !bytes.Equal(warm.Body, want) {
+				t.Fatalf("warm request: cache=%q, body match=%v", warm.Cache, bytes.Equal(warm.Body, want))
+			}
+
+			if n := counter(s, CounterPlans); n != 1 {
+				t.Errorf("serve.plans = %d, want exactly 1", n)
+			}
+			if n := counter(s, CounterMisses); n != 1 {
+				t.Errorf("serve.misses = %d, want 1", n)
+			}
+			if n := counter(s, CounterCoalesced); n != waiters-1 {
+				t.Errorf("serve.coalesced = %d, want %d", n, waiters-1)
+			}
+			if n := counter(s, CounterHits); n != 1 {
+				t.Errorf("serve.hits = %d, want 1", n)
+			}
+			if n := counter(s, CounterRequests); n != waiters+1 {
+				t.Errorf("serve.requests = %d, want %d", n, waiters+1)
+			}
+		})
+	}
+}
+
+func TestDistinctInstancesDistinctPlans(t *testing.T) {
+	s := New(Config{})
+	defer s.Close(context.Background())
+	a := s.Do(context.Background(), testRequest(1))
+	b := s.Do(context.Background(), testRequest(2))
+	if a.Status != 200 || b.Status != 200 {
+		t.Fatalf("statuses %d/%d", a.Status, b.Status)
+	}
+	if a.Key == b.Key || bytes.Equal(a.Body, b.Body) {
+		t.Fatal("distinct instances share a key or body")
+	}
+	if n := counter(s, CounterPlans); n != 2 {
+		t.Fatalf("serve.plans = %d, want 2", n)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s := New(Config{CacheSize: 1, planFn: func(key string, r Request, tr *uavdc.Trace) ([]byte, error) {
+		return []byte(key + "\n"), nil
+	}})
+	defer s.Close(context.Background())
+	ctx := context.Background()
+	ra, rb := testRequest(1), testRequest(2)
+	s.Do(ctx, ra)
+	s.Do(ctx, rb) // evicts ra
+	if n := counter(s, CounterEvictions); n != 1 {
+		t.Fatalf("serve.evictions = %d, want 1", n)
+	}
+	if got := s.Do(ctx, ra); got.Cache != "miss" {
+		t.Fatalf("evicted entry served as %q", got.Cache)
+	}
+	if got := s.Do(ctx, ra); got.Cache != "hit" {
+		t.Fatalf("recached entry served as %q", got.Cache)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache len = %d, want 1", s.CacheLen())
+	}
+}
+
+func TestBadRequestNeverQueued(t *testing.T) {
+	s := New(Config{})
+	defer s.Close(context.Background())
+	req := testRequest(1)
+	req.Schema = "nope/9"
+	out := s.Do(context.Background(), req)
+	if out.Status != 400 {
+		t.Fatalf("status = %d, want 400", out.Status)
+	}
+	req = testRequest(1)
+	req.Options.Algorithm = "not-a-planner"
+	out = s.Do(context.Background(), req)
+	if out.Status != 400 {
+		t.Fatalf("status = %d, want 400", out.Status)
+	}
+	if n := counter(s, CounterPlans) + counter(s, CounterMisses); n != 0 {
+		t.Fatalf("invalid requests reached the planner (plans+misses = %d)", n)
+	}
+}
+
+func TestPlanErrorPropagates(t *testing.T) {
+	s := New(Config{planFn: func(key string, r Request, tr *uavdc.Trace) ([]byte, error) {
+		return nil, fmt.Errorf("boom")
+	}})
+	defer s.Close(context.Background())
+	out := s.Do(context.Background(), testRequest(1))
+	if out.Status != 500 {
+		t.Fatalf("status = %d, want 500", out.Status)
+	}
+	if n := counter(s, CounterErrors); n != 1 {
+		t.Fatalf("serve.errors = %d, want 1", n)
+	}
+	// Failed flights are not cached: a retry plans again.
+	s.Do(context.Background(), testRequest(1))
+	if n := counter(s, CounterPlans); n != 2 {
+		t.Fatalf("serve.plans = %d, want 2 (errors must not be cached)", n)
+	}
+}

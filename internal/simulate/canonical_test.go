@@ -1,0 +1,78 @@
+package simulate
+
+import (
+	"maps"
+	"slices"
+	"testing"
+
+	"uavdc/internal/canon"
+	"uavdc/internal/faults"
+	"uavdc/internal/units"
+)
+
+func TestAdaptiveCanonKey(t *testing.T) {
+	var base canon.Key
+	base[9] = 1
+
+	def, err := AdaptiveOptions{}.CanonKey(base)
+	if err != nil {
+		t.Fatalf("CanonKey: %v", err)
+	}
+	spelled, err := AdaptiveOptions{Margin: DefaultMargin}.CanonKey(base)
+	if err != nil {
+		t.Fatalf("CanonKey: %v", err)
+	}
+	if def != spelled {
+		t.Fatal("elided and spelled-out margin hash differently")
+	}
+
+	wind := &faults.Schedule{Events: []faults.Event{
+		{Kind: faults.KindWind, Legs: faults.AllRange, Sensor: faults.AllSensors, Factor: 1.2},
+	}}
+	knobs := map[string]AdaptiveOptions{
+		"margin":   {Margin: 0.1},
+		"faults":   {Faults: wind},
+		"replans":  {MaxReplans: 2},
+		"altitude": {Options: Options{Altitude: units.Meters(20)}},
+		"noise":    {Options: Options{Noise: Noise{Spread: 0.1, Seed: 3}}},
+	}
+	for _, name := range slices.Sorted(maps.Keys(knobs)) {
+		k, err := knobs[name].CanonKey(base)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == def {
+			t.Errorf("%s: knob not keyed", name)
+		}
+	}
+}
+
+func TestAdaptiveCanonKeyTelemetryNeutral(t *testing.T) {
+	var base canon.Key
+	def, err := AdaptiveOptions{}.CanonKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := AdaptiveOptions{Options: Options{RecordEvents: true}, Workers: 8}.CanonKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != def {
+		t.Fatal("telemetry/worker options leaked into the key")
+	}
+}
+
+func TestNilAndEmptyScheduleHashEqual(t *testing.T) {
+	var base canon.Key
+	a, err := AdaptiveOptions{}.CanonKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AdaptiveOptions{Faults: &faults.Schedule{}}.CanonKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("nil and empty schedules hash differently")
+	}
+}
