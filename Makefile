@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race fuzz bench bench-micro benchparity fastpath golden golden-traces adaptive trace serve
+.PHONY: ci build vet lint test race fuzz bench bench-micro benchparity fastpath golden golden-traces adaptive trace serve obs
 
-ci: vet lint build race adaptive trace fastpath benchparity serve
+ci: vet lint build race adaptive trace fastpath benchparity serve obs
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,21 @@ serve:
 	$(GO) test -race -count=1 ./internal/canon ./internal/serve ./cmd/uavserve
 	$(GO) test -race -count=1 -run 'TestBenchServePanel|TestServeRequestsDeterministic' ./internal/experiments
 	$(GO) run ./cmd/uavserve -smoke 1000 -preset reduced -distinct 8 -clients 16
+
+# Observability gate: race-enabled op-log and analyzer tests — the
+# GOMAXPROCS 1/4/8 stripped op-log golden, the stalled-writer
+# backpressure check, the window/runtime/health wire goldens, and the
+# uavobs subcommands — then a smoke run: uavserve -smoke with op-logging
+# on, the stream summarized by uavobs (every record accounted for) and
+# diffed against itself (self-diff must be clean).
+obs:
+	$(GO) test -race -count=1 ./internal/oplog ./cmd/uavobs
+	$(GO) test -race -count=1 -run 'TestOpLog|TestWindow|TestBackgroundSampler|TestGoldenHealthz|TestGoldenWindow|TestGoldenRuntime|TestDebugOplog' ./internal/serve
+	@tmp=$$(mktemp -d) && \
+		$(GO) run ./cmd/uavserve -smoke 200 -preset tiny -distinct 4 -clients 8 -oplog $$tmp/op.jsonl >/dev/null && \
+		$(GO) run ./cmd/uavobs summary -top 3 $$tmp/op.jsonl | grep -q "records 200" && \
+		$(GO) run ./cmd/uavobs diff $$tmp/op.jsonl $$tmp/op.jsonl && \
+		rm -rf $$tmp
 
 # Regenerate the perf baseline (see EXPERIMENTS.md, "Bench baselines"):
 # reduced-preset figure panels, the paper-scale (δ = 5 m)

@@ -1,0 +1,265 @@
+// Command uavobs analyzes uavdc-oplog/1 request op-logs (see
+// EXPERIMENTS.md; produced by uavserve -oplog and served live at the
+// daemon's /debug/oplog endpoint).
+//
+// Usage:
+//
+//	uavobs summary [-top k] [-json] oplog.jsonl    aggregate one op-log
+//	uavobs diff a.jsonl b.jsonl                    compare two op-logs (modulo wall fields)
+//	uavobs tail [-follow] [-interval d] [-max n] <oplog.jsonl | http://host/debug/oplog>
+//
+// summary reports per-disposition counts, nearest-rank latency
+// quantiles over the caller-observed elapsed times, and the top-k
+// hottest canonical keys. diff strips wall fields (queue_s, plan_s,
+// elapsed_s, worker) from both sides and compares record by record —
+// two runs of the same request sequence must diff equal regardless of
+// GOMAXPROCS — exiting 1 with the first divergence and per-disposition
+// deltas when they differ. tail pretty-prints records one per line;
+// with -follow it polls the source for records past the last printed
+// sequence number, against either a growing file or the daemon's
+// /debug/oplog?after= ring endpoint. "-" reads from stdin.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"uavdc/internal/errw"
+	"uavdc/internal/oplog"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args with its own
+// FlagSets, reads/writes the given streams, and returns the process
+// exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	outw, errs := errw.New(stdout), errw.New(stderr)
+	if len(args) == 0 {
+		errs.Println("uavobs: usage: uavobs <summary|diff|tail> [flags] args")
+		return 2
+	}
+	switch args[0] {
+	case "summary":
+		return runSummary(args[1:], stdin, outw, errs)
+	case "diff":
+		return runDiff(args[1:], stdin, outw, errs)
+	case "tail":
+		return runTail(args[1:], stdin, outw, errs)
+	default:
+		errs.Printf("uavobs: unknown subcommand %q (want summary, diff, or tail)\n", args[0])
+		return 2
+	}
+}
+
+// loadOplog reads an op-log from a path or "-" for stdin.
+func loadOplog(path string, stdin io.Reader) (oplog.Header, []oplog.Record, error) {
+	if path == "-" {
+		return oplog.Read(stdin)
+	}
+	return oplog.ReadFile(path)
+}
+
+func runSummary(args []string, stdin io.Reader, outw, errs *errw.Writer) int {
+	fs := flag.NewFlagSet("uavobs summary", flag.ContinueOnError)
+	fs.SetOutput(errs)
+	var (
+		top    = fs.Int("top", 5, "number of hottest keys to list (0 = none)")
+		asJSON = fs.Bool("json", false, "emit the summary as a single JSON object")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		errs.Println("uavobs summary: want exactly one op-log path (or -)")
+		return 2
+	}
+	hdr, recs, err := loadOplog(fs.Arg(0), stdin)
+	if err != nil {
+		errs.Println("uavobs:", err)
+		return 2
+	}
+	s := oplog.Summarize(recs, *top)
+	if *asJSON {
+		b, err := json.Marshal(s)
+		if err != nil {
+			errs.Println("uavobs:", err)
+			return 2
+		}
+		outw.Println(string(b))
+	} else {
+		writeSummaryText(outw, hdr, s)
+	}
+	if outw.Err() != nil {
+		return 2
+	}
+	return 0
+}
+
+// writeSummaryText renders a Summary as aligned text with
+// deterministically ordered dispositions.
+func writeSummaryText(outw *errw.Writer, hdr oplog.Header, s oplog.Summary) {
+	outw.Printf("records %d", s.Records)
+	if hdr.Strip {
+		outw.Print("  (stripped: wall fields zeroed)")
+	}
+	outw.Println()
+	for _, d := range []string{oplog.DispHit, oplog.DispMiss, oplog.DispCoalesced,
+		oplog.DispRejected, oplog.DispTimeout, oplog.DispError} {
+		if n, ok := s.ByDisp[d]; ok {
+			outw.Printf("  %-10s %d\n", d, n)
+		}
+	}
+	outw.Printf("latency  p50 %.6fs  p90 %.6fs  p99 %.6fs\n", s.P50S, s.P90S, s.P99S)
+	if len(s.TopKeys) > 0 {
+		outw.Println("hottest keys:")
+		for _, kc := range s.TopKeys {
+			outw.Printf("  %-64s %d\n", kc.Key, kc.Count)
+		}
+	}
+}
+
+func runDiff(args []string, stdin io.Reader, outw, errs *errw.Writer) int {
+	fs := flag.NewFlagSet("uavobs diff", flag.ContinueOnError)
+	fs.SetOutput(errs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		errs.Println("uavobs diff: want exactly two op-log paths")
+		return 2
+	}
+	_, a, err := loadOplog(fs.Arg(0), stdin)
+	if err != nil {
+		errs.Println("uavobs:", err)
+		return 2
+	}
+	_, b, err := loadOplog(fs.Arg(1), stdin)
+	if err != nil {
+		errs.Println("uavobs:", err)
+		return 2
+	}
+	d := oplog.Diff(a, b)
+	if d.Equal {
+		outw.Printf("op-logs are identical modulo wall fields (%d records)\n", len(a))
+		if outw.Err() != nil {
+			return 2
+		}
+		return 0
+	}
+	outw.Print(d.Detail)
+	return 1
+}
+
+func runTail(args []string, stdin io.Reader, outw, errs *errw.Writer) int {
+	fs := flag.NewFlagSet("uavobs tail", flag.ContinueOnError)
+	fs.SetOutput(errs)
+	var (
+		follow   = fs.Bool("follow", false, "keep polling the source for new records")
+		interval = fs.Duration("interval", 500*time.Millisecond, "poll interval with -follow")
+		maxn     = fs.Int("max", 0, "stop after printing this many records (0 = unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		errs.Println("uavobs tail: want exactly one op-log path, -, or /debug/oplog URL")
+		return 2
+	}
+	src := fs.Arg(0)
+	isURL := strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://")
+	if src == "-" && *follow {
+		errs.Println("uavobs tail: -follow cannot read from stdin")
+		return 2
+	}
+
+	printed := 0
+	var lastSeq int64
+	for {
+		var recs []oplog.Record
+		var err error
+		if isURL {
+			recs, err = fetchOplog(src, lastSeq)
+		} else {
+			_, recs, err = loadOplog(src, stdin)
+		}
+		if err != nil {
+			errs.Println("uavobs:", err)
+			return 2
+		}
+		for _, r := range recs {
+			// File re-reads return the whole log; skip already-printed
+			// records so -follow emits each sequence number once.
+			if r.Seq <= lastSeq {
+				continue
+			}
+			lastSeq = r.Seq
+			printRecord(outw, r)
+			printed++
+			if *maxn > 0 && printed >= *maxn {
+				if outw.Err() != nil {
+					return 2
+				}
+				return 0
+			}
+		}
+		if !*follow {
+			break
+		}
+		time.Sleep(*interval)
+	}
+	if outw.Err() != nil {
+		return 2
+	}
+	return 0
+}
+
+// fetchOplog pulls records past `after` from a daemon's /debug/oplog
+// ring endpoint.
+func fetchOplog(rawURL string, after int64) ([]oplog.Record, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	q := u.Query()
+	q.Set("after", strconv.FormatInt(after, 10))
+	u.RawQuery = q.Encode()
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // read errors surface via oplog.Read
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("%s: status %d: %s", u.String(), resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	_, recs, err := oplog.Read(resp.Body)
+	return recs, err
+}
+
+// printRecord renders one op-log record as a fixed-width line.
+func printRecord(outw *errw.Writer, r oplog.Record) {
+	key := r.Key
+	if len(key) > 12 {
+		key = key[:12]
+	}
+	if key == "" {
+		key = "-"
+	}
+	outw.Printf("#%-6d %-9s %3d %-12s queue %8.3fms  plan %8.3fms  elapsed %8.3fms  w%d  cache %d",
+		r.Seq, r.Disp, r.Status, key, r.QueueS*1e3, r.PlanS*1e3, r.ElapsedS*1e3, r.Worker, r.CacheLen)
+	if r.Evicted > 0 {
+		outw.Printf("  evicted %d", r.Evicted)
+	}
+	outw.Println()
+}

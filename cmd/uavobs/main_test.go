@@ -1,0 +1,255 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"uavdc/internal/oplog"
+)
+
+// sampleLog is a small fixed record mix: 3 hits on key a, 1 miss on a,
+// 1 miss on b, 1 rejection.
+func sampleLog() []oplog.Record {
+	return []oplog.Record{
+		{Seq: 1, Key: "aaaa1111aaaa1111", Disp: oplog.DispMiss, Status: 200, PlanS: 0.010, ElapsedS: 0.011, Worker: 1, CacheLen: 1},
+		{Seq: 2, Key: "aaaa1111aaaa1111", Disp: oplog.DispHit, Status: 200, ElapsedS: 0.001, CacheLen: 1},
+		{Seq: 3, Key: "bbbb2222bbbb2222", Disp: oplog.DispMiss, Status: 200, PlanS: 0.020, ElapsedS: 0.022, Worker: 2, CacheLen: 2, Evicted: 1},
+		{Seq: 4, Key: "aaaa1111aaaa1111", Disp: oplog.DispHit, Status: 200, ElapsedS: 0.002, CacheLen: 2},
+		{Seq: 5, Key: "aaaa1111aaaa1111", Disp: oplog.DispHit, Status: 200, ElapsedS: 0.003, CacheLen: 2},
+		{Seq: 6, Disp: oplog.DispRejected, Status: 503, ElapsedS: 0.0005, CacheLen: 2},
+	}
+}
+
+// writeLog writes records as a uavdc-oplog/1 file and returns its path.
+func writeLog(t *testing.T, dir, name string, recs []oplog.Record) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := oplog.NewWriter(f, 0, false)
+	for _, r := range recs {
+		if !w.Record(r) {
+			t.Fatalf("record %d dropped while writing fixture", r.Seq)
+		}
+	}
+	if err := w.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runObs(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, strings.NewReader(""), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSummaryText(t *testing.T) {
+	path := writeLog(t, t.TempDir(), "a.jsonl", sampleLog())
+	code, out, errb := runObs(t, "summary", "-top", "2", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"records 6",
+		"hit        3",
+		"miss       2",
+		"rejected   1",
+		"latency  p50 0.002000s  p90 0.022000s  p99 0.022000s",
+		"hottest keys:",
+		"aaaa1111aaaa1111",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// top 2 but only ranked keys appear; the hottest first.
+	ai := strings.Index(out, "aaaa1111aaaa1111")
+	bi := strings.Index(out, "bbbb2222bbbb2222")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("hottest-key ordering wrong (a@%d b@%d):\n%s", ai, bi, out)
+	}
+}
+
+func TestSummaryJSON(t *testing.T) {
+	path := writeLog(t, t.TempDir(), "a.jsonl", sampleLog())
+	code, out, errb := runObs(t, "summary", "-json", "-top", "1", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	var s oplog.Summary
+	if err := json.Unmarshal([]byte(out), &s); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if s.Records != 6 || s.ByDisp[oplog.DispHit] != 3 || s.P50S != 0.002 {
+		t.Errorf("summary = %+v", s)
+	}
+	if len(s.TopKeys) != 1 || s.TopKeys[0].Key != "aaaa1111aaaa1111" || s.TopKeys[0].Count != 4 {
+		t.Errorf("top keys = %+v", s.TopKeys)
+	}
+}
+
+func TestSummaryStdin(t *testing.T) {
+	path := writeLog(t, t.TempDir(), "a.jsonl", sampleLog())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"summary", "-"}, strings.NewReader(string(data)), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "records 6") {
+		t.Errorf("stdin summary:\n%s", out.String())
+	}
+}
+
+func TestDiffEqualModuloWallAndDivergent(t *testing.T) {
+	dir := t.TempDir()
+	a := writeLog(t, dir, "a.jsonl", sampleLog())
+
+	// Same sequence with different wall fields must diff equal.
+	warped := sampleLog()
+	for i := range warped {
+		warped[i].QueueS += 1.5
+		warped[i].PlanS *= 3
+		warped[i].ElapsedS += 0.25
+		warped[i].Worker += 7
+	}
+	b := writeLog(t, dir, "b.jsonl", warped)
+	code, out, errb := runObs(t, "diff", a, b)
+	if code != 0 {
+		t.Fatalf("wall-warped diff: exit %d, stderr: %s\n%s", code, errb, out)
+	}
+	if !strings.Contains(out, "identical modulo wall fields (6 records)") {
+		t.Errorf("diff output: %s", out)
+	}
+
+	// A changed disposition must diff non-equal with a detail line.
+	diverged := sampleLog()
+	diverged[3].Disp = oplog.DispCoalesced
+	c := writeLog(t, dir, "c.jsonl", diverged)
+	code, out, _ = runObs(t, "diff", a, c)
+	if code != 1 {
+		t.Fatalf("divergent diff: exit %d, want 1", code)
+	}
+	for _, want := range []string{"record 3 diverges", "disposition coalesced: 0 vs 1", "disposition hit: 3 vs 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff detail missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTailFile(t *testing.T) {
+	path := writeLog(t, t.TempDir(), "a.jsonl", sampleLog())
+	code, out, errb := runObs(t, "tail", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d lines, want 6:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "#1") || !strings.Contains(lines[0], "miss") ||
+		!strings.Contains(lines[0], "aaaa1111aaaa") {
+		t.Errorf("first line: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "evicted 1") {
+		t.Errorf("eviction not rendered: %q", lines[2])
+	}
+	if !strings.Contains(lines[5], " - ") {
+		t.Errorf("keyless record should render a dash: %q", lines[5])
+	}
+
+	code, out, _ = runObs(t, "tail", "-max", "2", path)
+	if code != 0 {
+		t.Fatalf("-max exit %d", code)
+	}
+	if n := strings.Count(out, "\n"); n != 2 {
+		t.Errorf("-max 2 printed %d lines:\n%s", n, out)
+	}
+}
+
+// TestTailFollowHTTP polls a /debug/oplog-style endpoint: the first
+// poll serves two records, later polls serve the rest, and the client
+// must advance ?after= past what it has printed.
+func TestTailFollowHTTP(t *testing.T) {
+	recs := sampleLog()
+	var (
+		mu     sync.Mutex
+		afters []int64
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		after, err := strconv.ParseInt(r.URL.Query().Get("after"), 10, 64)
+		if err != nil {
+			t.Errorf("missing/bad after param: %v", err)
+		}
+		mu.Lock()
+		afters = append(afters, after)
+		poll := len(afters)
+		mu.Unlock()
+		enc := json.NewEncoder(w)
+		enc.Encode(oplog.Header{Schema: oplog.Schema})
+		visible := 2 // first poll: two records
+		if poll > 1 {
+			visible = len(recs)
+		}
+		for _, rec := range recs[:visible] {
+			if rec.Seq > after {
+				enc.Encode(rec)
+			}
+		}
+	}))
+	defer ts.Close()
+
+	code, out, errb := runObs(t, "tail", "-follow", "-interval", "1ms", "-max", "6", ts.URL)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for i := 1; i <= 6; i++ {
+		if !strings.Contains(out, fmt.Sprintf("#%-6d", i)) {
+			t.Errorf("missing record %d:\n%s", i, out)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(afters) < 2 || afters[0] != 0 || afters[1] != 2 {
+		t.Errorf("after progression = %v, want [0 2 ...]", afters)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, errb := runObs(t); code != 2 || !strings.Contains(errb, "usage") {
+		t.Errorf("no args: code %d, stderr %q", code, errb)
+	}
+	if code, _, errb := runObs(t, "bogus"); code != 2 || !strings.Contains(errb, "unknown subcommand") {
+		t.Errorf("bogus subcommand: code %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runObs(t, "summary"); code != 2 {
+		t.Errorf("summary without path: code %d", code)
+	}
+	if code, _, _ := runObs(t, "diff", "only-one"); code != 2 {
+		t.Errorf("diff with one path: code %d", code)
+	}
+	if code, _, _ := runObs(t, "summary", filepath.Join(t.TempDir(), "missing.jsonl")); code != 2 {
+		t.Errorf("missing file: code %d", code)
+	}
+	if code, _, errb := runObs(t, "tail", "-follow", "-"); code != 2 || !strings.Contains(errb, "stdin") {
+		t.Errorf("tail -follow -: code %d, stderr %q", code, errb)
+	}
+}

@@ -18,6 +18,14 @@
 //	-timeout     per-request deadline (default 0 = none)
 //	-trace       stream uavdc-trace/1 spans (JSONL) to this file
 //	-strip-times omit wall-clock fields from the streamed trace
+//	-oplog       stream the uavdc-oplog/1 request op-log (JSONL) to this
+//	             file (analyze with uavobs); logging is async and never
+//	             backpressures planning — overflow is counted in
+//	             serve.oplog.dropped, not buffered
+//	-oplog-buffer op-log writer buffer in records (default 1024)
+//	-oplog-strip zero the op-log's wall-clock fields (deterministic mode)
+//	-sample      rolling-window sample interval feeding /debug/window
+//	             (default 1s; 0 disables the sampler)
 //	-smoke N     skip the listener: start the daemon on a loopback port,
 //	             fire N requests at it from concurrent clients, verify
 //	             every 200 body against a direct plan, then exit non-zero
@@ -27,7 +35,10 @@
 //	-distinct    smoke: distinct instances in the request mix (default 8)
 //	-clients     smoke: concurrent client goroutines (default 8)
 //
-// Endpoints: POST /plan, GET /metrics (obs counter text), GET /healthz.
+// Endpoints: POST /plan, GET /metrics (obs counter text), GET /healthz
+// (uavdc-health/1), GET /debug/window (uavdc-window/1), GET
+// /debug/runtime (uavdc-runtime/1), GET /debug/oplog (uavdc-oplog/1
+// ring, ?after= for tailing).
 package main
 
 import (
@@ -85,6 +96,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "per-request deadline (0 = none)")
 		tracePath  = fs.String("trace", "", "stream uavdc-trace/1 spans (JSONL) to this file")
 		stripTimes = fs.Bool("strip-times", false, "omit wall-clock fields from the streamed trace")
+		oplogPath  = fs.String("oplog", "", "stream the uavdc-oplog/1 request op-log (JSONL) to this file")
+		oplogBuf   = fs.Int("oplog-buffer", 0, "op-log writer buffer in records (0 = default 1024)")
+		oplogStrip = fs.Bool("oplog-strip", false, "zero the op-log's wall-clock fields")
+		sample     = fs.Duration("sample", time.Second, "rolling-window sample interval (0 disables)")
 		smoke      = fs.Int("smoke", 0, "loopback load smoke with this many requests, then exit")
 		preset     = fs.String("preset", "reduced", "smoke preset: tiny | reduced | paper | papertight | full")
 		distinct   = fs.Int("distinct", 8, "smoke: distinct instances in the request mix")
@@ -96,11 +111,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outw, errs := errw.New(stdout), errw.New(stderr)
 
 	cfg := serve.Config{
-		CacheSize:  *cache,
-		Workers:    *workers,
-		QueueSize:  *queue,
-		Timeout:    *timeout,
-		StripTimes: *stripTimes,
+		CacheSize:      *cache,
+		Workers:        *workers,
+		QueueSize:      *queue,
+		Timeout:        *timeout,
+		StripTimes:     *stripTimes,
+		OpLogBuffer:    *oplogBuf,
+		OpLogStrip:     *oplogStrip,
+		SampleInterval: *sample,
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -110,6 +128,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer func() { _ = f.Close() }() // best-effort flush; span writes already surfaced their errors
 		cfg.TraceWriter = f
+	}
+	if *oplogPath != "" {
+		f, err := os.Create(*oplogPath)
+		if err != nil {
+			errs.Println("uavserve:", err)
+			return 1
+		}
+		// Closed after serve.Close has drained the async writer (defers
+		// run last-in-first-out behind the shutdown paths below).
+		defer func() { _ = f.Close() }()
+		cfg.OpLog = f
 	}
 
 	if *smoke > 0 {

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"uavdc/internal/oplog"
 )
 
 // TestRunSmoke drives the loopback load gate end to end: real HTTP, a
@@ -86,5 +88,47 @@ func TestRunBadListenAddr(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-addr", "256.256.256.256:0"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+}
+
+// TestRunSmokeWritesOplog: the -oplog flag captures one uavdc-oplog/1
+// record per smoke request, drained completely on shutdown.
+func TestRunSmokeWritesOplog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "oplog.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{"-smoke", "8", "-preset", "tiny", "-distinct", "2", "-clients", "2",
+		"-oplog", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	hdr, recs, err := oplog.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Schema != oplog.Schema || hdr.Strip {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("%d op-log records, want one per smoke request (8)", len(recs))
+	}
+	seqs := map[int64]bool{}
+	for _, r := range recs {
+		if r.Status != 200 || r.Key == "" {
+			t.Errorf("record %+v: want a keyed 200 in an unthrottled smoke", r)
+		}
+		seqs[r.Seq] = true
+	}
+	for i := int64(1); i <= 8; i++ {
+		if !seqs[i] {
+			t.Errorf("sequence number %d missing from op-log", i)
+		}
+	}
+	s := oplog.Summarize(recs, 0)
+	if s.ByDisp[oplog.DispMiss] != 2 {
+		t.Errorf("by_disp = %v, want exactly 2 misses over 2 distinct instances", s.ByDisp)
+	}
+	warm := s.ByDisp[oplog.DispHit] + s.ByDisp[oplog.DispCoalesced] + s.ByDisp[oplog.DispMiss]
+	if warm != 8 {
+		t.Errorf("dispositions sum to %d, want 8: %v", warm, s.ByDisp)
 	}
 }

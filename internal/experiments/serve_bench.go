@@ -11,6 +11,7 @@ import (
 
 	"uavdc"
 	"uavdc/internal/obs"
+	"uavdc/internal/oplog"
 	"uavdc/internal/rng"
 	"uavdc/internal/sensornet"
 	"uavdc/internal/serve"
@@ -42,6 +43,11 @@ type BenchServe struct {
 	P50Ms          float64 `json:"p50_ms"`
 	P99Ms          float64 `json:"p99_ms"`
 	BitIdentical   bool    `json:"bit_identical"`
+	// OpLogConsistent records that the run's uavdc-oplog/1 stream (one
+	// record per request, captured losslessly) summarized to exactly the
+	// counter fields above: per-disposition counts equal, no drops.
+	// omitempty keeps panels from before the op-log byte-identical.
+	OpLogConsistent bool `json:"oplog_consistent,omitempty"`
 }
 
 // ServeRequests builds the uavdc-serve/1 requests of the preset's load
@@ -126,7 +132,11 @@ func RunBenchServe(preset string, cfg Config, requests, distinct, clients int) (
 		workers = 4 // serve.New's default pool size
 	}
 	reg := obs.NewRegistry()
-	s := serve.New(serve.Config{Obs: reg, Workers: workers})
+	// The op-log buffer is sized to the run so no record drops and the
+	// summary/counter cross-check below is exact.
+	var oplogBuf bytes.Buffer
+	s := serve.New(serve.Config{Obs: reg, Workers: workers,
+		OpLog: &oplogBuf, OpLogBuffer: requests + 8})
 	defer func() { _ = s.Close(context.Background()) }() // nothing in flight by then; counters already read
 	ctx := context.Background()
 
@@ -188,6 +198,11 @@ func RunBenchServe(preset string, cfg Config, requests, distinct, clients int) (
 
 	sort.Float64s(latencies)
 	counters := reg.Snapshot().Counters
+	// Close drains the async op-log writer so the stream is complete
+	// before the cross-check (Close is idempotent; the defer is a no-op).
+	if err := s.Close(ctx); err != nil {
+		return nil, err
+	}
 	panel := &BenchServe{
 		Preset:         preset,
 		Requests:       requests,
@@ -205,5 +220,24 @@ func RunBenchServe(preset string, cfg Config, requests, distinct, clients int) (
 		P99Ms:          1e3 * latencies[min(len(latencies)-1, len(latencies)*99/100)],
 		BitIdentical:   identical.Load(),
 	}
+	panel.OpLogConsistent = oplogMatchesCounters(&oplogBuf, panel)
 	return panel, nil
+}
+
+// oplogMatchesCounters cross-checks the run's op-log stream against the
+// panel's registry counters: one record per request and per-disposition
+// counts exactly equal.
+func oplogMatchesCounters(stream *bytes.Buffer, p *BenchServe) bool {
+	_, recs, err := oplog.Read(stream)
+	if err != nil {
+		return false
+	}
+	sum := oplog.Summarize(recs, 0)
+	return sum.Records == p.Requests &&
+		int64(sum.ByDisp[oplog.DispHit]) == p.Hits &&
+		int64(sum.ByDisp[oplog.DispMiss]) == p.Misses &&
+		int64(sum.ByDisp[oplog.DispCoalesced]) == p.Coalesced &&
+		int64(sum.ByDisp[oplog.DispRejected]) == p.Rejected &&
+		sum.ByDisp[oplog.DispTimeout] == 0 &&
+		sum.ByDisp[oplog.DispError] == 0
 }

@@ -31,6 +31,9 @@ func TestBenchServePanel(t *testing.T) {
 	if got := sv.Hits + sv.Misses + sv.Coalesced + sv.Rejected; got != int64(requests) {
 		t.Errorf("counter dispositions sum to %d, want %d", got, requests)
 	}
+	if !sv.OpLogConsistent {
+		t.Error("op-log per-disposition counts diverged from the panel counters")
+	}
 	if sv.WallSeconds <= 0 || sv.RequestsPerSec <= 0 || sv.P99Ms < sv.P50Ms {
 		t.Errorf("implausible timing fields: wall=%g rps=%g p50=%g p99=%g",
 			sv.WallSeconds, sv.RequestsPerSec, sv.P50Ms, sv.P99Ms)

@@ -51,4 +51,8 @@ func Instrument(r obs.Rec, tr trace.Tracer, kind string) {
 	r.Counter("serve.unlisted").Add(1) //uavdc:allow obsnames fixture: suppressed serve case
 	end2 := tr.Begin("serve/request")  // clean: registered serving span
 	end2()
+
+	r.Gauge("serve.queue_depth").Add(1) // clean: registered gauge
+	r.Gauge("serve.hits").Add(1)        // positive: registered as a counter, passed to Gauge
+	r.Gauge("serve.bogus_gauge").Add(1) //uavdc:allow obsnames fixture: suppressed gauge case
 }

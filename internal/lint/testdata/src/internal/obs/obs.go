@@ -17,5 +17,8 @@ func (Rec) Timer(name string) Cell { return Cell{} }
 // Histogram returns the named histogram.
 func (Rec) Histogram(name string, bounds []float64) Cell { return Cell{} }
 
+// Gauge returns the named gauge.
+func (Rec) Gauge(name string) Cell { return Cell{} }
+
 // Add records n.
 func (Cell) Add(n int64) {}

@@ -4,10 +4,11 @@ import "strings"
 
 // NameKind classifies a canonical instrumentation name by the API it is
 // passed to. The uavlint obsnames analyzer enforces that every name
-// reaching Recorder.Counter/Timer/Histogram or trace.Tracer.Begin/Event
-// is registered here under the matching kind, so the instrumentation
-// vocabulary cannot drift from the registry (and, via the registry's
-// EXPERIMENTS.md cross-check test, from the documentation).
+// reaching Recorder.Counter/Timer/Histogram/Gauge or
+// trace.Tracer.Begin/Event is registered here under the matching kind,
+// so the instrumentation vocabulary cannot drift from the registry (and,
+// via the registry's EXPERIMENTS.md cross-check test, from the
+// documentation).
 type NameKind uint8
 
 const (
@@ -21,6 +22,8 @@ const (
 	KindSpan
 	// KindEvent names a trace point event (Tracer.Event).
 	KindEvent
+	// KindGauge names a Recorder.Gauge.
+	KindGauge
 )
 
 // String returns the kind as it appears in the EXPERIMENTS.md registry
@@ -37,6 +40,8 @@ func (k NameKind) String() string {
 		return "span"
 	case KindEvent:
 		return "event"
+	case KindGauge:
+		return "gauge"
 	}
 	return "unknown"
 }
@@ -92,10 +97,8 @@ var canonicalNames = map[string]NameKind{
 	"experiments.plan":            KindTimer,
 	"trace.span_duration.seconds": KindHistogram,
 
-	// Serving-layer counters, latency histogram, and request span
-	// (internal/serve). serve.queue_depth is a gauge rendered directly
-	// on /metrics rather than an obs.Counter cell, but it shares the
-	// namespace and is registered so the vocabulary stays complete.
+	// Serving-layer counters, queue-depth gauge, latency histogram, and
+	// request span (internal/serve).
 	"serve.requests":        KindCounter,
 	"serve.hits":            KindCounter,
 	"serve.misses":          KindCounter,
@@ -105,7 +108,10 @@ var canonicalNames = map[string]NameKind{
 	"serve.errors":          KindCounter,
 	"serve.plans":           KindCounter,
 	"serve.evictions":       KindCounter,
-	"serve.queue_depth":     KindCounter,
+	"serve.oplog.records":   KindCounter,
+	"serve.oplog.dropped":   KindCounter,
+	"serve.window.samples":  KindCounter,
+	"serve.queue_depth":     KindGauge,
 	"serve.latency.seconds": KindHistogram,
 	"serve/request":         KindSpan,
 

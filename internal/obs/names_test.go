@@ -128,7 +128,8 @@ func TestNameKindString(t *testing.T) {
 		str  string
 	}{
 		{KindCounter, "counter"}, {KindTimer, "timer"}, {KindHistogram, "histogram"},
-		{KindSpan, "span"}, {KindEvent, "event"}, {NameKind(99), "unknown"},
+		{KindSpan, "span"}, {KindEvent, "event"}, {KindGauge, "gauge"},
+		{NameKind(99), "unknown"},
 	}
 	for _, c := range want {
 		if got := c.kind.String(); got != c.str {

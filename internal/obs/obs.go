@@ -37,6 +37,18 @@ type Recorder interface {
 	// WallSuffix and are excluded from determinism comparisons, exactly
 	// like Timers.
 	Histogram(name string, buckets []float64) Histogram
+	// Gauge returns the named point-in-time level. Unlike counters,
+	// gauges are instantaneous readings (queue depths, cache sizes) and
+	// are excluded from determinism comparisons, exactly like Timers.
+	Gauge(name string) Gauge
+}
+
+// Gauge is a point-in-time level: Set replaces the value, Add moves it.
+type Gauge interface {
+	// Set replaces the gauge's value.
+	Set(v int64)
+	// Add moves the gauge by delta (which may be negative).
+	Add(delta int64)
 }
 
 // Histogram is a fixed-bucket distribution: Observe(v) increments the
@@ -83,15 +95,20 @@ type nopTimer struct{}
 
 type nopHistogram struct{}
 
+type nopGauge struct{}
+
 func (nopRecorder) Counter(string) Counter                { return nopCounter{} }
 func (nopRecorder) Timer(string) Timer                    { return nopTimer{} }
 func (nopRecorder) Histogram(string, []float64) Histogram { return nopHistogram{} }
+func (nopRecorder) Gauge(string) Gauge                    { return nopGauge{} }
 
 func (nopCounter) Inc()              {}
 func (nopCounter) Add(int64)         {}
 func (nopTimer) Start() func()       { return func() {} }
 func (nopTimer) Observe(float64)     {}
 func (nopHistogram) Observe(float64) {}
+func (nopGauge) Set(int64)           {}
+func (nopGauge) Add(int64)           {}
 
 // OrDiscard resolves an optional recorder: nil becomes Discard.
 func OrDiscard(r Recorder) Recorder {

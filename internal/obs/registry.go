@@ -20,6 +20,7 @@ type Registry struct {
 	counters map[string]*counterCell
 	timers   map[string]*timerCell
 	hists    map[string]*histCell
+	gauges   map[string]*gaugeCell
 }
 
 // NewRegistry returns an empty registry.
@@ -28,6 +29,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*counterCell{},
 		timers:   map[string]*timerCell{},
 		hists:    map[string]*histCell{},
+		gauges:   map[string]*gaugeCell{},
 	}
 }
 
@@ -76,6 +78,23 @@ func (r *Registry) Timer(name string) Timer {
 		r.timers[name] = t
 	}
 	return t
+}
+
+type gaugeCell struct{ v atomic.Int64 }
+
+func (g *gaugeCell) Set(v int64)     { g.v.Store(v) }
+func (g *gaugeCell) Add(delta int64) { g.v.Add(delta) }
+
+// Gauge implements Recorder.
+func (r *Registry) Gauge(name string) Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &gaugeCell{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // histCell is a fixed-bucket histogram: counts[i] tallies observations
@@ -165,6 +184,13 @@ func (r *Registry) Merge(s *Registry) {
 		}
 		h.mu.Unlock()
 	}
+	for name, g := range s.gauges {
+		if v := g.v.Load(); v != 0 {
+			//uavdc:allow nodeterminism merge is pure addition, commutative across iteration orders
+			//uavdc:allow obsnames generic plumbing; names were validated at their recording sites
+			r.Gauge(name).Add(v)
+		}
+	}
 }
 
 // Reset zeroes the registry, dropping every cell. Outstanding handles keep
@@ -175,6 +201,7 @@ func (r *Registry) Reset() {
 	r.counters = map[string]*counterCell{}
 	r.timers = map[string]*timerCell{}
 	r.hists = map[string]*histCell{}
+	r.gauges = map[string]*gaugeCell{}
 }
 
 // TimerStat is one timer's aggregate in a Snapshot.
@@ -196,11 +223,14 @@ type HistStat struct {
 	Sum   float64
 }
 
-// Snapshot is a point-in-time copy of a registry's totals.
+// Snapshot is a point-in-time copy of a registry's totals. Gauges are
+// instantaneous levels (queue depths, cache sizes), excluded from Equal
+// and Diff exactly like Timers and WallSuffix histograms.
 type Snapshot struct {
 	Counters map[string]int64
 	Timers   map[string]TimerStat
 	Hists    map[string]HistStat
+	Gauges   map[string]int64
 }
 
 // Snapshot copies the registry's current totals.
@@ -211,6 +241,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters: make(map[string]int64, len(r.counters)),
 		Timers:   make(map[string]TimerStat, len(r.timers)),
 		Hists:    make(map[string]HistStat, len(r.hists)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
 	}
 	for name, c := range r.counters {
 		snap.Counters[name] = c.n.Load()
@@ -229,6 +260,9 @@ func (r *Registry) Snapshot() Snapshot {
 			Sum:     h.sum,
 		}
 		h.mu.Unlock()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.v.Load()
 	}
 	return snap
 }
@@ -258,6 +292,16 @@ func (s Snapshot) TimerNames() []string {
 func (s Snapshot) HistNames() []string {
 	names := make([]string, 0, len(s.Hists))
 	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns the gauge names in sorted order.
+func (s Snapshot) GaugeNames() []string {
+	names := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -350,8 +394,9 @@ func (s Snapshot) Diff(o Snapshot) string {
 
 // WriteTo renders the snapshot as sorted "name value" lines: counters
 // first, then timers as "name count seconds", then histograms as
-// "name count sum ≤b:n ... >b:n". Every section iterates its names in
-// sorted order, so the rendering is diff-stable. Implements io.WriterTo.
+// "name count sum ≤b:n ... >b:n", then gauges as "name value". Every
+// section iterates its names in sorted order, so the rendering is
+// diff-stable. Implements io.WriterTo.
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, name := range s.CounterNames() {
@@ -391,5 +436,86 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 	}
+	for _, name := range s.GaugeNames() {
+		n, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
 	return total, nil
+}
+
+// Sub returns the bucket-wise difference h − o: the distribution of the
+// observations recorded between snapshot o and snapshot h of the same
+// histogram. A zero-value or layout-mismatched o leaves h unchanged, so
+// callers can subtract "no prior sample" safely.
+func (h HistStat) Sub(o HistStat) HistStat {
+	out := HistStat{
+		Buckets: append([]float64(nil), h.Buckets...),
+		Counts:  append([]int64(nil), h.Counts...),
+		Count:   h.Count,
+		Sum:     h.Sum,
+	}
+	if len(o.Counts) != len(h.Counts) {
+		return out
+	}
+	for i, n := range o.Counts {
+		out.Counts[i] -= n
+	}
+	out.Count -= o.Count
+	out.Sum -= o.Sum
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded
+// distribution by linear interpolation inside the bucket holding the
+// rank, the way the bucket-count layout allows and nothing more:
+//
+//   - an empty histogram returns 0;
+//   - a histogram with no finite boundaries (one overflow bucket)
+//     returns the mean Sum/Count, the only estimate the layout supports;
+//   - ranks landing in the overflow bucket return the largest finite
+//     boundary — the estimator never extrapolates past what it measured;
+//   - otherwise the value interpolates linearly between the bucket's
+//     boundaries (the first bucket's lower edge is taken as 0; the
+//     estimator targets nonnegative measurements such as latencies).
+//
+// The estimate is a pure function of the bucket counts, so it is
+// deterministic and independent of observation or merge order.
+func (h HistStat) Quantile(q float64) float64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if len(h.Buckets) == 0 {
+		return h.Sum / float64(h.Count)
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) < rank || cum == 0 {
+			continue
+		}
+		if i >= len(h.Buckets) {
+			return h.Buckets[len(h.Buckets)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Buckets[i-1]
+		}
+		hi := h.Buckets[i]
+		frac := (rank - float64(cum-c)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }

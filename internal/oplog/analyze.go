@@ -1,0 +1,121 @@
+package oplog
+
+import (
+	"fmt"
+	"maps"
+	"math"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// KeyCount is one entry of a hottest-keys ranking.
+type KeyCount struct {
+	Key   string `json:"key"`
+	Count int    `json:"count"`
+}
+
+// Summary aggregates an op-log: per-disposition counts, nearest-rank
+// latency quantiles over the caller-observed elapsed times, and the
+// top-k hottest keys. Quantiles are zero for stripped streams (the wall
+// fields were zeroed at write time).
+type Summary struct {
+	Records int            `json:"records"`
+	ByDisp  map[string]int `json:"by_disp"`
+	P50S    float64        `json:"p50_s"`
+	P90S    float64        `json:"p90_s"`
+	P99S    float64        `json:"p99_s"`
+	TopKeys []KeyCount     `json:"top_keys,omitempty"`
+}
+
+// Summarize aggregates recs. topK bounds the hottest-keys ranking
+// (≤ 0 means none); ties rank lexicographically smaller keys first, so
+// the ranking is deterministic.
+func Summarize(recs []Record, topK int) Summary {
+	s := Summary{Records: len(recs), ByDisp: map[string]int{}}
+	elapsed := make([]float64, 0, len(recs))
+	keys := map[string]int{}
+	for _, r := range recs {
+		s.ByDisp[r.Disp]++
+		elapsed = append(elapsed, r.ElapsedS)
+		if r.Key != "" {
+			keys[r.Key]++
+		}
+	}
+	sort.Float64s(elapsed)
+	s.P50S = nearestRank(elapsed, 0.50)
+	s.P90S = nearestRank(elapsed, 0.90)
+	s.P99S = nearestRank(elapsed, 0.99)
+	if topK > 0 && len(keys) > 0 {
+		ranked := make([]KeyCount, 0, len(keys))
+		for _, k := range slices.Sorted(maps.Keys(keys)) {
+			ranked = append(ranked, KeyCount{Key: k, Count: keys[k]})
+		}
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Count > ranked[j].Count })
+		if len(ranked) > topK {
+			ranked = ranked[:topK]
+		}
+		s.TopKeys = ranked
+	}
+	return s
+}
+
+// nearestRank returns the nearest-rank q-quantile of sorted (ascending)
+// values, 0 when empty.
+func nearestRank(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// DiffResult reports whether two op-logs are identical modulo wall
+// fields, with a human-readable description of the first divergence and
+// any per-disposition count deltas when they are not.
+type DiffResult struct {
+	Equal  bool
+	Detail string
+}
+
+// Diff compares two op-logs modulo wall fields: both sides are reduced
+// to their deterministic projection (Record.Strip) and compared record
+// by record. Two runs of the same request sequence against the same
+// server configuration must diff Equal regardless of GOMAXPROCS.
+func Diff(a, b []Record) DiffResult {
+	var sb strings.Builder
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		sa, sb2 := a[i].Strip(), b[i].Strip()
+		if sa != sb2 {
+			fmt.Fprintf(&sb, "record %d diverges:\n  a: %+v\n  b: %+v\n", i, sa, sb2)
+			break
+		}
+	}
+	if len(a) != len(b) {
+		fmt.Fprintf(&sb, "record counts differ: %d vs %d\n", len(a), len(b))
+	}
+	if sb.Len() == 0 {
+		return DiffResult{Equal: true}
+	}
+	da, db := Summarize(a, 0).ByDisp, Summarize(b, 0).ByDisp
+	all := map[string]bool{}
+	for d := range da {
+		all[d] = true
+	}
+	for d := range db {
+		all[d] = true
+	}
+	for _, d := range slices.Sorted(maps.Keys(all)) {
+		if da[d] != db[d] {
+			fmt.Fprintf(&sb, "disposition %s: %d vs %d\n", d, da[d], db[d])
+		}
+	}
+	return DiffResult{Detail: sb.String()}
+}

@@ -1,0 +1,143 @@
+// Package oplog is the daemon's request operation log: one JSONL record
+// per served request under the uavdc-oplog/1 schema, written by a
+// bounded, drop-counting asynchronous Writer so logging can never
+// backpressure planning (a slow or stalled sink costs dropped records,
+// never blocked requests).
+//
+// Records carry the canonical plan key, the request disposition
+// (hit/miss/coalesced/rejected/timeout/error), queue-wait/plan/total
+// wall times, the worker id, and cache size/eviction deltas. The
+// monotonic sequence number doubles as the join id against the per
+// request serve/request spans of a uavdc-trace/1 stream (the span's
+// "req" attribute), so op-log lines and trace records can be correlated.
+//
+// Mirroring internal/trace's stripped streams, a deterministic-strip
+// mode zeroes every wall-clock-or-scheduling field (queue_s, plan_s,
+// elapsed_s, worker) while keeping sequence numbers and dispositions:
+// for a fixed request sequence the stripped stream is byte-identical at
+// any GOMAXPROCS, which is what the golden tests lock.
+package oplog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Schema is the version tag of the JSONL op-log format. The first line
+// of a stream is a header object {"schema": Schema} (plus "strip": true
+// for deterministic streams); every following line is one Record.
+const Schema = "uavdc-oplog/1"
+
+// Request dispositions. Exactly one is assigned per request: what the
+// serving layer did with it.
+const (
+	// DispHit: served from the plan cache.
+	DispHit = "hit"
+	// DispMiss: planned fresh and cached.
+	DispMiss = "miss"
+	// DispCoalesced: attached to another request's in-flight plan.
+	DispCoalesced = "coalesced"
+	// DispRejected: bounced with 503, queue full.
+	DispRejected = "rejected"
+	// DispTimeout: waiter gave up with 504 (the flight still lands).
+	DispTimeout = "timeout"
+	// DispError: rejected as invalid or failed while planning.
+	DispError = "error"
+)
+
+// Header is the first line of an op-log stream.
+type Header struct {
+	Schema string `json:"schema"`
+	// Strip marks a deterministic stream: wall and scheduling fields
+	// were zeroed at write time.
+	Strip bool `json:"strip,omitempty"`
+}
+
+// Record is one served request. Wall-clock fields (QueueS, PlanS,
+// ElapsedS) and the scheduling-dependent Worker are zeroed in stripped
+// streams; everything else is deterministic for a fixed request
+// sequence.
+type Record struct {
+	// Seq is the monotonic per-server request sequence number, and the
+	// join id against the serve/request trace span's "req" attribute.
+	Seq int64 `json:"i"`
+	// Key is the canonical plan key (empty for malformed requests that
+	// never produced one).
+	Key string `json:"key,omitempty"`
+	// Disp is the request disposition, one of the Disp* constants.
+	Disp string `json:"disp"`
+	// Status is the HTTP-shaped status code of the outcome.
+	Status int `json:"status"`
+	// QueueS is the time the request's flight waited in the queue before
+	// a worker picked it up; zero for requests that never enqueued.
+	QueueS float64 `json:"queue_s"`
+	// PlanS is the wall time the planner spent on the flight; zero for
+	// hits and rejections.
+	PlanS float64 `json:"plan_s"`
+	// ElapsedS is the caller-observed wall time for the whole request.
+	ElapsedS float64 `json:"elapsed_s"`
+	// Worker is the 1-based id of the worker that ran the flight, or 0
+	// when no worker was involved (hits, rejections, malformed requests).
+	Worker int `json:"worker"`
+	// CacheLen is the cache size after the request completed.
+	CacheLen int `json:"cache_len"`
+	// Evicted is the number of cache entries this request's landing
+	// evicted (0 or 1 under the LRU).
+	Evicted int `json:"evicted"`
+}
+
+// Strip returns the record with every wall-clock and scheduling field
+// zeroed — the deterministic projection golden tests and Diff compare.
+func (r Record) Strip() Record {
+	r.QueueS = 0
+	r.PlanS = 0
+	r.ElapsedS = 0
+	r.Worker = 0
+	return r
+}
+
+// Read parses an op-log stream written by a Writer: the header line
+// followed by zero or more records. Blank lines are tolerated.
+func Read(r io.Reader) (Header, []Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Header{}, nil, err
+		}
+		return Header{}, nil, fmt.Errorf("oplog: empty stream")
+	}
+	var hdr Header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return Header{}, nil, fmt.Errorf("oplog: bad header: %w", err)
+	}
+	if hdr.Schema != Schema {
+		return Header{}, nil, fmt.Errorf("oplog: schema %q, want %q", hdr.Schema, Schema)
+	}
+	var recs []Record
+	for line := 1; sc.Scan(); line++ {
+		if len(strings.TrimSpace(string(sc.Bytes()))) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return hdr, recs, fmt.Errorf("oplog: record %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	return hdr, recs, sc.Err()
+}
+
+// ReadFile is Read over a file path.
+func ReadFile(path string) (Header, []Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer func() { _ = f.Close() }() // read-only; close cannot lose data
+	return Read(f)
+}

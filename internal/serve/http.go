@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
+
+	"uavdc/internal/oplog"
 )
 
 // maxRequestBytes bounds a /plan request body (a 100k-sensor field is
@@ -14,9 +17,12 @@ const maxRequestBytes = 32 << 20
 
 // Handler returns the daemon's HTTP surface:
 //
-//	POST /plan     uavdc-serve/1 request → uavdc-serve/1 response
-//	GET  /metrics  obs counter/timer/histogram text + queue depth
-//	GET  /healthz  liveness probe
+//	POST /plan           uavdc-serve/1 request → uavdc-serve/1 response
+//	GET  /metrics        obs counter/gauge/histogram text
+//	GET  /healthz        uavdc-health/1 JSON (uptime, drain state, cache, queue)
+//	GET  /debug/window   uavdc-window/1 JSON over the trailing ?s= seconds
+//	GET  /debug/runtime  uavdc-runtime/1 JSON (heap, GC, goroutines)
+//	GET  /debug/oplog    uavdc-oplog/1 JSONL of recent records, ?after= for tailing
 //
 // Response bodies are a pure function of the canonical instance; the
 // request-scoped envelope rides in headers: Uavdc-Cache (hit, miss,
@@ -26,6 +32,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/plan", s.handlePlan)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/window", s.handleWindow)
+	mux.HandleFunc("/debug/runtime", s.handleRuntime)
+	mux.HandleFunc("/debug/oplog", s.handleOplog)
 	return mux
 }
 
@@ -67,8 +76,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte("ok\n"))
+	// Always 200: drain state is data for the prober, not liveness.
+	writeJSON(w, s.Health())
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	window := 60 * time.Second
+	if q := r.URL.Query().Get("s"); q != "" {
+		secs, err := strconv.Atoi(q)
+		if err != nil || secs <= 0 {
+			writeBody(w, http.StatusBadRequest, encodeError(ErrBadRequest, "s must be a positive integer of seconds"))
+			return
+		}
+		window = time.Duration(secs) * time.Second
+	}
+	writeJSON(w, s.WindowStats(window))
+}
+
+func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, ReadRuntimeStats())
+}
+
+func (s *Server) handleOplog(w http.ResponseWriter, r *http.Request) {
+	var after int64
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || n < 0 {
+			writeBody(w, http.StatusBadRequest, encodeError(ErrBadRequest, "after must be a non-negative sequence number"))
+			return
+		}
+		after = n
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	enc := json.NewEncoder(w)
+	// A broken client connection cannot be recovered from in a handler;
+	// encode errors are deliberately dropped.
+	_ = enc.Encode(oplog.Header{Schema: oplog.Schema})
+	for _, rec := range s.OpLogSince(after) {
+		_ = enc.Encode(rec)
+	}
+}
+
+// writeJSON sends v as a compact JSON body with a trailing newline.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	// Encoding a flat struct onto a ResponseWriter cannot fail in any way
+	// a handler could recover from.
+	_ = enc.Encode(v)
 }
 
 // writeBody sends a JSON body with the given status.

@@ -142,8 +142,18 @@ func TestHTTPMetricsAndHealthz(t *testing.T) {
 	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != 200 || string(body) != "ok\n" {
+	if resp.StatusCode != 200 {
 		t.Fatalf("/healthz: %d %q", resp.StatusCode, body)
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("/healthz body is not JSON: %v\n%s", err, body)
+	}
+	if h.Schema != HealthSchema || h.Status != "ok" || h.Draining {
+		t.Fatalf("/healthz = %+v, want healthy %s body", h, HealthSchema)
+	}
+	if h.CacheLen != 1 || h.UptimeS <= 0 {
+		t.Fatalf("/healthz cache/uptime = %+v", h)
 	}
 }
 

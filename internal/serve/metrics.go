@@ -28,6 +28,16 @@ const (
 	CounterPlans = "serve.plans"
 	// CounterEvictions counts LRU cache evictions.
 	CounterEvictions = "serve.evictions"
+	// CounterOplogRecords counts op-log records accepted by the async
+	// writer (only meaningful when Config.OpLog is set).
+	CounterOplogRecords = "serve.oplog.records"
+	// CounterOplogDropped counts op-log records dropped because the
+	// writer's buffer was full — the cost of never letting a slow log
+	// sink backpressure planning.
+	CounterOplogDropped = "serve.oplog.dropped"
+	// CounterWindowSamples counts rolling-window samples taken, by the
+	// background sampler or manual Sample calls.
+	CounterWindowSamples = "serve.window.samples"
 	// HistLatency is the wall-clock request latency histogram. The
 	// obs.WallSuffix name keeps it out of determinism comparisons,
 	// exactly like Timers.
@@ -35,9 +45,9 @@ const (
 	// SpanRequest is the per-request trace span streamed to the
 	// configured trace writer.
 	SpanRequest = "serve/request"
-	// GaugeQueueDepth is the /metrics line reporting the instantaneous
-	// worker-queue depth. It is rendered directly (a gauge, not an obs
-	// counter) but lives in the same registry namespace.
+	// GaugeQueueDepth is the instantaneous worker-queue depth, registered
+	// as an obs.Gauge and refreshed on every metrics render and window
+	// sample.
 	GaugeQueueDepth = "serve.queue_depth"
 )
 
