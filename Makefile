@@ -16,8 +16,16 @@ vet:
 # Repo-contract analyzers (determinism, float safety, metric naming,
 # error hygiene). Exits non-zero on any non-suppressed diagnostic; see
 # CONTRIBUTING.md, "Static analysis".
+# lint fails fast and keeps uavlint's exit codes distinct: 1 means the
+# analyzers found violations (fix or //uavdc:allow them), 2 means the
+# lint engine itself could not load or check the module.
 lint:
-	$(GO) run ./cmd/uavlint ./...
+	@$(GO) run ./cmd/uavlint ./... ; code=$$?; \
+	if [ $$code -eq 1 ]; then \
+		echo "make lint: analyzer violations (run '$(GO) run ./cmd/uavlint -all -summary ./...' for the full picture)" >&2; exit 1; \
+	elif [ $$code -ne 0 ]; then \
+		echo "make lint: lint engine error (exit $$code)" >&2; exit $$code; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -1,7 +1,8 @@
 // Command uavlint runs uavdc's static-analysis suite (internal/lint)
 // over the module: repo-specific analyzers enforcing the determinism,
-// float-safety, metric-naming, and error-handling contracts that the
-// dynamic test suite can only sample. See CONTRIBUTING.md ("Static
+// float-safety, metric-naming, error-handling, unit-safety,
+// lock-discipline, goroutine-lifecycle, and wire-format contracts that
+// the dynamic test suite can only sample. See CONTRIBUTING.md ("Static
 // analysis") for the analyzer list and the //uavdc:allow suppression
 // grammar.
 //
@@ -12,7 +13,8 @@
 //	-C dir     module root to lint (default ".")
 //	-json      emit a uavdc-lint/2 JSON report instead of text
 //	-all       also print suppressed diagnostics (text mode)
-//	-summary   append a one-line finding/timing summary (text mode)
+//	-summary   append a one-line finding/timing summary, with
+//	           per-analyzer wall time (text mode)
 //	-list      list the analyzers (name order) and exit
 //
 // With no arguments (or "./...") the whole module is linted. Other
@@ -73,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		errs.Printf("uavlint: %v\n", err)
 		return 2
 	}
-	diags := lint.Run(mod, analyzers)
+	diags, timings := lint.RunTimed(mod, analyzers)
 	elapsed := time.Since(start) //uavdc:allow nodeterminism wall time only feeds the lint report's elapsed field, never planner output
 	diags = filterByPrefix(diags, fs.Args())
 
@@ -92,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		if *summary {
-			if err := lint.WriteSummary(stdout, diags, elapsed); err != nil {
+			if err := lint.WriteSummary(stdout, diags, timings, elapsed); err != nil {
 				errs.Printf("uavlint: %v\n", err)
 				return 2
 			}

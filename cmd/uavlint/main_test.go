@@ -39,6 +39,9 @@ func checkGolden(t *testing.T, name, got string) {
 var (
 	elapsedJSON    = regexp.MustCompile(`"elapsed_ms": [0-9.eE+-]+`)
 	elapsedSummary = regexp.MustCompile(`in [0-9]+ms`)
+	// msTimes normalises every wall-time figure in the summary line —
+	// the total and the per-analyzer breakdown.
+	msTimes = regexp.MustCompile(`\b[0-9]+ms\b`)
 )
 
 func TestRunFixtureText(t *testing.T) {
@@ -48,7 +51,8 @@ func TestRunFixtureText(t *testing.T) {
 		t.Fatalf("exit %d, want 1 (fixture has active diagnostics); stderr: %s", code, stderr.String())
 	}
 	out := stdout.String()
-	for _, want := range []string{"floateq", "nodeterminism", "obsnames", "errdrop", "unitsafety", "directive"} {
+	for _, want := range []string{"floateq", "nodeterminism", "obsnames", "errdrop", "unitsafety",
+		"locksafety", "golifecycle", "wirefmt", "directive"} {
 		if !strings.Contains(out, want+": ") {
 			t.Errorf("text output missing %s diagnostics:\n%s", want, out)
 		}
@@ -88,7 +92,8 @@ func TestRunFixtureJSON(t *testing.T) {
 	if rep.Schema != "uavdc-lint/2" || rep.Active == 0 {
 		t.Errorf("report = %+v", rep)
 	}
-	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop", "unitsafety", "directive"} {
+	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop", "unitsafety",
+		"locksafety", "golifecycle", "wirefmt", "directive"} {
 		if rep.Counts[name] == 0 {
 			t.Errorf("counts missing %s: %v", name, rep.Counts)
 		}
@@ -109,7 +114,10 @@ func TestRunFixtureSummary(t *testing.T) {
 	if !strings.HasPrefix(last, "uavlint: ") || !elapsedSummary.MatchString(last) {
 		t.Fatalf("summary line malformed: %q", last)
 	}
-	checkGolden(t, "summary", elapsedSummary.ReplaceAllString(last, "in 0ms")+"\n")
+	if !strings.Contains(last, "(analyzers:") {
+		t.Fatalf("summary line missing the per-analyzer timing clause: %q", last)
+	}
+	checkGolden(t, "summary", msTimes.ReplaceAllString(last, "0ms")+"\n")
 }
 
 func TestRunFixturePathFilter(t *testing.T) {
@@ -137,7 +145,8 @@ func TestRunList(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Errorf("-list not sorted by name: %v", names)
 	}
-	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop", "unitsafety"} {
+	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop", "unitsafety",
+		"locksafety", "golifecycle", "wirefmt"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout.String())
 		}

@@ -168,7 +168,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	go func() {
+		defer serveWG.Done()
+		errc <- srv.Serve(ln) // buffered: the send never blocks the drain
+	}()
 
 	select {
 	case err := <-errc:
@@ -184,6 +189,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		errs.Println("uavserve:", err)
 		return 1
 	}
+	serveWG.Wait() // Serve has returned ErrServerClosed by now
 	if err := s.Close(drainCtx); err != nil {
 		errs.Println("uavserve:", err)
 		return 1
@@ -245,7 +251,12 @@ func runSmoke(cfg serve.Config, pcfg experiments.Config, total, distinct, client
 		return 1
 	}
 	srv := &http.Server{Handler: s.Handler()}
-	go func() { _ = srv.Serve(ln) }() // returns ErrServerClosed on the Shutdown below
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	go func() {
+		defer serveWG.Done()
+		_ = srv.Serve(ln) // returns ErrServerClosed on the Shutdown below
+	}()
 	url := "http://" + ln.Addr().String() + "/plan"
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
 
@@ -295,6 +306,7 @@ func runSmoke(cfg serve.Config, pcfg experiments.Config, total, distinct, client
 		errs.Println("uavserve:", err)
 		return 1
 	}
+	serveWG.Wait() // Serve has returned ErrServerClosed by now
 	if err := s.Close(shutCtx); err != nil {
 		errs.Println("uavserve:", err)
 		return 1

@@ -30,12 +30,14 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+
+	"uavdc/internal/wire"
 )
 
 // Version tags the encoding. Bump it when a field is added, removed, or
 // reordered; keys from different versions never collide because the tag is
 // hashed with the payload.
-const Version = "uavdc-canon/1"
+const Version = wire.Canon
 
 // DefaultAlgorithm is the planner selected by an empty algorithm name,
 // mirroring the uavdc facade (Algorithm 3, partial collection).

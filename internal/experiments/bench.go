@@ -11,6 +11,7 @@ import (
 	"uavdc/internal/faults"
 	"uavdc/internal/simulate"
 	"uavdc/internal/units"
+	"uavdc/internal/wire"
 )
 
 // TimerPlan is the obs timer under which runSweep records every planner
@@ -20,7 +21,7 @@ const TimerPlan = "experiments.plan"
 // BenchSchema identifies the BENCH_*.json format version. Bump it when a
 // field changes meaning; perf-trajectory tooling compares files only
 // within one schema version.
-const BenchSchema = "uavdc-bench/1"
+const BenchSchema = wire.Bench
 
 // BenchFigure is one figure driver's measurement in a bench run.
 type BenchFigure struct {

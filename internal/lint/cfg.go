@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block of an intra-procedural control-flow graph:
+// a maximal straight-line run of statements (and controlling
+// expressions) with branching only at the end.
+type Block struct {
+	// Nodes holds the block's statements and controlling expressions in
+	// execution order. Controlling expressions (an if condition, a
+	// switch tag, a range subject) appear as bare ast.Expr nodes;
+	// everything else is an ast.Stmt. Function-literal bodies are NOT
+	// expanded here — each literal gets its own CFG.
+	Nodes []ast.Node
+	// Succs are the control-flow successors.
+	Succs []*Block
+	// Returns marks a block ending in an explicit return statement.
+	Returns bool
+	// FallsOff marks the block that exits the function by running past
+	// the end of its body.
+	FallsOff bool
+	// Terminates marks a block ending in a call the caller declared
+	// non-returning (panic, os.Exit, ...); such blocks are not return
+	// paths.
+	Terminates bool
+}
+
+// CFG is the control-flow graph of one function body. It models the
+// structured constructs — if/for/range/switch/type-switch/select,
+// break/continue (labeled included), fallthrough, return, and
+// terminating calls. goto is not modeled: a function using it gets
+// Unsupported set and analyzers should skip it rather than guess.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+	// SelectComms marks the comm statements of select clauses: their
+	// top-level channel operation blocks (or not) as part of the select
+	// itself, never independently.
+	SelectComms map[ast.Node]bool
+	// Unsupported is set when the body contains a construct the builder
+	// does not model (goto, or a branch to an unknown label).
+	Unsupported bool
+}
+
+// BuildCFG builds the control-flow graph of body. isTerminal, which may
+// be nil, reports whether a call expression never returns (panic,
+// os.Exit, testing's Fatal family, ...); statements ending in such
+// calls terminate their block without making it a return path.
+func BuildCFG(body *ast.BlockStmt, isTerminal func(*ast.CallExpr) bool) *CFG {
+	if isTerminal == nil {
+		isTerminal = func(*ast.CallExpr) bool { return false }
+	}
+	b := &cfgBuilder{
+		cfg:        &CFG{SelectComms: map[ast.Node]bool{}},
+		isTerminal: isTerminal,
+	}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmts(body.List)
+	b.cur.FallsOff = true
+	return b.cfg
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label    string // enclosing label, "" if none
+	breakTo  *Block
+	contTo   *Block // nil for switch/select frames
+	isSelect bool   // break inside select resolves here too
+}
+
+type cfgBuilder struct {
+	cfg        *CFG
+	cur        *Block
+	frames     []frame
+	label      string // pending label for the next loop/switch/select
+	fallTo     *Block // fallthrough target inside a switch clause
+	isTerminal func(*ast.CallExpr) bool
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// link adds an edge from -> to.
+func link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// takeLabel consumes the pending label for a frame push.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		link(cond, then)
+		b.cur = then
+		b.stmts(s.Body.List)
+		link(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			link(b.cur, after)
+		} else {
+			link(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		link(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		if s.Cond != nil {
+			link(head, after)
+		}
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			link(post, head)
+			contTo = post
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: after, contTo: contTo})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		link(b.cur, contTo)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		// The range statement itself heads the loop: analyzers see the
+		// subject expression (and can, e.g., spot a channel range) there.
+		head.Nodes = append(head.Nodes, s)
+		link(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		link(head, after)
+		b.frames = append(b.frames, frame{label: label, breakTo: after, contTo: head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		link(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		// The select statement itself stays in the origin block, so
+		// analyzers can ask "does this select block?" (no default = yes)
+		// with the pre-select state.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		origin := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, breakTo: after, isSelect: true})
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CommClause)
+			cb := b.newBlock()
+			link(origin, cb)
+			if clause.Comm != nil {
+				b.cfg.SelectComms[clause.Comm] = true
+				cb.Nodes = append(cb.Nodes, clause.Comm)
+			}
+			b.cur = cb
+			b.stmts(clause.Body)
+			link(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A clauseless select{} blocks forever; after is then
+		// unreachable, which the dataflow walk handles naturally.
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cur.Returns = true
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.cfg.Unsupported = true
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			if b.fallTo != nil {
+				link(b.cur, b.fallTo)
+			} else {
+				b.cfg.Unsupported = true
+			}
+			b.cur = b.newBlock()
+		case token.BREAK:
+			if f := b.findFrame(s.Label, false); f != nil {
+				link(b.cur, f.breakTo)
+			} else {
+				b.cfg.Unsupported = true
+			}
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, true); f != nil {
+				link(b.cur, f.contTo)
+			} else {
+				b.cfg.Unsupported = true
+			}
+			b.cur = b.newBlock()
+		}
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.isTerminal(call) {
+			b.cur.Terminates = true
+			b.cur = b.newBlock()
+		}
+
+	default:
+		// Assignments, declarations, defer, go, sends, inc/dec, empty
+		// statements: straight-line nodes.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchLike builds the shared switch / type-switch shape. guard is the
+// type switch's assign statement, nil for a value switch.
+func (b *cfgBuilder) switchLike(init ast.Stmt, tag ast.Expr, guard ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	if guard != nil {
+		b.cur.Nodes = append(b.cur.Nodes, guard)
+	}
+	origin := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		link(origin, blocks[i])
+		for _, e := range c.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		link(origin, after)
+	}
+	savedFall := b.fallTo
+	for i, c := range clauses {
+		if i+1 < len(blocks) {
+			b.fallTo = blocks[i+1]
+		} else {
+			b.fallTo = nil
+		}
+		b.cur = blocks[i]
+		b.stmts(c.Body)
+		link(b.cur, after)
+	}
+	b.fallTo = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// findFrame resolves a break/continue target: the innermost matching
+// frame, or the labeled one. needLoop restricts the search to loop
+// frames (continue).
+func (b *cfgBuilder) findFrame(label *ast.Ident, needLoop bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needLoop && f.contTo == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFG parses body as the statements of a function and builds its
+// CFG with panic/os.Exit as the terminal calls.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return BuildCFG(fn.Body, func(call *ast.CallExpr) bool {
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			return fn.Name == "panic"
+		case *ast.SelectorExpr:
+			if pkg, ok := fn.X.(*ast.Ident); ok {
+				return pkg.Name == "os" && fn.Sel.Name == "Exit"
+			}
+		}
+		return false
+	})
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(cfg *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	return seen
+}
+
+// exits counts the reachable function-exit blocks by kind.
+func exits(cfg *CFG) (returns, fallsOff, terminates int) {
+	for b := range reachable(cfg) {
+		if b.Returns {
+			returns++
+		}
+		if b.FallsOff {
+			fallsOff++
+		}
+		if b.Terminates {
+			terminates++
+		}
+	}
+	return
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := buildCFG(t, "x := 1\nx++\n_ = x")
+	if cfg.Unsupported {
+		t.Fatal("straight-line body marked Unsupported")
+	}
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Errorf("entry has %d nodes, want 3", len(cfg.Entry.Nodes))
+	}
+	r, f, term := exits(cfg)
+	if r != 0 || f != 1 || term != 0 {
+		t.Errorf("exits = %d returns, %d falls-off, %d terminates; want 0, 1, 0", r, f, term)
+	}
+}
+
+func TestCFGIfElseBothReturn(t *testing.T) {
+	cfg := buildCFG(t, "if x := 1; x > 0 {\n\treturn\n} else {\n\treturn\n}")
+	r, f, _ := exits(cfg)
+	if r != 2 {
+		t.Errorf("got %d reachable return blocks, want 2", r)
+	}
+	// Both arms return, so the fall-off continuation is unreachable.
+	if f != 0 {
+		t.Errorf("got %d reachable falls-off blocks, want 0", f)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	cfg := buildCFG(t, "x := 1\nif x > 0 {\n\tx++\n}\n_ = x")
+	// The condition block must branch both into the then-body and
+	// around it.
+	r, f, _ := exits(cfg)
+	if r != 0 || f != 1 {
+		t.Errorf("exits = %d returns, %d falls-off; want 0, 1", r, f)
+	}
+	if cfg.Unsupported {
+		t.Fatal("marked Unsupported")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg := buildCFG(t, "for i := 0; i < 3; i++ {\n\tif i == 1 {\n\t\tcontinue\n\t}\n\tif i == 2 {\n\t\tbreak\n\t}\n}\nreturn")
+	if cfg.Unsupported {
+		t.Fatal("for loop with break/continue marked Unsupported")
+	}
+	r, _, _ := exits(cfg)
+	if r != 1 {
+		t.Errorf("got %d reachable return blocks, want 1", r)
+	}
+}
+
+func TestCFGForeverLoop(t *testing.T) {
+	// for {} without a break never reaches the code after it.
+	cfg := buildCFG(t, "for {\n\t_ = 1\n}\nreturn")
+	r, f, _ := exits(cfg)
+	if r != 0 || f != 0 {
+		t.Errorf("exits after for{} = %d returns, %d falls-off; want 0, 0", r, f)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := buildCFG(t, "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}\nreturn")
+	if cfg.Unsupported {
+		t.Fatal("labeled break marked Unsupported")
+	}
+	r, _, _ := exits(cfg)
+	if r != 1 {
+		t.Errorf("got %d reachable return blocks, want 1 (break outer must escape both loops)", r)
+	}
+}
+
+func TestCFGRangeHeadsLoop(t *testing.T) {
+	cfg := buildCFG(t, "xs := []int{1}\nfor _, x := range xs {\n\t_ = x\n}")
+	var rangeBlock *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				rangeBlock = b
+			}
+		}
+	}
+	if rangeBlock == nil {
+		t.Fatal("no block carries the RangeStmt node")
+	}
+	// The range head branches into the body and past the loop.
+	if len(rangeBlock.Succs) != 2 {
+		t.Errorf("range head has %d successors, want 2", len(rangeBlock.Succs))
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildCFG(t, "switch x := 1; x {\ncase 1:\n\tfallthrough\ncase 2:\n\treturn\ndefault:\n}\nreturn")
+	if cfg.Unsupported {
+		t.Fatal("switch with fallthrough marked Unsupported")
+	}
+	r, f, _ := exits(cfg)
+	// case-2's return plus the final return; default falls through to it.
+	if r != 2 || f != 0 {
+		t.Errorf("exits = %d returns, %d falls-off; want 2, 0", r, f)
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	// Without a default clause control can skip every case.
+	cfg := buildCFG(t, "switch 1 {\ncase 1:\n\treturn\n}\n_ = 1")
+	r, f, _ := exits(cfg)
+	if r != 1 || f != 1 {
+		t.Errorf("exits = %d returns, %d falls-off; want 1, 1", r, f)
+	}
+}
+
+func TestCFGTypeSwitchGuardRecorded(t *testing.T) {
+	cfg := buildCFG(t, "var v any = 1\nswitch x := v.(type) {\ncase int:\n\t_ = x\ndefault:\n\t_ = x\n}")
+	found := false
+	for _, n := range cfg.Entry.Nodes {
+		if as, ok := n.(ast.Stmt); ok {
+			if _, isAssign := as.(*ast.AssignStmt); isAssign {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("type-switch guard assignment not recorded in the origin block")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := buildCFG(t, "ch := make(chan int)\nselect {\ncase v := <-ch:\n\t_ = v\ncase ch <- 1:\ndefault:\n}")
+	if cfg.Unsupported {
+		t.Fatal("select marked Unsupported")
+	}
+	if len(cfg.SelectComms) != 2 {
+		t.Errorf("SelectComms has %d entries, want 2 (one per non-default comm)", len(cfg.SelectComms))
+	}
+	// The SelectStmt node itself must stay in its origin block, so
+	// analyzers can ask "does this select block?" with pre-select state.
+	inOrigin := false
+	for _, n := range cfg.Entry.Nodes {
+		if _, ok := n.(*ast.SelectStmt); ok {
+			inOrigin = true
+		}
+	}
+	if !inOrigin {
+		t.Error("SelectStmt node is not in the origin block")
+	}
+}
+
+func TestCFGClauselessSelectBlocksForever(t *testing.T) {
+	cfg := buildCFG(t, "select {}\nreturn")
+	r, f, _ := exits(cfg)
+	if r != 0 || f != 0 {
+		t.Errorf("exits after select{} = %d returns, %d falls-off; want 0, 0", r, f)
+	}
+}
+
+func TestCFGGotoUnsupported(t *testing.T) {
+	cfg := buildCFG(t, "goto done\ndone:\n\treturn")
+	if !cfg.Unsupported {
+		t.Error("goto did not set Unsupported")
+	}
+}
+
+func TestCFGTerminatingCalls(t *testing.T) {
+	cfg := buildCFG(t, "if true {\n\tpanic(\"boom\")\n}\nos.Exit(1)")
+	r, f, term := exits(cfg)
+	if r != 0 || f != 0 {
+		t.Errorf("exits = %d returns, %d falls-off; want 0, 0 — both paths terminate", r, f)
+	}
+	if term != 2 {
+		t.Errorf("got %d terminating blocks, want 2", term)
+	}
+}
+
+func TestCFGDeferAndGoAreStraightLine(t *testing.T) {
+	cfg := buildCFG(t, "defer f()\ngo f()\n_ = 1")
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Errorf("entry has %d nodes, want 3 (defer, go, assign)", len(cfg.Entry.Nodes))
+	}
+	if cfg.Unsupported {
+		t.Fatal("marked Unsupported")
+	}
+}

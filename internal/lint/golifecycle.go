@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLifecycle returns the golifecycle analyzer: every go statement in
+// non-test code must tie the spawned goroutine to a shutdown path, so a
+// daemon's Close really drains and no goroutine outlives its server.
+//
+// A goroutine is compliant when its body (a function literal, or a
+// same-package named function resolved at the spawn site) does any of:
+//
+//   - receive from a done channel — any receive whose channel carries
+//     struct{} elements, which covers <-ctx.Done() and close-signalled
+//     stop channels;
+//   - range over a channel — the loop ends when the channel closes;
+//   - call (*sync.WaitGroup).Done, with a WaitGroup .Add visible in the
+//     spawning function before the go statement — the spawner provably
+//     tracks it;
+//   - call (*sync.WaitGroup).Wait — the goroutine IS a drain helper.
+//
+// Goroutines whose body cannot be resolved (cross-package calls,
+// function values, method values) are reported: their lifecycle cannot
+// be audited at the spawn site. Deliberately detached goroutines carry
+// //uavdc:allow golifecycle <reason>.
+func GoLifecycle() *Analyzer {
+	return &Analyzer{
+		Name: "golifecycle",
+		Doc:  "every goroutine outside tests must observe a shutdown path (done channel, channel range, or spawn-site WaitGroup)",
+		Run:  runGoLifecycle,
+	}
+}
+
+func runGoLifecycle(pass *Pass) {
+	info := pass.Pkg.Info
+	decls := funcDeclIndex(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		// Walk with the innermost enclosing function body tracked, so
+		// the WaitGroup spawn-site rule knows where to look for .Add.
+		var walkBody func(b *ast.BlockStmt)
+		walkBody = func(b *ast.BlockStmt) {
+			ast.Inspect(b, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					walkBody(n.Body)
+					return false
+				case *ast.GoStmt:
+					checkGoStmt(pass, info, decls, n, b)
+					// Descend: a literal spawned here is also walked as
+					// its own body (FuncLit case above).
+				}
+				return true
+			})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					walkBody(n.Body)
+				}
+				return false
+			case *ast.FuncLit: // package-level var initializer literal
+				walkBody(n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkGoStmt audits one go statement.
+func checkGoStmt(pass *Pass, info *types.Info, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt, enclosing *ast.BlockStmt) {
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := calleeFunc(info, g.Call); fn != nil {
+		if decl := decls[fn]; decl != nil {
+			body = decl.Body
+		}
+	}
+	if body == nil {
+		pass.Reportf(g.Pos(), "goroutine body cannot be resolved at the spawn site (cross-package or indirect call) — its shutdown path cannot be audited; spawn a local function or literal, or annotate")
+		return
+	}
+	observes, wgDone := shutdownSignals(info, body)
+	if observes {
+		return
+	}
+	if wgDone && hasWaitGroupAddBefore(info, enclosing, g.Pos()) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine is not tied to a shutdown path; select on a done channel, range over a closable channel, or track it with a sync.WaitGroup (Add before the go statement, Done inside), or annotate")
+}
+
+// shutdownSignals scans a goroutine body. observes is true when the
+// body receives from a struct{} channel, ranges over a channel, or
+// waits on a WaitGroup; wgDone is true when it calls WaitGroup.Done
+// (compliant only if the spawn site also Adds).
+func shutdownSignals(info *types.Info, body *ast.BlockStmt) (observes, wgDone bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isDoneChan(info.TypeOf(n.X)) {
+				observes = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					observes = true
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := waitGroupCall(info, n); ok {
+				switch name {
+				case "Wait":
+					observes = true
+				case "Done":
+					wgDone = true
+				}
+			}
+		}
+		return true
+	})
+	return observes, wgDone
+}
+
+// isDoneChan reports whether t is a channel of struct{} — the signal
+// shape of context.Done and close-only stop channels.
+func isDoneChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// waitGroupCall classifies call as a (*sync.WaitGroup) method call.
+func waitGroupCall(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "sync" || !isMethod(fn) {
+		return "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Name() != "WaitGroup" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// hasWaitGroupAddBefore reports whether the spawning function calls
+// (*sync.WaitGroup).Add lexically before pos — the spawn site visibly
+// registers the goroutine before launching it.
+func hasWaitGroupAddBefore(info *types.Info, enclosing *ast.BlockStmt, pos token.Pos) bool {
+	if enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() < pos {
+			if name, ok := waitGroupCall(info, call); ok && name == "Add" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// funcDeclIndex maps each declared function object of the unit to its
+// declaration, so go statements on named callees resolve to a body.
+func funcDeclIndex(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	idx := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = fd
+				}
+			}
+		}
+	}
+	return idx
+}

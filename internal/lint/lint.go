@@ -19,6 +19,15 @@
 //     dimensions past the internal/units typed quantities — cross-unit
 //     casts, unit→float64 casts outside boundary packages, magnitude
 //     literals cast into unit types, and math.* over unit expressions.
+//   - locksafety: lock discipline over an intra-procedural CFG — no
+//     copied locks, no Lock without an Unlock on every return path, no
+//     double-locks, no blocking operations under a held lock.
+//   - golifecycle: every goroutine outside tests must observe a
+//     shutdown path — a done-channel receive, a channel range, or a
+//     spawn-site-visible WaitGroup.
+//   - wirefmt: every "uavdc-<name>/<version>" string literal must match
+//     the internal/wire registry (which a test cross-checks against
+//     EXPERIMENTS.md), current version and all.
 //
 // Deliberate violations are annotated in place:
 //
@@ -34,8 +43,12 @@ import (
 	"fmt"
 	"go/token"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
+
+	"uavdc/internal/wire"
 )
 
 // An Analyzer is one named check over a type-checked package.
@@ -51,7 +64,10 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterminism(), FloatEq(), ObsNames(), ErrDrop(), UnitSafety()}
+	return []*Analyzer{
+		NoDeterminism(), FloatEq(), ObsNames(), ErrDrop(), UnitSafety(),
+		LockSafety(), GoLifecycle(), WireFmt(),
+	}
 }
 
 // Pass carries one analyzer's run over one package.
@@ -125,6 +141,18 @@ const DirectiveAnalyzer = "directive"
 // file, line, column, analyzer. Malformed suppression directives are
 // reported under DirectiveAnalyzer.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(mod, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall time: each (package, analyzer)
+// pair runs as its own task, parallel across GOMAXPROCS, and the
+// returned map accumulates every analyzer's total task time by name.
+// Because tasks overlap, the per-analyzer totals can sum to more than
+// the elapsed wall clock — they rank where the suite spends its time,
+// they do not partition it. Diagnostics are merged and sorted exactly
+// as Run sorts them; scheduling never reaches the output.
+func RunTimed(mod *Module, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -146,11 +174,41 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 
+	type task struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	var tasks []task
 	for _, pkg := range mod.Pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, analyzer: a, out: &diags}
-			a.Run(pass)
+			tasks = append(tasks, task{pkg: pkg, a: a})
 		}
+	}
+	results := make([][]Diagnostic, len(tasks))
+	took := make([]time.Duration, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range tasks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now() //uavdc:allow nodeterminism task wall time only feeds the summary's per-analyzer breakdown, never planner output
+			var out []Diagnostic
+			tasks[i].a.Run(&Pass{Pkg: tasks[i].pkg, analyzer: tasks[i].a, out: &out})
+			took[i] = time.Since(start) //uavdc:allow nodeterminism task wall time only feeds the summary's per-analyzer breakdown, never planner output
+			results[i] = out
+		}()
+	}
+	wg.Wait()
+	timings := make(map[string]time.Duration, len(analyzers))
+	for _, a := range analyzers {
+		timings[a.Name] = 0
+	}
+	for i, t := range tasks {
+		diags = append(diags, results[i]...)
+		timings[t.a.Name] += took[i]
 	}
 
 	for i := range diags {
@@ -182,7 +240,7 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+	return diags, timings
 }
 
 // Active filters diags down to the non-suppressed findings — the set CI
@@ -228,7 +286,7 @@ type jsonReport struct {
 
 // JSONSchema tags uavlint's -json output document. /2 added the
 // per-analyzer counts map and the elapsed_ms wall-time field.
-const JSONSchema = "uavdc-lint/2"
+const JSONSchema = wire.Lint
 
 // Counts tallies diags per analyzer, suppressed findings included.
 func Counts(diags []Diagnostic) map[string]int {
@@ -258,9 +316,10 @@ func WriteJSON(w io.Writer, modPath string, diags []Diagnostic, elapsed time.Dur
 }
 
 // WriteSummary renders the one-line human summary: total and active
-// finding counts, the per-analyzer breakdown in name order, and the
-// load+run wall time.
-func WriteSummary(w io.Writer, diags []Diagnostic, elapsed time.Duration) error {
+// finding counts, the per-analyzer breakdown in name order, the
+// load+run wall time, and — when RunTimed's timings are given — each
+// analyzer's accumulated task time in name order.
+func WriteSummary(w io.Writer, diags []Diagnostic, timings map[string]time.Duration, elapsed time.Duration) error {
 	counts := Counts(diags)
 	names := make([]string, 0, len(counts))
 	for name := range counts {
@@ -277,7 +336,23 @@ func WriteSummary(w io.Writer, diags []Diagnostic, elapsed time.Duration) error 
 	if breakdown == "" {
 		breakdown = "none"
 	}
-	_, err := fmt.Fprintf(w, "uavlint: %d finding(s), %d active [%s] in %dms\n",
-		len(diags), len(Active(diags)), breakdown, elapsed.Milliseconds())
+	var timing string
+	if len(timings) > 0 {
+		tnames := make([]string, 0, len(timings))
+		for name := range timings {
+			tnames = append(tnames, name)
+		}
+		sort.Strings(tnames)
+		timing = " (analyzers:"
+		for i, name := range tnames {
+			if i > 0 {
+				timing += ","
+			}
+			timing += fmt.Sprintf(" %s %dms", name, timings[name].Milliseconds())
+		}
+		timing += ")"
+	}
+	_, err := fmt.Fprintf(w, "uavlint: %d finding(s), %d active [%s] in %dms%s\n",
+		len(diags), len(Active(diags)), breakdown, elapsed.Milliseconds(), timing)
 	return err
 }

@@ -9,9 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked analysis unit: a module package together
@@ -100,8 +102,16 @@ func Load(root string) (*Module, error) {
 		return nil, err
 	}
 
+	// Discovery walk: collect the .go files first, then read and parse
+	// them in parallel — a FileSet is safe for concurrent use, and every
+	// downstream consumer sorts before emitting, so worker scheduling
+	// never reaches the output.
 	fset := token.NewFileSet()
-	raws := map[string]*rawPkg{} // by import path
+	type parseJob struct {
+		path string // absolute file path
+		rel  string // slash-relative package dir
+	}
+	var jobs []parseJob
 	err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -121,37 +131,63 @@ func Load(root string) (*Module, error) {
 		if err != nil {
 			return err
 		}
-		rel = filepath.ToSlash(rel)
-		importPath := modPath
-		if rel != "." {
-			importPath = modPath + "/" + rel
-		}
-		rp := raws[importPath]
-		if rp == nil {
-			rp = &rawPkg{path: importPath, dir: rel, src: map[string][]byte{}}
-			raws[importPath] = rp
-		}
-		srcBytes, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		file, err := parser.ParseFile(fset, path, srcBytes, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return err
-		}
-		rp.src[filepath.Base(path)] = srcBytes
-		switch {
-		case strings.HasSuffix(path, "_test.go") && strings.HasSuffix(file.Name.Name, "_test"):
-			rp.extTest = append(rp.extTest, file)
-		case strings.HasSuffix(path, "_test.go"):
-			rp.inTest = append(rp.inTest, file)
-		default:
-			rp.base = append(rp.base, file)
-		}
+		jobs = append(jobs, parseJob{path: path, rel: filepath.ToSlash(rel)})
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	type parseResult struct {
+		src  []byte
+		file *ast.File
+		err  error
+	}
+	parsed := make([]parseResult, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := &parsed[i]
+			r.src, r.err = os.ReadFile(jobs[i].path)
+			if r.err != nil {
+				return
+			}
+			r.file, r.err = parser.ParseFile(fset, jobs[i].path, r.src, parser.ParseComments|parser.SkipObjectResolution)
+		}()
+	}
+	wg.Wait()
+
+	// Assemble packages in the deterministic walk order, failing on the
+	// first (walk-ordered) parse error.
+	raws := map[string]*rawPkg{} // by import path
+	for i, job := range jobs {
+		if parsed[i].err != nil {
+			return nil, parsed[i].err
+		}
+		importPath := modPath
+		if job.rel != "." {
+			importPath = modPath + "/" + job.rel
+		}
+		rp := raws[importPath]
+		if rp == nil {
+			rp = &rawPkg{path: importPath, dir: job.rel, src: map[string][]byte{}}
+			raws[importPath] = rp
+		}
+		file := parsed[i].file
+		rp.src[filepath.Base(job.path)] = parsed[i].src
+		switch {
+		case strings.HasSuffix(job.path, "_test.go") && strings.HasSuffix(file.Name.Name, "_test"):
+			rp.extTest = append(rp.extTest, file)
+		case strings.HasSuffix(job.path, "_test.go"):
+			rp.inTest = append(rp.inTest, file)
+		default:
+			rp.base = append(rp.base, file)
+		}
 	}
 
 	// Record module-internal dependencies for topological checking.
@@ -167,56 +203,125 @@ func Load(root string) (*Module, error) {
 	checked := map[string]*types.Package{}
 	imp := &moduleImporter{modPath: modPath, checked: checked, std: std}
 
-	// Pass 1: base packages in dependency order, for import resolution.
+	// Pass 1: base packages, wave-parallel. Packages are grouped into
+	// dependency levels (a package's level is one past its deepest
+	// module-internal dependency); every package within a level can
+	// type-check concurrently because its imports all resolved in earlier
+	// levels. The shared source importer is serialized inside
+	// moduleImporter, and results land in the coordinator between waves,
+	// so checked/baseInfo never see concurrent writes. Errors surface in
+	// import-path order for deterministic output.
 	order, err := topoOrder(raws)
 	if err != nil {
 		return nil, err
 	}
 	baseInfo := map[string]*types.Info{}
-	for _, path := range order {
-		rp := raws[path]
-		if len(rp.base) == 0 {
-			continue
+	level := map[string]int{}
+	maxLevel := 0
+	for _, path := range order { // topological: dependencies come first
+		lvl := 0
+		for _, dep := range raws[path].deps {
+			if _, ok := raws[dep]; ok && level[dep]+1 > lvl {
+				lvl = level[dep] + 1
+			}
 		}
-		pkg, info, err := check(fset, imp, path, rp.base)
-		if err != nil {
-			return nil, err
+		level[path] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
 		}
-		checked[path] = pkg
-		baseInfo[path] = info
+	}
+	type checkResult struct {
+		pkg  *types.Package
+		info *types.Info
+		err  error
+	}
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		var wave []string
+		for _, path := range order {
+			if level[path] == lvl && len(raws[path].base) > 0 {
+				wave = append(wave, path)
+			}
+		}
+		sort.Strings(wave) // errors below surface in import-path order
+		results := make([]checkResult, len(wave))
+		var cwg sync.WaitGroup
+		for i := range wave {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r := &results[i]
+				r.pkg, r.info, r.err = check(fset, imp, wave[i], raws[wave[i]].base)
+			}()
+		}
+		cwg.Wait()
+		for i := range results {
+			if results[i].err != nil {
+				return nil, results[i].err
+			}
+		}
+		for i, path := range wave {
+			checked[path] = results[i].pkg
+			baseInfo[path] = results[i].info
+		}
 	}
 
-	// Pass 2: analysis units. A package with in-package test files is
-	// re-checked with them included (imports still resolve to the pass-1
-	// objects, so import cycles through test files cannot occur);
+	// Pass 2: analysis units, fully parallel — every unit's imports
+	// resolve to the pass-1 objects (so import cycles through test files
+	// cannot occur), making the units independent of each other. A package
+	// with in-package test files is re-checked with them included;
 	// external test packages become their own units.
-	mod := &Module{Root: absRoot, Path: modPath, Fset: fset}
+	type unitJob struct {
+		path    string
+		rp      *rawPkg
+		files   []*ast.File
+		recheck bool // needs its own type-check (merged or external unit)
+	}
+	var units []unitJob
 	for _, path := range order {
 		rp := raws[path]
 		if len(rp.base) > 0 {
-			files, pkg, info := rp.base, checked[path], baseInfo[path]
+			u := unitJob{path: path, rp: rp, files: rp.base}
 			if len(rp.inTest) > 0 {
-				files = append(append([]*ast.File{}, rp.base...), rp.inTest...)
-				sortFilesByName(fset, files)
-				var err error
-				pkg, info, err = check(fset, imp, path, files)
-				if err != nil {
-					return nil, err
-				}
+				u.files = append(append([]*ast.File{}, rp.base...), rp.inTest...)
+				sortFilesByName(fset, u.files)
+				u.recheck = true
 			}
-			mod.Pkgs = append(mod.Pkgs, &Package{
-				Path: path, ModPath: modPath, Dir: rp.dir, Fset: fset, Files: files, Src: rp.src, Info: info, Types: pkg,
-			})
+			units = append(units, u)
 		}
 		if len(rp.extTest) > 0 {
-			pkg, info, err := check(fset, imp, path+"_test", rp.extTest)
-			if err != nil {
-				return nil, err
-			}
-			mod.Pkgs = append(mod.Pkgs, &Package{
-				Path: path + "_test", ModPath: modPath, Dir: rp.dir, Fset: fset, Files: rp.extTest, Src: rp.src, Info: info, Types: pkg,
-			})
+			units = append(units, unitJob{path: path + "_test", rp: rp, files: rp.extTest, recheck: true})
 		}
+	}
+	unitResults := make([]checkResult, len(units))
+	var uwg sync.WaitGroup
+	for i := range units {
+		uwg.Add(1)
+		go func() {
+			defer uwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := &unitResults[i]
+			u := units[i]
+			if !u.recheck {
+				r.pkg, r.info = checked[u.path], baseInfo[u.path]
+				return
+			}
+			r.pkg, r.info, r.err = check(fset, imp, u.path, u.files)
+		}()
+	}
+	uwg.Wait()
+
+	mod := &Module{Root: absRoot, Path: modPath, Fset: fset}
+	for i, u := range units {
+		if unitResults[i].err != nil {
+			return nil, unitResults[i].err
+		}
+		mod.Pkgs = append(mod.Pkgs, &Package{
+			Path: u.path, ModPath: modPath, Dir: u.rp.dir, Fset: fset,
+			Files: u.files, Src: u.rp.src, Info: unitResults[i].info, Types: unitResults[i].pkg,
+		})
 	}
 	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
 	return mod, nil
@@ -251,14 +356,22 @@ func check(fset *token.FileSet, imp types.Importer, path string, files []*ast.Fi
 }
 
 // moduleImporter resolves module-internal imports from the loaded set
-// and everything else through the stdlib source importer.
+// and everything else through the stdlib source importer. Import is
+// safe for concurrent use: the stdlib source importer type-checks
+// standard-library source on demand and is not itself concurrency-safe,
+// so the whole lookup is serialized under mu. (Per-worker importers
+// would be faster but would break type identity — two copies of
+// sync.Mutex would no longer be the same types.Type.)
 type moduleImporter struct {
 	modPath string
+	mu      sync.Mutex
 	checked map[string]*types.Package
 	std     types.Importer
 }
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
 		pkg, ok := m.checked[path]
 		if !ok {

@@ -1,0 +1,528 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockSafety returns the locksafety analyzer: lock discipline for
+// sync.Mutex/sync.RWMutex in non-test code, checked over the
+// intra-procedural CFG (cfg.go).
+//
+// Four rules:
+//
+//  1. No copying of lock-bearing values — by assignment, by-value call
+//     arguments, by-value method receivers, or range iteration. A
+//     copied mutex guards nothing.
+//  2. Every Lock/RLock must be paired with an Unlock/RUnlock or a
+//     defer Unlock on every return path of the same function
+//     (must-held dataflow: only locks held on ALL paths to a return
+//     are reported, so conditionally-taken locks never false-positive).
+//  3. No second Lock of an expression already write-locked, and no
+//     Lock while the same expression is read-locked — the classic
+//     self-deadlock. RLock after RLock is legal and allowed.
+//  4. No blocking operation while any lock is held: channel send or
+//     receive, range over a channel, select without a default clause,
+//     and a conservative blocklist of known-blocking calls
+//     (WaitGroup.Wait, Cond.Wait, Once.Do, time.Sleep, io.Copy/ReadAll,
+//     net dial/listen/accept, http client calls, exec waits). Locking
+//     a *different* mutex is deliberately not on the list — nested
+//     distinct locks are normal.
+//
+// Functions using goto are skipped (the CFG does not model it); lock
+// flow through function literals is analyzed per literal.
+func LockSafety() *Analyzer {
+	return &Analyzer{
+		Name: "locksafety",
+		Doc:  "no lock copies, leaked Locks, double-locks, or blocking calls under a held sync.Mutex/RWMutex",
+		Run:  runLockSafety,
+	}
+}
+
+// blockingCalls is the conservative known-blocking blocklist, package
+// path → function/method names. Method names match any receiver in the
+// package (sync's only Wait/Do methods are the blocking ones).
+var blockingCalls = map[string]map[string]bool{
+	"sync":     {"Wait": true, "Do": true},
+	"time":     {"Sleep": true},
+	"io":       {"ReadAll": true, "Copy": true, "CopyN": true, "ReadFull": true, "ReadAtLeast": true},
+	"net":      {"Dial": true, "DialTimeout": true, "Listen": true, "ListenPacket": true, "Accept": true, "AcceptTCP": true},
+	"net/http": {"Get": true, "Head": true, "Post": true, "PostForm": true, "Do": true, "ListenAndServe": true, "Serve": true},
+	"os/exec":  {"Run": true, "Wait": true, "Output": true, "CombinedOutput": true},
+}
+
+func runLockSafety(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		checkLockCopies(pass, info, f)
+		// Analyze every function body — declarations and literals —
+		// independently: lock state is intra-procedural.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					analyzeLockFlow(pass, info, n.Body)
+				}
+			case *ast.FuncLit:
+				analyzeLockFlow(pass, info, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// --- rule 1: lock copies -------------------------------------------------
+
+// checkLockCopies reports copies of lock-bearing values anywhere in f.
+func checkLockCopies(pass *Pass, info *types.Info, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) > 0 {
+				rt := info.TypeOf(n.Recv.List[0].Type)
+				if rt != nil && containsLock(rt, nil) {
+					pass.Reportf(n.Recv.List[0].Type.Pos(),
+						"method %s has a value receiver of lock-bearing type %s — every call copies the lock; use a pointer receiver",
+						n.Name.Name, rt)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if e := copiedLockExpr(info, rhs); e != nil {
+					pass.Reportf(rhs.Pos(),
+						"assignment copies lock-bearing value of type %s; share locks by pointer, never by value, or annotate",
+						info.TypeOf(e))
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				if e := copiedLockExpr(info, v); e != nil {
+					pass.Reportf(v.Pos(),
+						"declaration copies lock-bearing value of type %s; share locks by pointer, never by value, or annotate",
+						info.TypeOf(e))
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if e := copiedLockExpr(info, arg); e != nil {
+					pass.Reportf(arg.Pos(),
+						"call passes lock-bearing value of type %s by value; pass a pointer, or annotate",
+						info.TypeOf(e))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if vt := info.TypeOf(n.Value); vt != nil && containsLock(vt, nil) {
+					pass.Reportf(n.Value.Pos(),
+						"range copies a lock-bearing %s per iteration; iterate by index or over pointers, or annotate", vt)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copiedLockExpr returns the expression if evaluating it copies an
+// existing lock-bearing value: a variable, field, dereference, or
+// element of lock-bearing type. Fresh values (composite literals, calls
+// constructing a value) and pointers are fine.
+func copiedLockExpr(info *types.Info, e ast.Expr) ast.Expr {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return nil
+	}
+	t := info.TypeOf(e)
+	if t == nil || !containsLock(t, nil) {
+		return nil
+	}
+	return e
+}
+
+// containsLock reports whether t transitively contains a sync.Mutex or
+// sync.RWMutex by value. seen guards recursive types.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if isSyncLockType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// isSyncLockType reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLockType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// --- rules 2–4: lock flow over the CFG -----------------------------------
+
+// heldLock is one acquired lock: its mode and the position of the
+// acquiring call (where leaks are reported).
+type heldLock struct {
+	write bool
+	pos   token.Pos
+}
+
+// lockState is the dataflow fact: must-held locks keyed by the lock
+// expression's printed form, plus the may-deferred unlock set.
+type lockState struct {
+	held     map[string]heldLock
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]heldLock{}, deferred: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// merge folds an incoming edge state into s: held by intersection
+// (must-analysis — a write mode wins so double-Lock stays reported),
+// deferred by union (may-analysis). Reports whether s changed.
+func (s *lockState) merge(in *lockState) bool {
+	changed := false
+	for k := range s.held {
+		if _, ok := in.held[k]; !ok {
+			delete(s.held, k)
+			changed = true
+		}
+	}
+	for k := range in.deferred {
+		if !s.deferred[k] {
+			s.deferred[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// lockFlow carries one function body's analysis.
+type lockFlow struct {
+	pass *Pass
+	info *types.Info
+	cfg  *CFG
+	// reported dedups diagnostics across the reporting pass (several
+	// return blocks can observe the same leaked lock).
+	reported map[string]bool
+}
+
+// analyzeLockFlow runs rules 2–4 over one function body.
+func analyzeLockFlow(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	if !mentionsSyncLock(info, body) {
+		return
+	}
+	cfg := BuildCFG(body, func(call *ast.CallExpr) bool { return isTerminalCall(info, call) })
+	if cfg.Unsupported {
+		return
+	}
+	la := &lockFlow{pass: pass, info: info, cfg: cfg, reported: map[string]bool{}}
+
+	// Fixpoint over block entry states, silently.
+	in := map[*Block]*lockState{cfg.Entry: newLockState()}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[blk].clone()
+		la.transfer(blk, out, nil)
+		for _, succ := range blk.Succs {
+			if cur, ok := in[succ]; !ok {
+				in[succ] = out.clone()
+				work = append(work, succ)
+			} else if cur.merge(out) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Reporting pass over the stable states, in block order for
+	// deterministic output (diagnostics are globally sorted anyway).
+	for _, blk := range cfg.Blocks {
+		st, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		out := st.clone()
+		la.transfer(blk, out, la.report)
+		if blk.Returns || blk.FallsOff {
+			for _, key := range sortedLockKeys(out.held) {
+				if out.deferred[key] {
+					continue
+				}
+				hl := out.held[key]
+				la.report(hl.pos, "%s is locked here but not unlocked on every return path; pair the %s with an %s or defer it, or annotate",
+					key, lockName(hl.write), unlockName(hl.write))
+			}
+		}
+	}
+}
+
+func lockName(write bool) string {
+	if write {
+		return "Lock"
+	}
+	return "RLock"
+}
+
+func unlockName(write bool) string {
+	if write {
+		return "Unlock"
+	}
+	return "RUnlock"
+}
+
+// report emits a diagnostic at most once per (position, message).
+func (la *lockFlow) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if la.reported[key] {
+		return
+	}
+	la.reported[key] = true
+	la.pass.Reportf(pos, "%s", msg)
+}
+
+// transfer walks one block's nodes, updating st. report is nil during
+// the fixpoint and non-nil during the reporting pass.
+func (la *lockFlow) transfer(blk *Block, st *lockState, report func(token.Pos, string, ...any)) {
+	for _, node := range blk.Nodes {
+		switch n := node.(type) {
+		case *ast.SelectStmt:
+			// Clause bodies live in their own blocks; only the select's
+			// own blocking behaviour is decided here.
+			if !selectHasDefault(n) {
+				la.blocking(n.Pos(), "select without a default clause", st, report)
+			}
+		case *ast.RangeStmt:
+			// The body lives in other blocks; only the subject is ours.
+			la.visit(n.X, false, st, report)
+			if t := la.info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					la.blocking(n.Pos(), "range over a channel", st, report)
+				}
+			}
+		default:
+			la.visit(node, la.cfg.SelectComms[node], st, report)
+		}
+	}
+}
+
+// visit scans one straight-line node. isComm suppresses top-level
+// channel-operation reports: a select comm blocks as part of its
+// select, never independently.
+func (la *lockFlow) visit(node ast.Node, isComm bool, st *lockState, report func(token.Pos, string, ...any)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own function
+		case *ast.DeferStmt:
+			la.deferStmt(n, st)
+			return false
+		case *ast.GoStmt:
+			// The spawned call runs elsewhere; only its arguments are
+			// evaluated here.
+			for _, arg := range n.Call.Args {
+				la.visit(arg, false, st, report)
+			}
+			return false
+		case *ast.CallExpr:
+			la.call(n, st, report)
+		case *ast.SendStmt:
+			if !isComm {
+				la.blocking(n.Arrow, "channel send", st, report)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !isComm {
+				la.blocking(n.OpPos, "channel receive", st, report)
+			}
+		}
+		return true
+	})
+}
+
+// deferStmt records deferred unlocks — direct (defer mu.Unlock()) or
+// wrapped in an immediately-deferred literal (defer func(){ mu.Unlock() }()).
+func (la *lockFlow) deferStmt(d *ast.DeferStmt, st *lockState) {
+	if recv, name, ok := syncLockCall(la.info, d.Call); ok && (name == "Unlock" || name == "RUnlock") {
+		st.deferred[types.ExprString(ast.Unparen(recv))] = true
+		return
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if recv, name, ok := syncLockCall(la.info, call); ok && (name == "Unlock" || name == "RUnlock") {
+					st.deferred[types.ExprString(ast.Unparen(recv))] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// call applies a call's effect: lock/unlock state transitions, the
+// double-lock check, and the blocking blocklist.
+func (la *lockFlow) call(call *ast.CallExpr, st *lockState, report func(token.Pos, string, ...any)) {
+	if recv, name, ok := syncLockCall(la.info, call); ok {
+		key := types.ExprString(ast.Unparen(recv))
+		switch name {
+		case "Lock", "RLock":
+			write := name == "Lock"
+			if prev, held := st.held[key]; held {
+				if write || prev.write {
+					if report != nil {
+						report(call.Pos(), "%s.%s() while %s is already %s-locked (line %d) — this deadlocks; unlock first, or annotate",
+							key, name, key, lockName(prev.write), la.pass.Pkg.Fset.Position(prev.pos).Line)
+					}
+					return // keep the original acquisition
+				}
+				return // RLock after RLock: legal, keep the first
+			}
+			st.held[key] = heldLock{write: write, pos: call.Pos()}
+		case "Unlock", "RUnlock":
+			delete(st.held, key)
+		}
+		return
+	}
+	fn := calleeFunc(la.info, call)
+	if fn == nil {
+		return
+	}
+	if names := blockingCalls[funcPkgPath(fn)]; names != nil && names[fn.Name()] {
+		la.blocking(call.Pos(), fmt.Sprintf("call to %s", fn.FullName()), st, report)
+	}
+}
+
+// blocking reports op happening while any lock is held.
+func (la *lockFlow) blocking(pos token.Pos, op string, st *lockState, report func(token.Pos, string, ...any)) {
+	if report == nil || len(st.held) == 0 {
+		return
+	}
+	key := sortedLockKeys(st.held)[0]
+	report(pos, "blocking %s while holding %s (locked line %d); shrink the critical section, or annotate",
+		op, key, la.pass.Pkg.Fset.Position(st.held[key].pos).Line)
+}
+
+// syncLockCall classifies call as a Lock/RLock/Unlock/RUnlock method
+// call on a sync.Mutex or sync.RWMutex, returning the receiver
+// expression (the lock's identity).
+func syncLockCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "sync" || !isMethod(fn) {
+		return nil, "", false
+	}
+	if !in(fn.Name(), "Lock", "RLock", "Unlock", "RUnlock") {
+		return nil, "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	if !isSyncLockType(rt) {
+		return nil, "", false
+	}
+	return sel.X, fn.Name(), true
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// runtime.Goexit, and the log.Fatal family.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return b.Name() == "panic"
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	switch funcPkgPath(fn) {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return in(fn.Name(), "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln")
+	}
+	return false
+}
+
+// mentionsSyncLock is the fast path: a body with no sync lock calls
+// needs no CFG.
+func mentionsSyncLock(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, ok := syncLockCall(info, call); ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedLockKeys returns held's keys in sorted order for deterministic
+// reporting.
+func sortedLockKeys(held map[string]heldLock) []string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -7,16 +7,11 @@ import (
 	"testing"
 )
 
-// TestInjectedCrossUnitCastFailsLint verifies the unitsafety gate end to
-// end on the real codebase, not just the fixture: a copy of the module's
-// internal tree with a units.Joules(m.Speed) cross-unit cast injected
-// into internal/core must come back with exactly that active diagnostic
-// — the condition under which `make lint` (and so `make ci`) exits
-// non-zero. Copying into t.TempDir keeps the poison out of the repo.
-func TestInjectedCrossUnitCastFailsLint(t *testing.T) {
-	if testing.Short() {
-		t.Skip("type-checks a copy of the internal tree; skipped in -short")
-	}
+// copyModuleTree copies the real module — go.mod, the root package's
+// non-test files, and the full internal tree — into a temp dir so tests
+// can inject violations without touching the repo.
+func copyModuleTree(t *testing.T) string {
+	t.Helper()
 	root := t.TempDir()
 	src := filepath.Join("..", "..")
 	// The root uavdc package rides along (internal/serve imports it);
@@ -43,6 +38,20 @@ func TestInjectedCrossUnitCastFailsLint(t *testing.T) {
 	if err := os.CopyFS(filepath.Join(root, "internal"), os.DirFS(filepath.Join(src, "internal"))); err != nil {
 		t.Fatalf("copy internal tree: %v", err)
 	}
+	return root
+}
+
+// TestInjectedCrossUnitCastFailsLint verifies the unitsafety gate end to
+// end on the real codebase, not just the fixture: a copy of the module's
+// internal tree with a units.Joules(m.Speed) cross-unit cast injected
+// into internal/core must come back with exactly that active diagnostic
+// — the condition under which `make lint` (and so `make ci`) exits
+// non-zero. Copying into t.TempDir keeps the poison out of the repo.
+func TestInjectedCrossUnitCastFailsLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a copy of the internal tree; skipped in -short")
+	}
+	root := copyModuleTree(t)
 	poison := `package core
 
 import (
@@ -74,5 +83,91 @@ func InjectedBudget(m energy.Model) units.Joules {
 	if d.Analyzer != "unitsafety" || d.Path != "internal/core/zz_injected.go" ||
 		!strings.Contains(d.Message, "cross-unit conversion units.MetersPerSecond → units.Joules") {
 		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+}
+
+// TestInjectedConcurrencyViolationsFailLint does the same for the three
+// concurrency-contract analyzers in one pass: a copy of the module with
+// one violation per analyzer injected — a leaked lock, a detached
+// goroutine, and a stale wire tag — must come back with exactly those
+// three active diagnostics and nothing else.
+func TestInjectedConcurrencyViolationsFailLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a copy of the internal tree; skipped in -short")
+	}
+	root := copyModuleTree(t)
+	poisons := []struct{ name, src string }{
+		{"zz_locksafety.go", `package core
+
+import "sync"
+
+type injectedGuard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// injectedLeak deliberately leaks the lock on the early return.
+func (g *injectedGuard) injectedLeak(flag bool) int {
+	g.mu.Lock()
+	if flag {
+		return 0
+	}
+	g.mu.Unlock()
+	return g.n
+}
+`},
+		{"zz_golifecycle.go", `package core
+
+// injectedSpawn deliberately detaches a goroutine.
+func injectedSpawn(out *int) {
+	go func() {
+		*out = 1
+	}()
+}
+`},
+		{"zz_wirefmt.go", `package core
+
+// injectedSchema deliberately pins a stale wire version.
+const injectedSchema = "uavdc-oplog/2"
+`},
+	}
+	for _, p := range poisons {
+		if err := os.WriteFile(filepath.Join(root, "internal", "core", p.name), []byte(p.src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(copied module): %v", err)
+	}
+	active := Active(Run(mod, All()))
+	if len(active) != 3 {
+		for _, d := range active {
+			t.Logf("active: %s", d.String())
+		}
+		t.Fatalf("got %d active diagnostics, want exactly the three injected ones", len(active))
+	}
+	want := []struct{ analyzer, path, msg string }{
+		{"locksafety", "internal/core/zz_locksafety.go", "locked here but not unlocked on every return path"},
+		{"golifecycle", "internal/core/zz_golifecycle.go", "not tied to a shutdown path"},
+		{"wirefmt", "internal/core/zz_wirefmt.go", `pins version 2 but the registry's current version is 1`},
+	}
+	seen := map[string]bool{}
+	for _, d := range active {
+		seen[d.Analyzer] = true
+	}
+	for _, w := range want {
+		if !seen[w.analyzer] {
+			t.Errorf("injected %s violation did not fire", w.analyzer)
+			continue
+		}
+		for _, d := range active {
+			if d.Analyzer != w.analyzer {
+				continue
+			}
+			if d.Path != w.path || !strings.Contains(d.Message, w.msg) {
+				t.Errorf("%s: unexpected diagnostic: %s", w.analyzer, d.String())
+			}
+		}
 	}
 }

@@ -154,6 +154,13 @@ func scanSuppressions(pkg *Package, f *ast.File, known map[string]bool) (*fileSu
 				for commentLines[target] {
 					target++
 				}
+				if target > pkg.Fset.File(c.Pos()).LineCount() {
+					// Nothing follows the directive — it can never
+					// suppress anything, which is a typo-shaped mistake,
+					// not a deliberate one.
+					report(c, fmt.Errorf("uavdc:allow %s suppresses nothing: no statement follows it", d.Analyzer))
+					continue
+				}
 			}
 			fs.byLine[target] = append(fs.byLine[target], d)
 		}

@@ -1,6 +1,9 @@
 package lint
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"strings"
 	"testing"
 )
@@ -35,6 +38,140 @@ func TestParseAllowDirective(t *testing.T) {
 		if err == nil && ok && (d.Analyzer != c.analyzer || d.Reason != c.reason) {
 			t.Errorf("ParseAllowDirective(%q) = %+v, want {%s %s}", c.text, d, c.analyzer, c.reason)
 		}
+	}
+}
+
+// scanTestFile runs scanSuppressions over a synthetic one-file package,
+// with floateq/errdrop/nodeterminism as the known analyzers.
+func scanTestFile(t *testing.T, src string) (*fileSuppressions, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{
+		Path: "uavdc/internal/s", ModPath: "uavdc", Dir: "internal/s", Fset: fset,
+		Files: []*ast.File{f}, Src: map[string][]byte{"s.go": []byte(src)},
+	}
+	known := map[string]bool{"floateq": true, "errdrop": true, "nodeterminism": true}
+	return scanSuppressions(pkg, f, known)
+}
+
+// TestScanSuppressionsStacked locks the stacking rule: several
+// standalone directives above one statement all cover that statement,
+// skipping over each other (comment-only lines) on the way down.
+func TestScanSuppressionsStacked(t *testing.T) {
+	fs, malformed := scanTestFile(t, `package s
+
+func f() {
+	//uavdc:allow floateq first reason
+	//uavdc:allow errdrop second reason
+	_ = 1
+}
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", malformed)
+	}
+	const codeLine = 6
+	if _, ok := fs.covers("floateq", codeLine); !ok {
+		t.Error("first stacked directive does not cover the statement line")
+	}
+	if _, ok := fs.covers("errdrop", codeLine); !ok {
+		t.Error("second stacked directive does not cover the statement line")
+	}
+	for line := 4; line <= 5; line++ {
+		if _, ok := fs.covers("floateq", line); ok {
+			t.Errorf("directive covers its own comment line %d", line)
+		}
+	}
+}
+
+// TestScanSuppressionsLastLine: a standalone directive on the file's
+// last line has no statement to cover; it is reported as a directive
+// diagnostic (a suppression that can never fire is a typo-shaped
+// mistake) and suppresses nothing.
+func TestScanSuppressionsLastLine(t *testing.T) {
+	fs, malformed := scanTestFile(t, "package s\n\nvar x = 1\n\n//uavdc:allow floateq dangling at end of file\n")
+	if len(malformed) != 1 {
+		t.Fatalf("got %d directive diagnostics, want 1: %v", len(malformed), malformed)
+	}
+	d := malformed[0]
+	if d.Analyzer != DirectiveAnalyzer || d.Line != 5 || !strings.Contains(d.Message, "suppresses nothing") {
+		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+	for line := 1; line <= 7; line++ {
+		if reason, ok := fs.covers("floateq", line); ok {
+			t.Errorf("dangling end-of-file directive covers line %d (%q)", line, reason)
+		}
+	}
+}
+
+// TestScanSuppressionsCRLF: Windows line endings must not confuse the
+// trailing-vs-standalone decision — the \r before a trailing comment is
+// whitespace, not code, and a standalone directive still finds the next
+// statement line.
+func TestScanSuppressionsCRLF(t *testing.T) {
+	src := strings.Join([]string{
+		"package s",
+		"",
+		"var a = 1 //uavdc:allow floateq trailing with crlf",
+		"",
+		"//uavdc:allow errdrop standalone with crlf",
+		"var b = 2",
+		"",
+	}, "\r\n")
+	fs, malformed := scanTestFile(t, src)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", malformed)
+	}
+	if _, ok := fs.covers("floateq", 3); !ok {
+		t.Error("trailing directive on a CRLF line does not cover its own line")
+	}
+	if _, ok := fs.covers("errdrop", 6); !ok {
+		t.Error("standalone directive in a CRLF file does not cover the next statement line")
+	}
+	if _, ok := fs.covers("errdrop", 5); ok {
+		t.Error("standalone directive in a CRLF file covers its own comment line")
+	}
+}
+
+// TestScanSuppressionsUnknownAnalyzer: a directive naming an analyzer
+// outside the known set is a diagnostic under the directive
+// pseudo-analyzer, and suppresses nothing.
+func TestScanSuppressionsUnknownAnalyzer(t *testing.T) {
+	fs, malformed := scanTestFile(t, `package s
+
+var a = 1 //uavdc:allow bogus misspelled analyzer
+`)
+	if len(malformed) != 1 {
+		t.Fatalf("got %d directive diagnostics, want 1: %v", len(malformed), malformed)
+	}
+	d := malformed[0]
+	if d.Analyzer != DirectiveAnalyzer || d.Line != 3 || !strings.Contains(d.Message, `unknown analyzer "bogus"`) {
+		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+	if _, ok := fs.covers("bogus", 3); ok {
+		t.Error("unknown-analyzer directive still registered a suppression")
+	}
+}
+
+// TestScanSuppressionsMalformed: a directive with a typo'd verb or a
+// missing reason is reported, never silently dropped.
+func TestScanSuppressionsMalformed(t *testing.T) {
+	_, malformed := scanTestFile(t, `package s
+
+var a = 1 //uavdc:deny floateq wrong verb
+var b = 2 //uavdc:allow floateq
+`)
+	if len(malformed) != 2 {
+		t.Fatalf("got %d directive diagnostics, want 2: %v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "unknown uavdc directive") {
+		t.Errorf("verb typo not reported: %s", malformed[0].String())
+	}
+	if !strings.Contains(malformed[1].Message, "missing reason") {
+		t.Errorf("missing reason not reported: %s", malformed[1].String())
 	}
 }
 

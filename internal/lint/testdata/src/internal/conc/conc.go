@@ -1,0 +1,133 @@
+// Package conc is the concurrency fixture: locksafety, golifecycle,
+// and wirefmt positives, suppressed cases, and clean baselines.
+package conc
+
+import "sync"
+
+// Store is the well-behaved baseline: pointer receivers, paired locks.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc is clean: Lock paired with a deferred Unlock.
+func (s *Store) Inc() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// LeakLock leaks the lock on the early return path.
+func (s *Store) LeakLock(flag bool) int {
+	s.mu.Lock()
+	if flag {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// LeakLockAllowed is the same leak, deliberately annotated.
+func (s *Store) LeakLockAllowed(flag bool) int {
+	s.mu.Lock() //uavdc:allow locksafety fixture: deliberate leak on the early return
+	if flag {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// DoubleLock self-deadlocks.
+func (s *Store) DoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// BlockUnderLock sends on a channel inside the critical section.
+func (s *Store) BlockUnderLock(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n
+	s.mu.Unlock()
+}
+
+// NonBlockingUnderLock is clean: a select with a default clause never
+// blocks, so holding the lock across it is fine.
+func (s *Store) NonBlockingUnderLock(ch chan int) {
+	s.mu.Lock()
+	select {
+	case ch <- s.n:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot copies the lock-bearing struct.
+func Snapshot(s *Store) Store {
+	v := *s
+	return v
+}
+
+// SnapshotAllowed is the same copy, deliberately annotated.
+func SnapshotAllowed(s *Store) Store {
+	v := *s //uavdc:allow locksafety fixture: copy of a quiesced value
+	return v
+}
+
+// Counter has a value receiver that copies its lock on every call.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Read copies c (and c.mu) per call.
+func (c Counter) Read() int {
+	return c.n
+}
+
+// SpawnDetached launches a goroutine with no shutdown path.
+func SpawnDetached(out *int) {
+	go func() {
+		*out = 1
+	}()
+}
+
+// SpawnDetachedAllowed is the same launch, deliberately annotated.
+func SpawnDetachedAllowed(out *int) {
+	go func() { //uavdc:allow golifecycle fixture: fire-and-forget by design
+		*out = 2
+	}()
+}
+
+// SpawnTracked is the clean baseline: one worker drained by a channel
+// close and WaitGroup, one watcher parked on a done channel.
+func SpawnTracked(stop chan struct{}, jobs chan int, out *int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := range jobs {
+			*out += j
+		}
+	}()
+	go func() {
+		<-stop
+		*out = -1
+	}()
+	wg.Wait()
+}
+
+// Wire tags resolve against the real module's internal/wire registry
+// (the analyzer links it at compile time): SchemaOK matches, the others
+// are the two failure modes plus a malformed name.
+const (
+	SchemaOK    = "uavdc-serve/1"
+	SchemaBogus = "uavdc-fixture-bogus/1"
+	SchemaStale = "uavdc-serve/99"
+)
+
+// SchemaMalformed's name violates the tag grammar (trailing dash).
+const SchemaMalformed = "uavdc-bad-/1"
+
+// SchemaStaleAllowed is a deliberately pinned old-style tag.
+const SchemaStaleAllowed = "uavdc-oplog/99" //uavdc:allow wirefmt fixture: pinned legacy tag

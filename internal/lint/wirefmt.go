@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+
+	"uavdc/internal/wire"
+)
+
+// WireFmt returns the wirefmt analyzer: every "uavdc-<name>/<version>"
+// occurrence in a non-test string literal must constant-fold into the
+// internal/wire registry — a registered schema name at its current
+// version. Bumping a schema in one encoder but not its decoder (or a
+// doc string) is then a lint failure, not a golden-test surprise; the
+// registry itself is cross-checked against EXPERIMENTS.md's
+// "Wire-format registry" table by internal/wire's tests.
+func WireFmt() *Analyzer {
+	return &Analyzer{
+		Name: "wirefmt",
+		Doc:  "every uavdc-<name>/<version> string literal must match the internal/wire registry, current version and all",
+		Run:  runWireFmt,
+	}
+}
+
+// wireTagRE matches candidate wire tags inside literals. The name
+// grammar mirrors wire.ParseTag; a malformed name ("uavdc-bad-/1")
+// still matches and is then reported as unregistered.
+var wireTagRE = regexp.MustCompile(`uavdc-[a-z][a-z0-9-]*/[0-9]+`)
+
+func runWireFmt(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for _, tag := range wireTagRE.FindAllString(s, -1) {
+				name, version, err := wire.ParseTag(tag)
+				if err != nil {
+					pass.Reportf(lit.Pos(), "wire tag %q is malformed; see internal/wire's tag grammar, or annotate", tag)
+					continue
+				}
+				current, registered := wire.Current(name)
+				if !registered {
+					pass.Reportf(lit.Pos(), "wire schema %q is not registered; add it to internal/wire (and the EXPERIMENTS.md wire-format table), or annotate", tag)
+					continue
+				}
+				if version != current {
+					pass.Reportf(lit.Pos(), "wire tag %q pins version %d but the registry's current version is %d (internal/wire); use the wire constant, or annotate", tag, version, current)
+				}
+			}
+			return true
+		})
+	}
+}

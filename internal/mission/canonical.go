@@ -1,9 +1,12 @@
 package mission
 
-import "uavdc/internal/canon"
+import (
+	"uavdc/internal/canon"
+	"uavdc/internal/wire"
+)
 
 // canonTag versions the campaign-knob key extension.
-const canonTag = "uavdc-mission/1"
+const canonTag = wire.Mission
 
 // CanonKey widens a single-sortie instance key with the campaign knobs:
 // the sortie cap, the stopping volume, the recharge turnaround, and the

@@ -1,9 +1,12 @@
 package multi
 
-import "uavdc/internal/canon"
+import (
+	"uavdc/internal/canon"
+	"uavdc/internal/wire"
+)
 
 // canonTag versions the fleet-knob key extension.
-const canonTag = "uavdc-multi/1"
+const canonTag = wire.Multi
 
 // CanonKey widens a single-UAV instance key with the fleet knobs: fleet
 // size, partition strategy, and the k-means seed. The base planner enters

@@ -25,12 +25,14 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"uavdc/internal/wire"
 )
 
 // Schema is the version tag of the JSONL op-log format. The first line
 // of a stream is a header object {"schema": Schema} (plus "strip": true
 // for deterministic streams); every following line is one Record.
-const Schema = "uavdc-oplog/1"
+const Schema = wire.Oplog
 
 // Request dispositions. Exactly one is assigned per request: what the
 // serving layer did with it.

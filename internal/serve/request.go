@@ -16,10 +16,11 @@ import (
 	"fmt"
 
 	"uavdc"
+	"uavdc/internal/wire"
 )
 
 // Schema tags every uavdc-serve/1 request and response body.
-const Schema = "uavdc-serve/1"
+const Schema = wire.Serve
 
 // SensorSpec is one sensor in the request field.
 type SensorSpec struct {

@@ -8,16 +8,17 @@ import (
 
 	"uavdc/internal/obs"
 	"uavdc/internal/oplog"
+	"uavdc/internal/wire"
 )
 
 // WindowSchema tags the /debug/window JSON body.
-const WindowSchema = "uavdc-window/1"
+const WindowSchema = wire.Window
 
 // RuntimeSchema tags the /debug/runtime JSON body.
-const RuntimeSchema = "uavdc-runtime/1"
+const RuntimeSchema = wire.Runtime
 
 // HealthSchema tags the /healthz JSON body.
-const HealthSchema = "uavdc-health/1"
+const HealthSchema = wire.Health
 
 // oplogRingSize bounds the in-memory op-log ring behind /debug/oplog:
 // enough recent history for a live tail, small enough to never matter.

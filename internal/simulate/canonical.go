@@ -3,6 +3,7 @@ package simulate
 import (
 	"uavdc/internal/canon"
 	"uavdc/internal/radio"
+	"uavdc/internal/wire"
 )
 
 // CanonParts appends the physics knobs that change a simulation's outcome:
@@ -23,7 +24,7 @@ func (o Options) CanonParts(e *canon.Encoder) error {
 }
 
 // adaptiveCanonTag versions the adaptive-executor key extension.
-const adaptiveCanonTag = "uavdc-simulate-adaptive/1"
+const adaptiveCanonTag = wire.SimulateAdaptive
 
 // CanonKey widens an instance key with everything the adaptive executor's
 // outcome depends on: the simulation physics, the fault schedule, the

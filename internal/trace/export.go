@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"uavdc/internal/wire"
 )
 
 // Schema is the version tag of the JSONL trace format. The first line of
@@ -14,7 +16,7 @@ import (
 // with "t" (wall seconds) omitted from stripped streams and "attrs"
 // omitted when empty. encoding/json sorts map keys, so for a fixed
 // record stream the bytes are deterministic.
-const Schema = "uavdc-trace/1"
+const Schema = wire.Trace
 
 type jsonHeader struct {
 	Schema string         `json:"schema"`
