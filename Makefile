@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race fuzz bench bench-micro benchparity fastpath golden golden-traces adaptive trace serve obs
+.PHONY: ci build vet lint lint-update pure test race fuzz bench bench-micro benchparity fastpath golden golden-traces adaptive trace serve obs
 
-ci: vet lint build race adaptive trace fastpath benchparity serve obs
+ci: vet lint pure build race adaptive trace fastpath benchparity serve obs
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,21 @@ lint:
 	elif [ $$code -ne 0 ]; then \
 		echo "make lint: lint engine error (exit $$code)" >&2; exit $$code; \
 	fi
+
+# Purity gate, named so CI logs call it out: the interprocedural
+# pureplan analyzer alone must find nothing reachable from the planner
+# entry points. `lint` already runs the full suite; this step pins the
+# plan-cache purity contract specifically (see CONTRIBUTING.md).
+pure:
+	$(GO) run ./cmd/uavlint -analyzers pureplan ./...
+
+# Rewrite the lint goldens after a deliberate analyzer or fixture
+# change: the fixture diagnostic stream (internal/lint) and the three
+# CLI goldens (cmd/uavlint: json, list, summary). Review the diff —
+# goldens are the analyzers' contract.
+lint-update:
+	$(GO) test ./internal/lint -run TestFixtureGolden -update
+	$(GO) test ./cmd/uavlint -run 'TestRunFixtureJSON|TestRunList|TestRunFixtureSummary' -update
 
 test:
 	$(GO) test ./...

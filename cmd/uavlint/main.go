@@ -10,12 +10,16 @@
 //
 //	uavlint [flags] [./... | path prefixes]
 //
-//	-C dir     module root to lint (default ".")
-//	-json      emit a uavdc-lint/2 JSON report instead of text
-//	-all       also print suppressed diagnostics (text mode)
-//	-summary   append a one-line finding/timing summary, with
-//	           per-analyzer wall time (text mode)
-//	-list      list the analyzers (name order) and exit
+//	-C dir        module root to lint (default ".")
+//	-json         emit a uavdc-lint/2 JSON report instead of text
+//	-all          also print suppressed diagnostics (text mode)
+//	-summary      append a one-line finding/timing summary, with
+//	              per-analyzer wall time (text mode)
+//	-list         list the analyzers (name order) and exit
+//	-analyzers    comma-separated subset of analyzers to run (default
+//	              all); an unknown name is a usage error. Directives for
+//	              analyzers outside the subset are neither applied nor
+//	              judged stale.
 //
 // With no arguments (or "./...") the whole module is linted. Other
 // arguments restrict output to packages whose module-relative directory
@@ -52,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		showAll  = fs.Bool("all", false, "also print suppressed diagnostics")
 		summary  = fs.Bool("summary", false, "append a one-line finding/timing summary")
 		listOnly = fs.Bool("list", false, "list the analyzers (name order) and exit")
+		subset   = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,6 +64,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outw, errs := errw.New(stdout), errw.New(stderr)
 	analyzers := lint.All()
 	sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
+	if *subset != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		seen := map[string]bool{}
+		for _, name := range strings.Split(*subset, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				errs.Printf("uavlint: -analyzers: unknown analyzer %q (run uavlint -list for the suite)\n", name)
+				return 2
+			}
+			if !seen[name] {
+				seen[name] = true
+				picked = append(picked, a)
+			}
+		}
+		if len(picked) == 0 {
+			errs.Printf("uavlint: -analyzers: empty subset\n")
+			return 2
+		}
+		analyzers = picked
+	}
 	if *listOnly {
 		for _, a := range analyzers {
 			outw.Printf("%-16s %s\n", a.Name, a.Doc)

@@ -52,7 +52,7 @@ func TestRunFixtureText(t *testing.T) {
 	}
 	out := stdout.String()
 	for _, want := range []string{"floateq", "nodeterminism", "obsnames", "errdrop", "unitsafety",
-		"locksafety", "golifecycle", "wirefmt", "directive"} {
+		"locksafety", "golifecycle", "wirefmt", "pureplan", "directive"} {
 		if !strings.Contains(out, want+": ") {
 			t.Errorf("text output missing %s diagnostics:\n%s", want, out)
 		}
@@ -93,7 +93,7 @@ func TestRunFixtureJSON(t *testing.T) {
 		t.Errorf("report = %+v", rep)
 	}
 	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop", "unitsafety",
-		"locksafety", "golifecycle", "wirefmt", "directive"} {
+		"locksafety", "golifecycle", "wirefmt", "pureplan", "directive"} {
 		if rep.Counts[name] == 0 {
 			t.Errorf("counts missing %s: %v", name, rep.Counts)
 		}
@@ -146,12 +146,70 @@ func TestRunList(t *testing.T) {
 		t.Errorf("-list not sorted by name: %v", names)
 	}
 	for _, name := range []string{"nodeterminism", "floateq", "obsnames", "errdrop", "unitsafety",
-		"locksafety", "golifecycle", "wirefmt"} {
+		"locksafety", "golifecycle", "wirefmt", "pureplan"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout.String())
 		}
 	}
 	checkGolden(t, "list", stdout.String())
+}
+
+// TestRunAnalyzersSubset: -analyzers restricts the run to the named
+// analyzers. Directives for analyzers outside the subset must be
+// neither "unknown analyzer" errors nor stale reports — a subset run
+// cannot judge them.
+func TestRunAnalyzersSubset(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixture, "-analyzers", "errdrop,floateq"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range []string{"nodeterminism", "obsnames", "unitsafety", "locksafety",
+		"golifecycle", "wirefmt", "pureplan"} {
+		if strings.Contains(out, " "+name+": ") {
+			t.Errorf("-analyzers errdrop,floateq leaked %s diagnostics:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "errdrop: ") || !strings.Contains(out, "floateq: ") {
+		t.Errorf("subset output missing the requested analyzers:\n%s", out)
+	}
+	for _, name := range []string{"nodeterminism", "obsnames", "pureplan", "wirefmt"} {
+		if strings.Contains(out, "unknown analyzer \""+name+"\"") {
+			t.Errorf("directives for non-run analyzer %s misreported as unknown (the full registry defines them):\n%s", name, out)
+		}
+	}
+	// The fixture's stale floateq directive is judged (floateq ran); the
+	// live nodeterminism/pureplan directives must not be called stale.
+	if !strings.Contains(out, "uavdc:allow floateq suppressed nothing") {
+		t.Errorf("stale floateq directive not reported in a run that includes floateq:\n%s", out)
+	}
+	if strings.Contains(out, "uavdc:allow nodeterminism suppressed nothing") ||
+		strings.Contains(out, "uavdc:allow pureplan suppressed nothing") {
+		t.Errorf("directives for analyzers outside the subset judged stale:\n%s", out)
+	}
+}
+
+// TestRunAnalyzersUnknown: an unknown name in -analyzers is a usage
+// error, exit 2, before any loading happens.
+func TestRunAnalyzersUnknown(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixture, "-analyzers", "errdrop,nosuchanalyzer"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("stderr = %q, want unknown-analyzer usage error", stderr.String())
+	}
+}
+
+// TestRunAnalyzersEmpty: an all-whitespace subset is a usage error.
+func TestRunAnalyzersEmpty(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixture, "-analyzers", " , "}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "empty subset") {
+		t.Errorf("stderr = %q, want empty-subset usage error", stderr.String())
+	}
 }
 
 func TestRunBadFlag(t *testing.T) {

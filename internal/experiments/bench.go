@@ -260,7 +260,7 @@ func speedupPanelsEqual(refVols, fastVols map[string]float64, refCalls, fastCall
 	}
 	for series, want := range refVols {
 		got, ok := fastVols[series]
-		if !ok || got != want { //uavdc:allow floateq bit-identity is the contract being verified
+		if !ok || got != want { // exact compare: bit-identity is the contract being verified
 			return false
 		}
 	}

@@ -30,7 +30,7 @@ func assertTablesBitEqual(t *testing.T, label string, ref, got *Table) {
 		}
 		for pi := range rs.Points {
 			rp, gp := rs.Points[pi], gs.Points[pi]
-			if gp.X != rp.X || gp.Volume != rp.Volume || gp.VolumeCI != rp.VolumeCI || gp.N != rp.N { //uavdc:allow floateq bit-identity is the parity contract
+			if gp.X != rp.X || gp.Volume != rp.Volume || gp.VolumeCI != rp.VolumeCI || gp.N != rp.N { // exact compare: bit-identity is the parity contract
 				t.Errorf("%s/%s[%d]: (x=%v vol=%v ci=%v n=%d), reference (x=%v vol=%v ci=%v n=%d)",
 					label, rs.Name, pi, gp.X, gp.Volume, gp.VolumeCI, gp.N, rp.X, rp.Volume, rp.VolumeCI, rp.N)
 			}

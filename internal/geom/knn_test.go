@@ -14,7 +14,7 @@ func bruteKNN(pts []Point, q Point, k int) []int32 {
 	}
 	sort.Slice(ids, func(a, b int) bool {
 		da, db := pts[ids[a]].Dist2(q), pts[ids[b]].Dist2(q)
-		if da != db { //uavdc:allow floateq exact tie-break mirrors KNearest's total order
+		if da != db { // exact compare: tie-break mirrors KNearest's total order
 			return da < db
 		}
 		return ids[a] < ids[b]

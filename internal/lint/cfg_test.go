@@ -225,6 +225,41 @@ func TestCFGGotoUnsupported(t *testing.T) {
 	}
 }
 
+func TestCFGBackwardGotoUnsupported(t *testing.T) {
+	// A backward goto forms a loop the builder refuses to model.
+	cfg := buildCFG(t, "loop:\n\t_ = 1\n\tgoto loop")
+	if !cfg.Unsupported {
+		t.Error("backward goto did not set Unsupported")
+	}
+}
+
+func TestCFGGotoInsideLoopUnsupported(t *testing.T) {
+	// Unsupported is sticky even when the goto is buried in supported
+	// structure: the whole body is abandoned, not just the inner loop.
+	cfg := buildCFG(t, "for i := 0; i < 3; i++ {\n\tif i == 1 {\n\t\tgoto out\n\t}\n}\nout:\n\treturn")
+	if !cfg.Unsupported {
+		t.Error("goto inside a for loop did not set Unsupported")
+	}
+}
+
+func TestCFGLabeledBlockBreakUnsupported(t *testing.T) {
+	// Labels only attach to loop/switch/select frames; a labeled block
+	// statement gives break L no frame to resolve against.
+	cfg := buildCFG(t, "L:\n\t{\n\t\tbreak L\n\t}\n\treturn")
+	if !cfg.Unsupported {
+		t.Error("break to a labeled block did not set Unsupported")
+	}
+}
+
+func TestCFGContinueLabeledSwitchUnsupported(t *testing.T) {
+	// continue needs a loop frame; a switch frame (even labeled) has no
+	// continue target.
+	cfg := buildCFG(t, "sw:\n\tswitch {\n\tdefault:\n\t\tcontinue sw\n\t}")
+	if !cfg.Unsupported {
+		t.Error("continue targeting a labeled switch did not set Unsupported")
+	}
+}
+
 func TestCFGTerminatingCalls(t *testing.T) {
 	cfg := buildCFG(t, "if true {\n\tpanic(\"boom\")\n}\nos.Exit(1)")
 	r, f, term := exits(cfg)

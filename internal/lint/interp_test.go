@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// pureID shortens fixture FuncIDs: the fixture module is named "uavdc",
+// so the pure package's Entry function is "uavdc/internal/pure.Entry".
+func pureID(fn string) FuncID { return FuncID("uavdc/internal/pure." + fn) }
+
+// findEdge returns the first caller→callee edge, or nil.
+func findEdge(g *Graph, caller, callee FuncID) *Edge {
+	node := g.Nodes[caller]
+	if node == nil {
+		return nil
+	}
+	for i := range node.Edges {
+		if node.Edges[i].Callee == callee {
+			return &node.Edges[i]
+		}
+	}
+	return nil
+}
+
+// TestCallGraphEdges pins the four edge modes on the fixture: static
+// calls, devirtualized interface calls, function-literal children, and
+// function-value references — plus the conservative unknown-callee
+// marker for a call through a plain function value.
+func TestCallGraphEdges(t *testing.T) {
+	g := loadFixture(t).Interp().Graph
+
+	cases := []struct {
+		caller, callee FuncID
+		mode           string
+	}{
+		{FuncID("uavdc/internal/core.Algorithm2.Plan"), pureID("Entry"), "call"},
+		{pureID("Entry"), pureID("Tick"), "call"},
+		{pureID("Chain"), pureID("hop"), "call"},
+		{pureID("Eval"), pureID("dice.score"), "devirt"},
+		{pureID("Lit"), pureID("Lit.func1"), "literal"},
+		{pureID("Indirect"), pureID("tickRef"), "ref"},
+		{pureID("ping"), pureID("pong"), "call"},
+		{pureID("pong"), pureID("ping"), "call"},
+	}
+	for _, c := range cases {
+		e := findEdge(g, c.caller, c.callee)
+		if e == nil {
+			t.Errorf("edge %s → %s missing", c.caller, c.callee)
+			continue
+		}
+		if e.Mode != c.mode {
+			t.Errorf("edge %s → %s: mode %q, want %q", c.caller, c.callee, e.Mode, c.mode)
+		}
+	}
+
+	// The literal child is a real node with a short display name.
+	lit := g.Nodes[pureID("Lit.func1")]
+	if lit == nil {
+		t.Fatal("function-literal node pure.Lit.func1 missing")
+	}
+	if lit.Display != "pure.Lit.func1" {
+		t.Errorf("literal display = %q, want pure.Lit.func1", lit.Display)
+	}
+
+	// Apply calls through a plain function value: no resolvable edge,
+	// but a conservative unknown-callee marker in its direct effects.
+	apply := g.Nodes[pureID("Apply")]
+	if apply == nil {
+		t.Fatal("node pure.Apply missing")
+	}
+	if len(apply.Edges) != 0 {
+		t.Errorf("pure.Apply has %d edges, want 0 (callee is unresolvable)", len(apply.Edges))
+	}
+	marked := false
+	for _, eff := range apply.Effects {
+		if eff.Kind == EffectUnknownCallee {
+			marked = true
+			if !strings.Contains(eff.Desc, "function value") {
+				t.Errorf("unknown-callee marker desc = %q", eff.Desc)
+			}
+		}
+	}
+	if !marked {
+		t.Error("pure.Apply missing the unknown-callee marker")
+	}
+}
+
+// TestEffectSummaries pins the bottom-up summary computation: direct
+// effects, transitive union at the entry, SCC fixpoint over mutual
+// recursion, and the legality of channel/sync effects.
+func TestEffectSummaries(t *testing.T) {
+	interp := loadFixture(t).Interp()
+	sum := interp.Summaries
+
+	has := func(fn string, kind EffectKind) bool { return sum[pureID(fn)].Has(kind) }
+
+	if !has("Tick", EffectWallClock) {
+		t.Errorf("pure.Tick summary = %v, want wall-clock", sum[pureID("Tick")])
+	}
+	if !has("deep", EffectRand) || !has("hop", EffectRand) || !has("Chain", EffectRand) {
+		t.Error("randomness in pure.deep did not propagate up the hop/Chain spine")
+	}
+
+	// The mutually recursive pair shares one component: the randomness
+	// in pong must surface in ping's summary via the fixpoint.
+	if !has("ping", EffectRand) || !has("pong", EffectRand) {
+		t.Errorf("SCC fixpoint failed: ping=%v pong=%v",
+			sum[pureID("ping")], sum[pureID("pong")])
+	}
+
+	// Entry transitively accumulates every violating kind.
+	entry := sum[pureID("Entry")]
+	for _, kind := range []EffectKind{EffectWallClock, EffectRand, EffectGlobalWrite, EffectIO, EffectEnv} {
+		if !entry.Has(kind) {
+			t.Errorf("pure.Entry summary %v missing %v", entry, kind)
+		}
+	}
+
+	// Fan uses goroutines, a WaitGroup, and a channel — tracked, but
+	// never a purity violation.
+	fan := sum[pureID("Fan")]
+	if !fan.Has(EffectChan) || !fan.Has(EffectSync) {
+		t.Errorf("pure.Fan summary = %v, want channel+sync tracked", fan)
+	}
+	if fan&violatingEffects != 0 {
+		t.Errorf("pure.Fan summary %v intersects violating kinds — legal concurrency misclassified", fan)
+	}
+
+	// Sink internals still get honest summaries; the whitelist lives in
+	// the pureplan walk, not in the summary computation.
+	begin := sum[FuncID("uavdc/internal/trace.Tracer.Begin")]
+	if !begin.Has(EffectWallClock) {
+		t.Errorf("trace.Tracer.Begin summary = %v, want wall-clock (sinks are summarized, just not traversed)", begin)
+	}
+}
+
+// TestEffectSetString pins the diagnostic vocabulary.
+func TestEffectSetString(t *testing.T) {
+	if got := EffectSet(0).String(); got != "pure" {
+		t.Errorf("empty set = %q, want pure", got)
+	}
+	s := EffectSet(0).Add(EffectWallClock).Add(EffectRand)
+	if got := s.String(); got != "wall-clock read+global randomness read" {
+		t.Errorf("set string = %q", got)
+	}
+	if !s.Has(EffectRand) || s.Has(EffectIO) {
+		t.Error("Has() disagrees with Add()")
+	}
+}
+
+// TestPurePlanChains pins the diagnostic chains: the multi-hop spine is
+// spelled in full from the entry point, devirtualized and literal hops
+// appear under their display names, and sink packages are never
+// traversed or reported.
+func TestPurePlanChains(t *testing.T) {
+	mod := loadFixture(t)
+	diags := mod.purePlan()
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no pureplan findings")
+	}
+	joined := make([]string, 0, len(diags))
+	for _, d := range diags {
+		joined = append(joined, d.msg)
+		if strings.Contains(d.unit.Path, "internal/trace") ||
+			strings.Contains(d.unit.Path, "internal/obs") {
+			t.Errorf("finding anchored inside a whitelisted sink: %s", d.msg)
+		}
+	}
+	all := strings.Join(joined, "\n")
+	for _, want := range []string{
+		// Multi-hop chain, spelled end to end.
+		"core.Algorithm2.Plan → pure.Entry → pure.Chain → pure.hop → pure.deep → rand.Int",
+		// Devirtualized interface hop.
+		"pure.Eval → pure.dice.score → rand.Float64",
+		// Effect inside a function literal, under the child node's name.
+		"pure.Lit.func1 → time.Now",
+		// Function-value reference keeps the target reachable.
+		"pure.Indirect → pure.tickRef → time.Now",
+		// Global write names the variable instead of a call site.
+		"write to package-level var",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("no pureplan finding contains %q; findings:\n%s", want, all)
+		}
+	}
+	// The sink hop itself must not be blamed: Record reaches into
+	// trace.Tracer.Begin, whose wall-clock read is whitelisted.
+	if strings.Contains(all, "pure.Record →") {
+		t.Errorf("sink traversal leaked through pure.Record:\n%s", all)
+	}
+}
+
+// TestPurePlanSuppression confirms the //uavdc:allow pureplan grammar
+// suppresses one effect edge at a time: the fixture's deliberate
+// suppressed cases arrive suppressed, their active twins stay active.
+func TestPurePlanSuppression(t *testing.T) {
+	diags := Run(loadFixture(t), []*Analyzer{PurePlan()})
+	active, suppressed := 0, 0
+	for _, d := range diags {
+		if d.Analyzer != "pureplan" {
+			continue
+		}
+		if d.Suppressed {
+			suppressed++
+		} else {
+			active++
+		}
+	}
+	if active == 0 || suppressed == 0 {
+		t.Errorf("pureplan: %d active, %d suppressed — fixture needs both", active, suppressed)
+	}
+}

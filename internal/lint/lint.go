@@ -28,6 +28,13 @@
 //   - wirefmt: every "uavdc-<name>/<version>" string literal must match
 //     the internal/wire registry (which a test cross-checks against
 //     EXPERIMENTS.md), current version and all.
+//   - pureplan: interprocedural proof of the plan-cache purity
+//     contract — a same-module call graph with per-function effect
+//     summaries shows that nothing reachable from the parity-locked
+//     planner entry points reads the clock or global randomness, writes
+//     package-level state, or touches I/O or the environment, up to the
+//     whitelisted recording sinks (obs, trace, errw). Diagnostics carry
+//     the full entry→effect call chain.
 //
 // Deliberate violations are annotated in place:
 //
@@ -35,7 +42,8 @@
 //
 // either trailing the offending line or standing alone immediately above
 // it. The reason is mandatory; malformed or unknown directives are
-// themselves diagnostics and cannot be suppressed.
+// themselves diagnostics and cannot be suppressed — and neither can a
+// stale directive, one whose analyzer ran but suppressed nothing.
 package lint
 
 import (
@@ -66,13 +74,16 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism(), FloatEq(), ObsNames(), ErrDrop(), UnitSafety(),
-		LockSafety(), GoLifecycle(), WireFmt(),
+		LockSafety(), GoLifecycle(), WireFmt(), PurePlan(),
 	}
 }
 
 // Pass carries one analyzer's run over one package.
 type Pass struct {
-	Pkg      *Package
+	Pkg *Package
+	// Mod is the enclosing module, for interprocedural analyzers that
+	// need the whole call graph (nil in narrow unit-test harnesses).
+	Mod      *Module
 	analyzer *Analyzer
 	out      *[]Diagnostic
 }
@@ -153,9 +164,17 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 // they do not partition it. Diagnostics are merged and sorted exactly
 // as Run sorts them; scheduling never reaches the output.
 func RunTimed(mod *Module, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration) {
+	// Directive validity is judged against the full registry, not the
+	// subset that happens to run: a -analyzers errdrop pass must not
+	// call every nodeterminism directive in the tree "unknown".
 	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
+		ran[a.Name] = true
 	}
 
 	var diags []Diagnostic
@@ -196,7 +215,7 @@ func RunTimed(mod *Module, analyzers []*Analyzer) ([]Diagnostic, map[string]time
 			defer func() { <-sem }()
 			start := time.Now() //uavdc:allow nodeterminism task wall time only feeds the summary's per-analyzer breakdown, never planner output
 			var out []Diagnostic
-			tasks[i].a.Run(&Pass{Pkg: tasks[i].pkg, analyzer: tasks[i].a, out: &out})
+			tasks[i].a.Run(&Pass{Pkg: tasks[i].pkg, Mod: mod, analyzer: tasks[i].a, out: &out})
 			took[i] = time.Since(start) //uavdc:allow nodeterminism task wall time only feeds the summary's per-analyzer breakdown, never planner output
 			results[i] = out
 		}()
@@ -222,6 +241,20 @@ func RunTimed(mod *Module, analyzers []*Analyzer) ([]Diagnostic, map[string]time
 				d.Reason = reason
 			}
 		}
+	}
+
+	// Stale directives: a suppression whose analyzer ran but fired on
+	// nothing is a typo-shaped mistake (wrong line, fixed code, wrong
+	// analyzer) and is reported like any other directive defect.
+	// Directives for analyzers outside this run are left alone — a
+	// subset run cannot judge them.
+	relPaths := make([]string, 0, len(suppressions))
+	for rel := range suppressions {
+		relPaths = append(relPaths, rel)
+	}
+	sort.Strings(relPaths)
+	for _, rel := range relPaths {
+		diags = append(diags, suppressions[rel].stale(rel, ran)...)
 	}
 
 	sort.Slice(diags, func(i, j int) bool {

@@ -73,6 +73,23 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs holds every analysis unit, sorted by import path.
 	Pkgs []*Package
+	// BaseTypes holds the pass-1 type-checked package objects by import
+	// path. Units with in-package test files are re-checked in pass 2 and
+	// carry fresh type objects, but cross-package references always
+	// resolve to these pass-1 objects — interprocedural consumers (the
+	// call graph's devirtualizer) must match types against this one
+	// generation, never against a unit's own re-checked twins.
+	BaseTypes map[string]*types.Package
+
+	// interpOnce guards interp, the module-wide interprocedural index
+	// (call graph + effect summaries) shared by every analyzer task.
+	interpOnce sync.Once
+	interp     *Interp
+
+	// pureOnce guards pureDiags, the pureplan analyzer's module-wide
+	// violation list (each per-package task emits only its own slice).
+	pureOnce  sync.Once
+	pureDiags []pureDiag
 }
 
 // rawPkg is one package directory before type checking.
@@ -313,7 +330,7 @@ func Load(root string) (*Module, error) {
 	}
 	uwg.Wait()
 
-	mod := &Module{Root: absRoot, Path: modPath, Fset: fset}
+	mod := &Module{Root: absRoot, Path: modPath, Fset: fset, BaseTypes: checked}
 	for i, u := range units {
 		if unitResults[i].err != nil {
 			return nil, unitResults[i].err

@@ -86,6 +86,62 @@ func InjectedBudget(m energy.Model) units.Joules {
 	}
 }
 
+// TestInjectedImpureEffectFailsPurePlan verifies the purity gate end to
+// end on the real codebase: a copy of the module with a package-level
+// counter bump injected into scanIndex.drained — deep inside the
+// Algorithm 2 scan loop — must come back with exactly one active
+// pureplan diagnostic whose chain walks from a planner entry point down
+// to the injected write. This is the failure `make ci`'s lint step
+// exists to catch: silent global state accumulating under the plan
+// cache.
+func TestInjectedImpureEffectFailsPurePlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a copy of the internal tree; skipped in -short")
+	}
+	root := copyModuleTree(t)
+	fastscan := filepath.Join(root, "internal", "core", "fastscan.go")
+	raw, err := os.ReadFile(fastscan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const anchor = "func (ix *scanIndex) drained(v int) {"
+	if !strings.Contains(string(raw), anchor) {
+		t.Fatalf("injection anchor %q not found in fastscan.go", anchor)
+	}
+	poisoned := strings.Replace(string(raw), anchor, anchor+"\n\tinjectedTally++", 1)
+	if err := os.WriteFile(fastscan, []byte(poisoned), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	decl := "package core\n\n// injectedTally is the deliberately impure accumulator.\nvar injectedTally int\n"
+	if err := os.WriteFile(filepath.Join(root, "internal", "core", "zz_injected.go"), []byte(decl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(copied module): %v", err)
+	}
+	active := Active(Run(mod, All()))
+	if len(active) != 1 {
+		for _, d := range active {
+			t.Logf("active: %s", d.String())
+		}
+		t.Fatalf("got %d active diagnostics, want exactly the injected one", len(active))
+	}
+	d := active[0]
+	if d.Analyzer != "pureplan" || d.Path != "internal/core/fastscan.go" {
+		t.Fatalf("unexpected diagnostic: %s", d.String())
+	}
+	for _, want := range []string{
+		"reachable from entry point",
+		"core.scanIndex.drained → write to package-level var core.injectedTally",
+		"write to package-level var core.injectedTally reachable",
+	} {
+		if !strings.Contains(d.Message, want) {
+			t.Errorf("diagnostic missing %q: %s", want, d.String())
+		}
+	}
+}
+
 // TestInjectedConcurrencyViolationsFailLint does the same for the three
 // concurrency-contract analyzers in one pass: a copy of the module with
 // one violation per analyzer injected — a leaked lock, a detached

@@ -45,7 +45,11 @@ func NoDeterminism() *Analyzer {
 	return a
 }
 
-// checkClockAndRand reports wall-clock reads and global math/rand use.
+// checkClockAndRand reports wall-clock reads and global randomness use.
+// Classification is delegated to the interprocedural effect table
+// (classifyExternalCall), so nodeterminism's site rule and pureplan's
+// reachability rule can never disagree on what counts as a clock or
+// randomness read.
 func checkClockAndRand(pass *Pass, body ast.Node) {
 	info := pass.Pkg.Info
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -57,19 +61,19 @@ func checkClockAndRand(pass *Pass, body ast.Node) {
 		if fn == nil || isMethod(fn) {
 			return true
 		}
-		switch funcPkgPath(fn) {
-		case "time":
-			if in(fn.Name(), "Now", "Since", "Until") {
-				pass.Reportf(call.Pos(),
-					"wall-clock source time.%s is forbidden outside internal/trace, internal/prof and _test.go files — planner output must not depend on real time",
-					fn.Name())
-			}
-		case "math/rand", "math/rand/v2":
-			if !in(fn.Name(), "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8") {
-				pass.Reportf(call.Pos(),
-					"global math/rand source (rand.%s) is process-global and unseeded — derive a seeded *rand.Rand (see internal/rng) instead",
-					fn.Name())
-			}
+		kind, desc, ok := classifyExternalCall(fn)
+		if !ok {
+			return true
+		}
+		switch kind {
+		case EffectWallClock:
+			pass.Reportf(call.Pos(),
+				"wall-clock source %s is forbidden outside internal/trace, internal/prof and _test.go files — planner output must not depend on real time",
+				desc)
+		case EffectRand:
+			pass.Reportf(call.Pos(),
+				"global randomness source (%s) is process-global and unseeded — derive a seeded *rand.Rand (see internal/rng) instead",
+				desc)
 		}
 		return true
 	})

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"sort"
 	"strings"
 )
 
@@ -78,22 +79,65 @@ func validAnalyzerName(s string) bool {
 	return len(s) > 0
 }
 
+// suppression is one placed directive: what it suppresses, where the
+// directive comment itself sits, and whether it ever fired.
+type suppression struct {
+	Directive
+	// Line and Col locate the directive comment (not the covered line),
+	// so stale reports point at the directive to delete.
+	Line int
+	Col  int
+	// used flips when covers matches a diagnostic against this
+	// directive.
+	used bool
+}
+
 // fileSuppressions indexes the allow directives of one file by the line
 // they cover.
 type fileSuppressions struct {
 	// byLine maps a covered source line to its directives.
-	byLine map[int][]Directive
+	byLine map[int][]*suppression
 }
 
 // covers reports whether a directive for analyzer covers line, returning
-// its reason.
+// its reason and marking the first matching directive as used.
 func (fs *fileSuppressions) covers(analyzer string, line int) (string, bool) {
-	for _, d := range fs.byLine[line] {
-		if d.Analyzer == analyzer {
-			return d.Reason, true
+	for _, s := range fs.byLine[line] {
+		if s.Analyzer == analyzer {
+			s.used = true
+			return s.Reason, true
 		}
 	}
 	return "", false
+}
+
+// stale returns a directive diagnostic for every suppression that never
+// fired, restricted to analyzers in ran — a subset run cannot judge
+// directives for analyzers it did not execute. Like every directive
+// finding, stale reports are not themselves suppressible.
+func (fs *fileSuppressions) stale(path string, ran map[string]bool) []Diagnostic {
+	lines := make([]int, 0, len(fs.byLine))
+	for line := range fs.byLine {
+		lines = append(lines, line)
+	}
+	sort.Ints(lines)
+	var out []Diagnostic
+	for _, line := range lines {
+		for _, s := range fs.byLine[line] {
+			if s.used || !ran[s.Analyzer] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: DirectiveAnalyzer,
+				Path:     path,
+				Line:     s.Line,
+				Col:      s.Col,
+				Message: fmt.Sprintf("uavdc:allow %s suppressed nothing in this run — remove the stale directive or fix the line it covers",
+					s.Analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // scanSuppressions extracts the file's directives and decides which line
@@ -103,7 +147,7 @@ func (fs *fileSuppressions) covers(analyzer string, line int) (string, bool) {
 // directives naming an unknown analyzer are returned as diagnostics
 // under DirectiveAnalyzer.
 func scanSuppressions(pkg *Package, f *ast.File, known map[string]bool) (*fileSuppressions, []Diagnostic) {
-	fs := &fileSuppressions{byLine: map[int][]Directive{}}
+	fs := &fileSuppressions{byLine: map[int][]*suppression{}}
 	var malformed []Diagnostic
 	src := pkg.Src[pkg.Filename(f)]
 	commentLines := map[int]bool{}
@@ -162,7 +206,9 @@ func scanSuppressions(pkg *Package, f *ast.File, known map[string]bool) (*fileSu
 					continue
 				}
 			}
-			fs.byLine[target] = append(fs.byLine[target], d)
+			fs.byLine[target] = append(fs.byLine[target], &suppression{
+				Directive: d, Line: pos.Line, Col: pos.Column,
+			})
 		}
 	}
 	return fs, malformed

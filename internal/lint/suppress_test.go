@@ -175,6 +175,111 @@ var b = 2 //uavdc:allow floateq
 	}
 }
 
+// TestSuppressionStale: a directive that never matched a diagnostic is
+// reported stale, anchored at the directive comment itself; a directive
+// that fired is not.
+func TestSuppressionStale(t *testing.T) {
+	fs, malformed := scanTestFile(t, `package s
+
+var a = 1.0 //uavdc:allow floateq fires below
+var b = 2 //uavdc:allow errdrop never fires
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", malformed)
+	}
+	if _, ok := fs.covers("floateq", 3); !ok {
+		t.Fatal("floateq directive does not cover line 3")
+	}
+	ran := map[string]bool{"floateq": true, "errdrop": true, "nodeterminism": true}
+	stale := fs.stale("internal/s/s.go", ran)
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale reports, want 1: %v", len(stale), stale)
+	}
+	d := stale[0]
+	if d.Analyzer != DirectiveAnalyzer || d.Path != "internal/s/s.go" || d.Line != 4 {
+		t.Errorf("stale report misanchored: %s", d.String())
+	}
+	if !strings.Contains(d.Message, "uavdc:allow errdrop suppressed nothing") {
+		t.Errorf("stale message = %q", d.Message)
+	}
+	// Stale reports are directive findings: never themselves suppressible.
+	if d.Suppressed {
+		t.Error("stale report arrived suppressed")
+	}
+}
+
+// TestSuppressionStaleSubsetRun: a subset run cannot judge directives
+// for analyzers it did not execute — only directives whose analyzer is
+// in the ran set are eligible for stale reporting.
+func TestSuppressionStaleSubsetRun(t *testing.T) {
+	fs, _ := scanTestFile(t, `package s
+
+var a = 1 //uavdc:allow floateq integers never trip floateq
+var b = 2 //uavdc:allow errdrop also never fires
+`)
+	stale := fs.stale("s.go", map[string]bool{"floateq": true})
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale reports, want 1 (errdrop did not run): %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "uavdc:allow floateq") {
+		t.Errorf("wrong directive judged stale: %s", stale[0].String())
+	}
+	if len(fs.stale("s.go", map[string]bool{})) != 0 {
+		t.Error("stale judged directives when nothing ran")
+	}
+}
+
+// TestSuppressionStaleStacked: with two directives stacked over one
+// statement, only the one that actually fired is spared — the other is
+// stale even though it covers a line that did produce a diagnostic.
+func TestSuppressionStaleStacked(t *testing.T) {
+	fs, _ := scanTestFile(t, `package s
+
+func f() {
+	//uavdc:allow floateq fires
+	//uavdc:allow nodeterminism does not fire
+	_ = 1
+}
+`)
+	if _, ok := fs.covers("floateq", 6); !ok {
+		t.Fatal("stacked floateq directive does not cover the statement")
+	}
+	ran := map[string]bool{"floateq": true, "nodeterminism": true}
+	stale := fs.stale("s.go", ran)
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale reports, want 1: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "uavdc:allow nodeterminism") || stale[0].Line != 5 {
+		t.Errorf("wrong stacked directive judged stale: %s", stale[0].String())
+	}
+}
+
+// TestSuppressionStaleCRLF: stale anchoring survives Windows line
+// endings, trailing and standalone alike.
+func TestSuppressionStaleCRLF(t *testing.T) {
+	src := strings.Join([]string{
+		"package s",
+		"",
+		"var a = 1 //uavdc:allow floateq never fires on an integer",
+		"",
+		"//uavdc:allow errdrop standalone, also never fires",
+		"var b = 2",
+		"",
+	}, "\r\n")
+	fs, _ := scanTestFile(t, src)
+	ran := map[string]bool{"floateq": true, "errdrop": true}
+	stale := fs.stale("s.go", ran)
+	if len(stale) != 2 {
+		t.Fatalf("got %d stale reports, want 2: %v", len(stale), stale)
+	}
+	if stale[0].Line != 3 || !strings.Contains(stale[0].Message, "floateq") {
+		t.Errorf("trailing CRLF stale misanchored: %s", stale[0].String())
+	}
+	if stale[1].Line != 5 || !strings.Contains(stale[1].Message, "errdrop") {
+		t.Errorf("standalone CRLF stale misanchored: %s", stale[1].String())
+	}
+}
+
 // FuzzAllowDirective checks the directive grammar's core safety
 // property: no comment carrying the uavdc: prefix is ever silently
 // ignored — it either parses to a complete directive or returns an

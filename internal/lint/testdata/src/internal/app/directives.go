@@ -14,3 +14,11 @@ func BadDirectives(path string) {
 	/*uavdc:allow errdrop block comments are not directives*/
 	os.Remove(path)
 }
+
+// StaleDirective exercises stale-suppression detection: floateq runs
+// over the module but cannot fire on an integer line, so the directive
+// below suppressed nothing and is itself reported.
+func StaleDirective() int {
+	x := 1 //uavdc:allow floateq fixture: stale — integers never trip floateq
+	return x
+}

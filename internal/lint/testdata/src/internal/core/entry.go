@@ -1,0 +1,18 @@
+// Algorithm2 mirrors the real planner type so the fixture exercises
+// pureplan's entry-point matching: the fixture module is also named
+// uavdc, so uavdc/internal/core.Algorithm2.Plan is a parity-locked
+// entry point here exactly as in the real module.
+package core
+
+import (
+	"uavdc/internal/pure"
+	"uavdc/internal/trace"
+)
+
+// Algorithm2 stands in for the real greedy planner.
+type Algorithm2 struct{}
+
+// Plan reaches every effect case in internal/pure.
+func (Algorithm2) Plan() float64 {
+	return pure.Entry(trace.Tracer{})
+}

@@ -1,0 +1,175 @@
+// Package pure is the fixture's pureplan surface: every function here
+// is reachable from the fixture core.Algorithm2.Plan entry point, with
+// one active and one suppressed case per effect rule (wall-clock,
+// randomness, package-level write, I/O, environment), a recording-sink
+// case the analyzer must not traverse, a multi-hop chain, a
+// devirtualized interface call, a function-literal case, a
+// function-value reference, and a mutually recursive pair that
+// exercises the SCC fixpoint. Channel use is deliberately unflagged:
+// the deterministic parallel scan idiom is legal under the contract.
+package pure
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"uavdc/internal/trace"
+)
+
+// calls and total are the package-level state the write rule guards.
+var calls int
+var total float64
+
+// Tick holds the wall-clock cases (nodeterminism flags the same sites —
+// the two analyzers share one classification table).
+func Tick() time.Time {
+	t := time.Now() // positive: pureplan (and nodeterminism)
+	//uavdc:allow nodeterminism fixture: shared-truth twin of the pureplan case
+	//uavdc:allow pureplan fixture: deliberate suppressed wall-clock read
+	_ = time.Now()
+	return t
+}
+
+// Draw holds the randomness cases.
+func Draw() float64 {
+	v := rand.Float64() // positive: pureplan (and nodeterminism)
+	//uavdc:allow nodeterminism fixture: shared-truth twin of the pureplan case
+	//uavdc:allow pureplan fixture: deliberate suppressed randomness read
+	v += rand.Float64()
+	return v
+}
+
+// Bump holds the package-level write cases.
+func Bump() {
+	calls++ // positive: pureplan global write
+	//uavdc:allow pureplan fixture: deliberate suppressed global write
+	total += 1
+}
+
+// Slurp holds the I/O cases.
+func Slurp() {
+	fmt.Println("plan") // positive: pureplan I/O
+	//uavdc:allow pureplan fixture: deliberate suppressed I/O
+	fmt.Println("done")
+}
+
+// Env holds the environment-access cases.
+func Env() string {
+	v := os.Getenv("UAVDC_MODE") // positive: pureplan env read
+	//uavdc:allow pureplan fixture: deliberate suppressed env read
+	v += os.Getenv("UAVDC_EXTRA")
+	return v
+}
+
+// Record reaches into the trace recording sink; the wall-clock read
+// inside trace.Tracer.Begin must never surface here — sink packages are
+// whitelisted and not traversed.
+func Record(tr trace.Tracer) {
+	end := tr.Begin("plan/alg1")
+	end()
+}
+
+// Chain is the multi-hop case: the diagnostic must spell
+// core.Algorithm2.Plan → pure.Chain → pure.hop → pure.deep → rand.Int.
+func Chain() int { return hop() }
+
+func hop() int { return deep() }
+
+func deep() int {
+	return rand.Int() // positive: pureplan, three hops from the entry
+}
+
+// scorer is devirtualized: the only in-module implementation is dice,
+// so Eval's interface call resolves to dice.score.
+type scorer interface{ score() float64 }
+
+type dice struct{}
+
+func (dice) score() float64 {
+	return rand.Float64() // positive: pureplan via devirtualized call
+}
+
+// Eval calls through the interface; pureplan must still see the effect.
+func Eval(s scorer) float64 { return s.score() }
+
+// NewScorer hands Plan a concrete scorer.
+func NewScorer() scorer { return dice{} }
+
+// Lit holds the function-literal case: the effect sits inside an
+// anonymous function, reported under the pure.Lit.func1 child node.
+func Lit() func() time.Time {
+	return func() time.Time {
+		return time.Now() // positive: pureplan inside a literal
+	}
+}
+
+// Indirect references tickRef without calling it; the conservative
+// "ref" edge keeps tickRef reachable.
+func Indirect() func() time.Time { return tickRef }
+
+func tickRef() time.Time {
+	return time.Now() // positive: pureplan via function-value reference
+}
+
+// ping and pong are mutually recursive; the SCC fixpoint gives both the
+// same summary, and the randomness in pong surfaces through ping.
+func ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int {
+	if n%7 == 0 {
+		return rand.Intn(7) // positive: pureplan inside a recursive cycle
+	}
+	return ping(n - 1)
+}
+
+// Fan is the legal-concurrency case: goroutine, WaitGroup, channel send
+// and receive are tracked in summaries but are not purity violations —
+// the deterministic parallel scan idiom stays legal.
+func Fan(xs []float64) float64 {
+	out := make(chan float64, len(xs))
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- x * x
+		}()
+	}
+	wg.Wait()
+	close(out)
+	var sum float64
+	for v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// Apply calls through a plain function value: the graph cannot resolve
+// the callee and records a conservative unknown-callee marker. Not
+// reachable from the entry point — the marker is summary-only either
+// way.
+func Apply(f func(int) int, v int) int { return f(v) }
+
+// Entry ties the package together for the fixture core entry point.
+func Entry(tr trace.Tracer) float64 {
+	Tick()
+	v := Draw()
+	Bump()
+	Slurp()
+	_ = Env()
+	Record(tr)
+	_ = Chain()
+	v += Eval(NewScorer())
+	_ = Lit()
+	_ = Indirect()
+	_ = ping(3)
+	return v + Fan([]float64{v})
+}

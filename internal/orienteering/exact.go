@@ -79,7 +79,7 @@ func ExactDP(p *Problem) (Solution, error) {
 		for ends := mask; ends != 0; ends &= ends - 1 {
 			j := bits.TrailingZeros(uint(ends))
 			cur := row[j]
-			if cur == inf { //uavdc:allow floateq exact sentinel test, equivalent to math.IsInf on an untouched table entry
+			if cur == inf { // exact compare: sentinel test, equivalent to math.IsInf on an untouched table entry
 				continue
 			}
 			// Candidate closed tour: path + return edge.

@@ -120,7 +120,7 @@ func TestTwoOptDLBDeterministic(t *testing.T) {
 	}
 	o1, s1, p1, m1 := run()
 	o2, s2, p2, m2 := run()
-	if s1 != s2 || p1 != p2 || m1 != m2 { //uavdc:allow floateq determinism check requires bit equality
+	if s1 != s2 || p1 != p2 || m1 != m2 { // exact compare: determinism check requires bit equality
 		t.Fatalf("runs differ: saved %v vs %v, passes %d vs %d, moves %d vs %d", s1, s2, p1, p2, m1, m2)
 	}
 	for i := range o1 {
@@ -159,7 +159,7 @@ func TestTwoOptDLBDegenerate(t *testing.T) {
 	pts, m := dlbInstance(3, 5)
 	neighbors := NeighborLists(pts, 2)
 	tour := identityTour(3)
-	if saved := TwoOptDLB(tour, m, neighbors, 0); saved != 0 { //uavdc:allow floateq degenerate tours must be untouched
+	if saved := TwoOptDLB(tour, m, neighbors, 0); saved != 0 { // exact compare: degenerate tours must be untouched
 		t.Fatalf("n=3 tour should be a no-op, saved %v", saved)
 	}
 }

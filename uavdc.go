@@ -221,7 +221,7 @@ type Result struct {
 func plannerFor(opts Options) (core.Planner, error) {
 	workers := 0
 	if opts.Parallel {
-		workers = runtime.NumCPU()
+		workers = runtime.NumCPU() //uavdc:allow pureplan worker count only partitions the deterministic scan; plans are bit-identical across worker counts (fastpath parity gate at GOMAXPROCS 1/4/8)
 	}
 	switch opts.Algorithm {
 	case AlgorithmNoOverlap:
